@@ -1,0 +1,21 @@
+//! Criterion bench over the §III-B cold-start measurement path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use swf_core::experiments::coldstart;
+use swf_core::ExperimentConfig;
+
+fn cold_start(c: &mut Criterion) {
+    let mut config = ExperimentConfig::quick();
+    config.matrix_dim = 16;
+    c.bench_function("coldstart/deferred_function", |b| {
+        b.iter(|| {
+            let r = coldstart::run(&config);
+            assert!(r.cold_start > 1.0);
+            r.cold_start
+        })
+    });
+}
+
+criterion_group!(benches, cold_start);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench of the simulation kernel itself: events/second of the
+//! virtual-time executor and the HTTP/queueing substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use swf_simcore::{join_all, secs, sleep, spawn, Resource, Sim};
+
+fn executor_throughput(c: &mut Criterion) {
+    c.bench_function("engine/10k_timers", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            sim.block_on(async {
+                let handles: Vec<_> = (0..10_000u64)
+                    .map(|i| {
+                        spawn(async move {
+                            sleep(swf_simcore::SimDuration::from_nanos(i % 997)).await;
+                        })
+                    })
+                    .collect();
+                join_all(handles).await;
+            });
+            sim.steps()
+        })
+    });
+
+    c.bench_function("engine/fifo_resource_5k", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            sim.block_on(async {
+                let r = Resource::new("bench", 8);
+                let handles: Vec<_> = (0..5_000)
+                    .map(|_| {
+                        let r = r.clone();
+                        spawn(async move {
+                            r.serve(secs(0.01)).await;
+                        })
+                    })
+                    .collect();
+                join_all(handles).await;
+            });
+            sim.now()
+        })
+    });
+}
+
+criterion_group!(benches, executor_throughput);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench over the Fig. 1 engine: container-reuse advantage.
+//! Benchmarks the full simulated Docker and Knative arms at a fixed task
+//! count, reporting wall time of the simulation itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use swf_core::experiments::fig1;
+use swf_core::ExperimentConfig;
+
+fn bench_config() -> ExperimentConfig {
+    let mut c = ExperimentConfig::quick();
+    c.matrix_dim = 32;
+    c
+}
+
+fn fig1_reuse(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    for tasks in [20usize, 40] {
+        group.bench_with_input(BenchmarkId::new("docker_vs_knative", tasks), &tasks, |b, &n| {
+            b.iter(|| {
+                let r = fig1::run(&config, &[n]);
+                assert!(r.rows[0].docker_total > 0.0);
+                r.rows[0].knative_total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig1_reuse);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench over the Fig. 2 engine: parallel-task scaling across
+//! the three execution venues.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use swf_core::experiments::fig2;
+use swf_core::ExperimentConfig;
+
+fn fig2_parallel(c: &mut Criterion) {
+    let mut config = ExperimentConfig::quick();
+    config.matrix_dim = 16;
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    for k in [8usize, 16] {
+        group.bench_with_input(BenchmarkId::new("three_venues", k), &k, |b, &k| {
+            b.iter(|| {
+                let r = fig2::run(&config, &[k]);
+                assert!(r.rows[0].container > r.rows[0].native);
+                r.rows[0].knative
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2_parallel);
+criterion_main!(benches);

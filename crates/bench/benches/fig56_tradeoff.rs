@@ -1,0 +1,44 @@
+//! Criterion bench over the Fig. 5/6 engine: concurrent workflows at one
+//! mix per benchmark id (the five paper bars).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use swf_core::experiments::{run_once, ConcurrentParams};
+use swf_core::ExperimentConfig;
+use swf_workloads::EnvMix;
+
+fn fig56(c: &mut Criterion) {
+    let mut config = ExperimentConfig::quick();
+    config.matrix_dim = 16;
+    let mixes = [
+        ("all-native", EnvMix::ALL_NATIVE),
+        ("half-serverless", EnvMix::HALF_SERVERLESS),
+        ("all-serverless", EnvMix::ALL_SERVERLESS),
+        ("half-container", EnvMix::HALF_CONTAINER),
+        ("all-container", EnvMix::ALL_CONTAINER),
+    ];
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    for (label, mix) in mixes {
+        group.bench_with_input(BenchmarkId::new("mix", label), &mix, |b, &mix| {
+            b.iter(|| {
+                let o = run_once(
+                    &config,
+                    ConcurrentParams {
+                        workflows: 3,
+                        tasks_per_workflow: 3,
+                        mix,
+                        ..ConcurrentParams::default()
+                    },
+                    0,
+                );
+                assert!(o.slowest > 0.0);
+                o.slowest
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig56);
+criterion_main!(benches);

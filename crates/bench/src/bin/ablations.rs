@@ -1,0 +1,195 @@
+//! Ablation studies over the design choices DESIGN.md calls out:
+//!
+//! 1. container reuse (shared warm containers vs one-per-request),
+//! 2. pre-staged vs deferred provisioning (`min-scale` vs `initial-scale: 0`),
+//! 3. pass-by-value payloads vs node-resident data,
+//! 4. task clustering levels (the paper's §IX-C task resizing),
+//! 5. routing policy: round-robin vs §IX-D least-loaded redirection.
+//!
+//! Usage: `cargo run --release -p swf-bench --bin ablations [--quick]`
+
+use bytes::Bytes;
+
+use swf_cluster::{NodeId, Request};
+use swf_container::Workload;
+use swf_core::experiments::{run_once, ConcurrentParams};
+use swf_core::{ExperimentConfig, Provisioning, TestBed};
+use swf_knative::{KService, RoutingPolicy};
+use swf_metrics::Table;
+use swf_pegasus::PlanOptions;
+use swf_simcore::{now, secs, Sim};
+use swf_workloads::EnvMix;
+
+fn scale() -> (usize, usize) {
+    if swf_bench::is_quick() {
+        (3, 4)
+    } else {
+        (6, 8)
+    }
+}
+
+/// Ablation 1 — container concurrency: shared containers (cc=0) vs
+/// strict one-request-per-container (cc=1) on the all-serverless workload.
+fn ablate_reuse(t: &mut Table) {
+    let (workflows, tasks) = scale();
+    for (label, cc) in [("containerConcurrency=1", 1u32), ("containerConcurrency=0 (shared)", 0)] {
+        let mut config = ExperimentConfig::quick();
+        config.container_concurrency = cc;
+        let o = run_once(
+            &config,
+            ConcurrentParams {
+                workflows,
+                tasks_per_workflow: tasks,
+                mix: EnvMix::ALL_SERVERLESS,
+                ..ConcurrentParams::default()
+            },
+            0,
+        );
+        t.row(&[
+            "container concurrency".into(),
+            label.into(),
+            format!("{:.1}", o.slowest),
+        ]);
+    }
+}
+
+/// Ablation 2 — provisioning: pre-staged warm pods vs deferred downloads.
+fn ablate_provisioning(t: &mut Table) {
+    let (workflows, tasks) = scale();
+    for (label, mode) in [
+        ("min-scale pre-staged", Provisioning::PreStage),
+        ("initial-scale=0 deferred", Provisioning::Deferred),
+    ] {
+        let mut config = ExperimentConfig::quick();
+        config.provisioning = mode;
+        let o = run_once(
+            &config,
+            ConcurrentParams {
+                workflows,
+                tasks_per_workflow: tasks,
+                mix: EnvMix::ALL_SERVERLESS,
+                ..ConcurrentParams::default()
+            },
+            0,
+        );
+        t.row(&["provisioning".into(), label.into(), format!("{:.1}", o.slowest)]);
+    }
+}
+
+/// Ablation 3 — pass-by-value serialization on vs off (node-resident data).
+fn ablate_payload(t: &mut Table) {
+    let (workflows, tasks) = scale();
+    for (label, rate) in [("pass-by-value (4 MB/s ser.)", 4.0e6), ("node-resident data", 0.0)] {
+        let mut config = ExperimentConfig::quick();
+        config.serialization_rate = rate;
+        // Use paper-sized matrices so payload costs are visible.
+        config.matrix_dim = if swf_bench::is_quick() { 64 } else { 350 };
+        let o = run_once(
+            &config,
+            ConcurrentParams {
+                workflows,
+                tasks_per_workflow: tasks,
+                mix: EnvMix::ALL_SERVERLESS,
+                ..ConcurrentParams::default()
+            },
+            0,
+        );
+        t.row(&["file management".into(), label.into(), format!("{:.1}", o.slowest)]);
+    }
+}
+
+/// Ablation 4 — task clustering levels (§IX-C task resizing).
+fn ablate_clustering(t: &mut Table) {
+    let (workflows, tasks) = scale();
+    for level in [1usize, 2, 4] {
+        let config = ExperimentConfig::quick();
+        let o = run_once(
+            &config,
+            ConcurrentParams {
+                workflows,
+                tasks_per_workflow: tasks,
+                mix: EnvMix::ALL_NATIVE,
+                plan: PlanOptions {
+                    cluster_level: level,
+                    retries: 0,
+                },
+            },
+            0,
+        );
+        t.row(&[
+            "task clustering (§IX-C)".into(),
+            format!("cluster level {level}"),
+            format!("{:.1}", o.slowest),
+        ]);
+    }
+}
+
+/// Ablation 5 — routing: round-robin vs least-loaded redirection (§IX-D)
+/// under a skewed background load.
+fn ablate_routing(t: &mut Table) {
+    for (label, policy) in [
+        ("round-robin", RoutingPolicy::RoundRobin),
+        ("least-loaded (§IX-D)", RoutingPolicy::LeastLoaded),
+    ] {
+        let sim = Sim::new();
+        let mean_latency = sim.block_on(async move {
+            let mut config = ExperimentConfig::quick();
+            config.knative.routing = policy;
+            let bed = TestBed::boot(&config);
+            bed.knative.register_fn(
+                KService::new("fn", bed.image.clone())
+                    .with_min_scale(2)
+                    .with_max_scale(2),
+                |req| {
+                    let b = req.body.clone();
+                    Workload::new(secs(0.458), move || Ok(b))
+                },
+            );
+            bed.knative.wait_ready("fn", 2, secs(600.0)).await.unwrap();
+            // Saturate the first pod's node with foreign compute.
+            let rev = bed.knative.revisions().get("fn-00001").unwrap();
+            let eps = bed
+                .k8s
+                .api()
+                .endpoints()
+                .get(&rev.k8s_service_name())
+                .unwrap();
+            let busy = bed.k8s.runtime(eps.ready[0].node).unwrap().node().clone();
+            for _ in 0..busy.cores().capacity() {
+                let busy = busy.clone();
+                swf_simcore::spawn(async move {
+                    busy.run_on_core(secs(10_000.0)).await;
+                });
+            }
+            swf_simcore::sleep(secs(0.5)).await;
+            let t0 = now();
+            let n = 12;
+            for i in 0..n {
+                bed.knative
+                    .invoke(NodeId(0), "fn", Request::post("/", Bytes::from(vec![i])))
+                    .await
+                    .unwrap();
+            }
+            (now() - t0).as_secs_f64() / f64::from(n)
+        });
+        t.row(&[
+            "task redirection (§IX-D)".into(),
+            label.into(),
+            format!("{mean_latency:.2}"),
+        ]);
+    }
+}
+
+fn main() {
+    let mut t = Table::new(
+        "Ablations over the paper's design choices (seconds; lower is better)",
+        &["ablation", "variant", "metric_s"],
+    );
+    ablate_reuse(&mut t);
+    ablate_provisioning(&mut t);
+    ablate_payload(&mut t);
+    ablate_clustering(&mut t);
+    ablate_routing(&mut t);
+    println!("{}", t.render());
+    println!("metric: rows 1-8 = slowest-workflow makespan; rows 9-10 = mean request latency");
+}

@@ -1,0 +1,19 @@
+//! Regenerate Figure 1: Docker vs Knative total/execution time for N
+//! sequential matrix-multiplication tasks.
+//!
+//! Usage: `cargo run --release -p swf-bench --bin fig1 [--quick]`
+
+use swf_bench::{cli_config, fig1_report, is_quick};
+use swf_core::experiments::{fig1, setup_header};
+
+fn main() {
+    let config = cli_config();
+    println!("{}", setup_header(&config));
+    let counts: Vec<usize> = if is_quick() {
+        vec![10, 20, 40, 80]
+    } else {
+        vec![10, 20, 40, 80, 120, 160]
+    };
+    let result = fig1::run(&config, &counts);
+    println!("{}", fig1_report(&result));
+}

@@ -1,0 +1,25 @@
+//! Regenerate Figure 2: makespan of k parallel tasks under native, Knative
+//! and traditional-container execution via HTCondor.
+//!
+//! Usage: `cargo run --release -p swf-bench --bin fig2 [--quick]`
+
+use swf_bench::{cli_config, fig2_report, is_quick};
+use swf_core::experiments::{fig2, setup_header};
+
+fn main() {
+    let mut config = cli_config();
+    // The parallel experiment submits one burst of independent jobs: no
+    // DAGMan, no claim reuse — per-job latency is negotiation-bound, not
+    // activation-bound. Calibrated so the native slope lands near the
+    // paper's 0.28 s/task.
+    config.condor.negotiator.cycle_interval = swf_simcore::secs(5.0);
+    config.condor.negotiator.activation_delay = swf_simcore::SimDuration::ZERO;
+    println!("{}", setup_header(&config));
+    let counts: Vec<usize> = if is_quick() {
+        vec![4, 8, 16, 24]
+    } else {
+        vec![4, 8, 16, 24, 32, 48, 64]
+    };
+    let result = fig2::run(&config, &counts);
+    println!("{}", fig2_report(&result));
+}

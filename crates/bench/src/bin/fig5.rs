@@ -1,0 +1,20 @@
+//! Regenerate Figure 5: the ternary performance–isolation trade-off.
+//! Sweeps environment mixes over the simplex; each point runs 10 concurrent
+//! 10-task workflows and reports the average slowest-workflow makespan.
+//!
+//! Usage: `cargo run --release -p swf-bench --bin fig5 [--quick]`
+
+use swf_bench::{cli_config, fig5_report, is_quick};
+use swf_core::experiments::{run_fig5, setup_header};
+
+fn main() {
+    let config = cli_config();
+    println!("{}", setup_header(&config));
+    let (steps, workflows, tasks, repeats) = if is_quick() {
+        (2, 4, 4, 1)
+    } else {
+        (4, 10, 10, 3)
+    };
+    let result = run_fig5(&config, steps, workflows, tasks, repeats);
+    println!("{}", fig5_report(&result));
+}

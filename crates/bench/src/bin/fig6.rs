@@ -1,0 +1,15 @@
+//! Regenerate Figure 6: average makespan of the slowest of 10 concurrent
+//! workflows for the five highlighted environment mixes.
+//!
+//! Usage: `cargo run --release -p swf-bench --bin fig6 [--quick]`
+
+use swf_bench::{cli_config, fig6_report, is_quick};
+use swf_core::experiments::{run_fig6, setup_header};
+
+fn main() {
+    let config = cli_config();
+    println!("{}", setup_header(&config));
+    let (workflows, tasks, repeats) = if is_quick() { (4, 4, 1) } else { (10, 10, 3) };
+    let result = run_fig6(&config, workflows, tasks, repeats);
+    println!("{}", fig6_report(&result));
+}

@@ -1,0 +1,196 @@
+//! # swf-bench
+//!
+//! Shared rendering for the figure-regeneration binaries. Each binary runs
+//! its experiment at paper scale (or `--quick`) and prints the §V-A setup
+//! header, the reproduced rows, the fitted slopes, and the paper-reported
+//! values side by side.
+
+use swf_core::experiments::{Fig1Result, Fig2Result, Fig5Result, Fig6Result};
+use swf_core::ExperimentConfig;
+use swf_metrics::Table;
+
+/// Parse the common `--quick` flag.
+pub fn is_quick() -> bool {
+    std::env::args().any(|a| a == "--quick" || a == "-q")
+}
+
+/// The experiment config selected by the CLI flags.
+pub fn cli_config() -> ExperimentConfig {
+    if is_quick() {
+        let mut c = ExperimentConfig::quick();
+        // Quick harness runs still use paper-shaped timing but small
+        // matrices, so real compute stays cheap.
+        c.matrix_dim = 32;
+        c
+    } else {
+        ExperimentConfig::paper()
+    }
+}
+
+/// Render Fig. 1 as a table plus slope analysis.
+pub fn fig1_report(r: &Fig1Result) -> String {
+    let mut t = Table::new(
+        "Fig. 1 — Docker vs Knative, N sequential tasks (seconds)",
+        &[
+            "tasks",
+            "docker_total",
+            "knative_total",
+            "docker_exec/task",
+            "knative_exec/task",
+        ],
+    );
+    for row in &r.rows {
+        t.row(&[
+            row.tasks.to_string(),
+            format!("{:.2}", row.docker_total),
+            format!("{:.2}", row.knative_total),
+            format!("{:.3}", row.docker_exec),
+            format!("{:.3}", row.knative_exec),
+        ]);
+    }
+    let mut s = t.render();
+    s.push_str(&format!(
+        "\nslopes: docker {:.3} s/task (R²={:.3}), knative {:.3} s/task (R²={:.3})\n",
+        r.docker_fit.slope, r.docker_fit.r_squared, r.knative_fit.slope, r.knative_fit.r_squared
+    ));
+    s.push_str(&format!(
+        "knative slope reduction vs docker: {:.1}%   [paper: up to 30%]\n",
+        r.slope_reduction * 100.0
+    ));
+    s.push_str(&format!(
+        "knative cold start: {:.2} s              [paper: 1.48 s]\n",
+        r.cold_start
+    ));
+    s
+}
+
+/// Render Fig. 2 as a table plus slopes.
+pub fn fig2_report(r: &Fig2Result) -> String {
+    let mut t = Table::new(
+        "Fig. 2 — k parallel tasks, makespan by venue (seconds)",
+        &["tasks", "native", "knative", "container"],
+    );
+    for row in &r.rows {
+        t.row(&[
+            row.tasks.to_string(),
+            format!("{:.2}", row.native),
+            format!("{:.2}", row.knative),
+            format!("{:.2}", row.container),
+        ]);
+    }
+    let mut s = t.render();
+    s.push_str(&format!(
+        "\nslopes (s/task): native {:.3} [paper 0.28], knative {:.3} [paper 0.30], container {:.3} [paper 0.96]\n",
+        r.native_fit.slope, r.knative_fit.slope, r.container_fit.slope
+    ));
+    s
+}
+
+/// Render Fig. 5 as the grid table (mix → makespan).
+pub fn fig5_report(r: &Fig5Result) -> String {
+    let mut t = Table::new(
+        "Fig. 5 — performance–isolation trade-off over the mix simplex",
+        &["native", "serverless", "container", "x", "y", "slowest_makespan_s"],
+    );
+    for row in &r.rows {
+        let (x, y) = row.mix.to_cartesian();
+        t.row(&[
+            format!("{:.2}", row.mix.native),
+            format!("{:.2}", row.mix.serverless),
+            format!("{:.2}", row.mix.container),
+            format!("{x:.3}"),
+            format!("{y:.3}"),
+            format!("{:.1}", row.makespan),
+        ]);
+    }
+    let mut s = t.render();
+    let best = r.best();
+    let worst = r.worst();
+    s.push_str(&format!(
+        "\nbest mix: native={:.2} serverless={:.2} container={:.2} at {:.1}s\n",
+        best.mix.native, best.mix.serverless, best.mix.container, best.makespan
+    ));
+    s.push_str(&format!(
+        "worst mix: native={:.2} serverless={:.2} container={:.2} at {:.1}s\n",
+        worst.mix.native, worst.mix.serverless, worst.mix.container, worst.makespan
+    ));
+    s
+}
+
+/// Render Fig. 6 as the five paper bars.
+pub fn fig6_report(r: &Fig6Result) -> String {
+    let mut t = Table::new(
+        "Fig. 6 — average makespan of the slowest workflow, five mixes",
+        &["scenario", "makespan_s", "vs_native", "paper"],
+    );
+    let paper_hint = |label: &str| match label {
+        "all-native" => "≈250 s (fastest)",
+        "half-serverless-half-native" => "2nd fastest",
+        "all-serverless" => "1.08× native",
+        "half-container-half-native" => "4th",
+        "all-container" => "slowest",
+        _ => "",
+    };
+    for row in &r.rows {
+        t.row(&[
+            row.label.to_string(),
+            format!("{:.1}", row.makespan),
+            format!("{:.2}x", row.vs_native),
+            paper_hint(row.label).to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swf_core::experiments::{Fig1Row, Fig6Row};
+    use swf_metrics::{Line, MixPoint};
+
+    #[test]
+    fn fig1_report_contains_slopes_and_paper_refs() {
+        let r = Fig1Result {
+            rows: vec![Fig1Row {
+                tasks: 160,
+                docker_total: 100.0,
+                knative_total: 78.0,
+                docker_exec: 0.458,
+                knative_exec: 0.458,
+            }],
+            docker_fit: Line { slope: 0.625, intercept: 0.0, r_squared: 1.0 },
+            knative_fit: Line { slope: 0.478, intercept: 1.48, r_squared: 1.0 },
+            slope_reduction: 0.235,
+            cold_start: 1.48,
+        };
+        let s = fig1_report(&r);
+        assert!(s.contains("160"));
+        assert!(s.contains("23.5%"));
+        assert!(s.contains("1.48"));
+    }
+
+    #[test]
+    fn fig6_report_lists_all_bars() {
+        let rows = vec![
+            ("all-native", 250.0, 1.0),
+            ("half-serverless-half-native", 258.0, 1.03),
+            ("all-serverless", 270.0, 1.08),
+            ("half-container-half-native", 280.0, 1.12),
+            ("all-container", 310.0, 1.24),
+        ];
+        let r = Fig6Result {
+            rows: rows
+                .into_iter()
+                .map(|(label, m, v)| Fig6Row {
+                    label,
+                    mix: MixPoint::new(1.0, 0.0, 0.0),
+                    makespan: m,
+                    vs_native: v,
+                })
+                .collect(),
+        };
+        let s = fig6_report(&r);
+        assert!(s.contains("all-container"));
+        assert!(s.contains("1.08x"));
+    }
+}

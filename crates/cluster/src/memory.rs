@@ -1,0 +1,149 @@
+//! Node memory accounting.
+//!
+//! Containers and native tasks reserve memory from a per-node pool; the pool
+//! rejects oversubscription (a scheduling feasibility constraint rather than
+//! a performance model — the paper's tasks are small relative to 32 GB).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::error::ClusterError;
+
+struct State {
+    capacity: u64,
+    used: u64,
+    peak: u64,
+}
+
+/// A per-node memory pool.
+#[derive(Clone)]
+pub struct MemoryPool {
+    node: Rc<str>,
+    state: Rc<RefCell<State>>,
+}
+
+/// An owned memory reservation; freed on drop.
+pub struct MemoryLease {
+    state: Rc<RefCell<State>>,
+    bytes: u64,
+}
+
+impl std::fmt::Debug for MemoryLease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryLease").field("bytes", &self.bytes).finish()
+    }
+}
+
+impl MemoryPool {
+    /// Pool with `capacity` bytes on node `node`.
+    pub fn new(node: impl Into<String>, capacity: u64) -> Self {
+        MemoryPool {
+            node: Rc::from(node.into()),
+            state: Rc::new(RefCell::new(State {
+                capacity,
+                used: 0,
+                peak: 0,
+            })),
+        }
+    }
+
+    /// Reserve `bytes`, failing if the pool cannot fit them.
+    pub fn reserve(&self, bytes: u64) -> Result<MemoryLease, ClusterError> {
+        let mut s = self.state.borrow_mut();
+        let available = s.capacity - s.used;
+        if bytes > available {
+            return Err(ClusterError::OutOfMemory {
+                node: self.node.to_string(),
+                requested: bytes,
+                available,
+            });
+        }
+        s.used += bytes;
+        s.peak = s.peak.max(s.used);
+        Ok(MemoryLease {
+            state: Rc::clone(&self.state),
+            bytes,
+        })
+    }
+
+    /// Bytes currently free.
+    pub fn available(&self) -> u64 {
+        let s = self.state.borrow();
+        s.capacity - s.used
+    }
+
+    /// Total bytes.
+    pub fn capacity(&self) -> u64 {
+        self.state.borrow().capacity
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> u64 {
+        self.state.borrow().used
+    }
+
+    /// Peak bytes ever reserved.
+    pub fn peak(&self) -> u64 {
+        self.state.borrow().peak
+    }
+}
+
+impl MemoryLease {
+    /// Size of this reservation.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for MemoryLease {
+    fn drop(&mut self) {
+        self.state.borrow_mut().used -= self.bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release() {
+        let pool = MemoryPool::new("n1", 1000);
+        let lease = pool.reserve(400).unwrap();
+        assert_eq!(pool.used(), 400);
+        assert_eq!(pool.available(), 600);
+        assert_eq!(lease.bytes(), 400);
+        drop(lease);
+        assert_eq!(pool.used(), 0);
+        assert_eq!(pool.peak(), 400);
+    }
+
+    #[test]
+    fn oversubscription_rejected() {
+        let pool = MemoryPool::new("n1", 1000);
+        let _a = pool.reserve(800).unwrap();
+        let err = pool.reserve(300).unwrap_err();
+        assert_eq!(
+            err,
+            ClusterError::OutOfMemory {
+                node: "n1".into(),
+                requested: 300,
+                available: 200
+            }
+        );
+    }
+
+    #[test]
+    fn exact_fit_is_allowed() {
+        let pool = MemoryPool::new("n1", 100);
+        let _l = pool.reserve(100).unwrap();
+        assert_eq!(pool.available(), 0);
+        assert!(pool.reserve(1).is_err());
+    }
+
+    #[test]
+    fn zero_byte_reservation_is_free() {
+        let pool = MemoryPool::new("n1", 10);
+        let _l = pool.reserve(0).unwrap();
+        assert_eq!(pool.used(), 0);
+    }
+}

@@ -1,0 +1,313 @@
+//! ClassAd-lite: typed attribute maps plus a small requirement-expression
+//! tree, the matchmaking language of HTCondor reduced to what the paper's
+//! workloads exercise (resource comparisons and boolean combinators).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An attribute value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AdValue {
+    /// Integer attribute (cpus, memory MB, ...).
+    Int(i64),
+    /// Floating attribute.
+    Float(f64),
+    /// String attribute (machine name, arch, ...).
+    Str(String),
+    /// Boolean attribute.
+    Bool(bool),
+}
+
+impl fmt::Display for AdValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdValue::Int(v) => write!(f, "{v}"),
+            AdValue::Float(v) => write!(f, "{v}"),
+            AdValue::Str(v) => write!(f, "\"{v}\""),
+            AdValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for AdValue {
+    fn from(v: i64) -> Self {
+        AdValue::Int(v)
+    }
+}
+impl From<f64> for AdValue {
+    fn from(v: f64) -> Self {
+        AdValue::Float(v)
+    }
+}
+impl From<&str> for AdValue {
+    fn from(v: &str) -> Self {
+        AdValue::Str(v.to_string())
+    }
+}
+impl From<bool> for AdValue {
+    fn from(v: bool) -> Self {
+        AdValue::Bool(v)
+    }
+}
+
+/// An attribute map (one "ad").
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClassAd {
+    attrs: BTreeMap<String, AdValue>,
+}
+
+impl ClassAd {
+    /// Empty ad.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert an attribute (builder style).
+    pub fn set(mut self, key: impl Into<String>, value: impl Into<AdValue>) -> Self {
+        self.attrs.insert(key.into(), value.into());
+        self
+    }
+
+    /// Insert in place.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<AdValue>) {
+        self.attrs.insert(key.into(), value.into());
+    }
+
+    /// Look up an attribute.
+    pub fn get(&self, key: &str) -> Option<&AdValue> {
+        self.attrs.get(key)
+    }
+
+    /// Integer attribute or None.
+    pub fn get_int(&self, key: &str) -> Option<i64> {
+        match self.attrs.get(key) {
+            Some(AdValue::Int(v)) => Some(*v),
+            Some(AdValue::Float(v)) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric attribute as f64.
+    pub fn get_num(&self, key: &str) -> Option<f64> {
+        match self.attrs.get(key) {
+            Some(AdValue::Int(v)) => Some(*v as f64),
+            Some(AdValue::Float(v)) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Greater-or-equal.
+    Ge,
+    /// Less-or-equal.
+    Le,
+    /// Strictly greater.
+    Gt,
+    /// Strictly less.
+    Lt,
+}
+
+/// A requirements expression evaluated against `(my, target)` — the job ad
+/// and the machine ad, as in HTCondor's `MY.` / `TARGET.` scopes.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Literal truth.
+    True,
+    /// Attribute of the target (machine) ad.
+    Target(String),
+    /// Attribute of my (job) ad.
+    My(String),
+    /// A literal value.
+    Lit(AdValue),
+    /// Comparison.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// `TARGET.<attr> >= <value>` — the most common machine constraint.
+    pub fn target_ge(attr: impl Into<String>, value: impl Into<AdValue>) -> Expr {
+        Expr::Cmp(
+            Box::new(Expr::Target(attr.into())),
+            CmpOp::Ge,
+            Box::new(Expr::Lit(value.into())),
+        )
+    }
+
+    /// `TARGET.<attr> == <value>`.
+    pub fn target_eq(attr: impl Into<String>, value: impl Into<AdValue>) -> Expr {
+        Expr::Cmp(
+            Box::new(Expr::Target(attr.into())),
+            CmpOp::Eq,
+            Box::new(Expr::Lit(value.into())),
+        )
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    fn value(&self, my: &ClassAd, target: &ClassAd) -> Option<AdValue> {
+        match self {
+            Expr::True => Some(AdValue::Bool(true)),
+            Expr::Target(a) => target.get(a).cloned(),
+            Expr::My(a) => my.get(a).cloned(),
+            Expr::Lit(v) => Some(v.clone()),
+            _ => Some(AdValue::Bool(self.eval(my, target))),
+        }
+    }
+
+    /// Evaluate to a boolean; missing attributes make comparisons false
+    /// (HTCondor's `undefined` propagates to not-matching).
+    pub fn eval(&self, my: &ClassAd, target: &ClassAd) -> bool {
+        match self {
+            Expr::True => true,
+            Expr::Target(a) => matches!(target.get(a), Some(AdValue::Bool(true))),
+            Expr::My(a) => matches!(my.get(a), Some(AdValue::Bool(true))),
+            Expr::Lit(v) => matches!(v, AdValue::Bool(true)),
+            Expr::Not(e) => !e.eval(my, target),
+            Expr::And(a, b) => a.eval(my, target) && b.eval(my, target),
+            Expr::Or(a, b) => a.eval(my, target) || b.eval(my, target),
+            Expr::Cmp(l, op, r) => {
+                let (Some(lv), Some(rv)) = (l.value(my, target), r.value(my, target)) else {
+                    return false;
+                };
+                match (&lv, &rv) {
+                    (AdValue::Str(a), AdValue::Str(b)) => match op {
+                        CmpOp::Eq => a == b,
+                        CmpOp::Ne => a != b,
+                        CmpOp::Ge => a >= b,
+                        CmpOp::Le => a <= b,
+                        CmpOp::Gt => a > b,
+                        CmpOp::Lt => a < b,
+                    },
+                    (AdValue::Bool(a), AdValue::Bool(b)) => match op {
+                        CmpOp::Eq => a == b,
+                        CmpOp::Ne => a != b,
+                        _ => false,
+                    },
+                    _ => {
+                        let (Some(a), Some(b)) = (num(&lv), num(&rv)) else {
+                            return false;
+                        };
+                        match op {
+                            CmpOp::Eq => a == b,
+                            CmpOp::Ne => a != b,
+                            CmpOp::Ge => a >= b,
+                            CmpOp::Le => a <= b,
+                            CmpOp::Gt => a > b,
+                            CmpOp::Lt => a < b,
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn num(v: &AdValue) -> Option<f64> {
+    match v {
+        AdValue::Int(i) => Some(*i as f64),
+        AdValue::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(cpus: i64, mem: i64) -> ClassAd {
+        ClassAd::new()
+            .set("Cpus", cpus)
+            .set("Memory", mem)
+            .set("Arch", "X86_64")
+            .set("HasDocker", true)
+    }
+
+    #[test]
+    fn resource_comparison_matches() {
+        let job = ClassAd::new().set("RequestCpus", 2i64);
+        let req = Expr::target_ge("Cpus", 2i64).and(Expr::target_ge("Memory", 1024i64));
+        assert!(req.eval(&job, &machine(8, 32768)));
+        assert!(!req.eval(&job, &machine(1, 32768)));
+        assert!(!req.eval(&job, &machine(8, 512)));
+    }
+
+    #[test]
+    fn string_and_bool_comparisons() {
+        let job = ClassAd::new();
+        assert!(Expr::target_eq("Arch", "X86_64").eval(&job, &machine(1, 1)));
+        assert!(!Expr::target_eq("Arch", "aarch64").eval(&job, &machine(1, 1)));
+        assert!(Expr::Target("HasDocker".into()).eval(&job, &machine(1, 1)));
+    }
+
+    #[test]
+    fn missing_attribute_never_matches() {
+        let job = ClassAd::new();
+        let req = Expr::target_ge("Gpus", 1i64);
+        assert!(!req.eval(&job, &machine(8, 1024)));
+        // ...but its negation does (NOT undefined == true here; HTCondor's
+        // three-valued logic collapses to boolean in this subset).
+        assert!(Expr::Not(Box::new(req)).eval(&job, &machine(8, 1024)));
+    }
+
+    #[test]
+    fn my_scope_reads_job_ad() {
+        let job = ClassAd::new().set("RequestCpus", 4i64);
+        let req = Expr::Cmp(
+            Box::new(Expr::Target("Cpus".into())),
+            CmpOp::Ge,
+            Box::new(Expr::My("RequestCpus".into())),
+        );
+        assert!(req.eval(&job, &machine(8, 1)));
+        assert!(!req.eval(&job, &machine(2, 1)));
+    }
+
+    #[test]
+    fn or_and_not_combinators() {
+        let job = ClassAd::new();
+        let e = Expr::target_eq("Arch", "aarch64").or(Expr::target_ge("Cpus", 4i64));
+        assert!(e.eval(&job, &machine(8, 1)));
+        assert!(!e.eval(&job, &machine(2, 1)));
+    }
+
+    #[test]
+    fn mixed_numeric_types_compare() {
+        let job = ClassAd::new();
+        let e = Expr::Cmp(
+            Box::new(Expr::Target("Memory".into())),
+            CmpOp::Gt,
+            Box::new(Expr::Lit(AdValue::Float(1000.5))),
+        );
+        assert!(e.eval(&job, &machine(1, 1001)));
+        assert!(!e.eval(&job, &machine(1, 1000)));
+    }
+
+    #[test]
+    fn classad_accessors() {
+        let ad = machine(8, 32768);
+        assert_eq!(ad.get_int("Cpus"), Some(8));
+        assert_eq!(ad.get_num("Memory"), Some(32768.0));
+        assert_eq!(ad.get_int("Arch"), None);
+        assert_eq!(format!("{}", ad.get("Arch").unwrap()), "\"X86_64\"");
+    }
+}

@@ -1,0 +1,424 @@
+//! Text parser for ClassAd-lite requirement expressions.
+//!
+//! Supports the grammar HTCondor submit files actually use for the paper's
+//! workloads:
+//!
+//! ```text
+//! expr    := or
+//! or      := and ( "||" and )*
+//! and     := unary ( "&&" unary )*
+//! unary   := "!" unary | cmp
+//! cmp     := term ( ("==" | "!=" | ">=" | "<=" | ">" | "<") term )?
+//! term    := "(" expr ")" | literal | attribute
+//! literal := integer | float | string | "true" | "false"
+//! attr    := ["TARGET." | "MY."] identifier      (TARGET is the default)
+//! ```
+
+use crate::classad::{AdValue, CmpOp, Expr};
+
+/// Parse errors with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    OpenParen,
+    CloseParen,
+    AndAnd,
+    OrOr,
+    Not,
+    Cmp(CmpOp),
+    Dot,
+}
+
+fn lex(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                toks.push((i, Tok::OpenParen));
+                i += 1;
+            }
+            ')' => {
+                toks.push((i, Tok::CloseParen));
+                i += 1;
+            }
+            '.' => {
+                toks.push((i, Tok::Dot));
+                i += 1;
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    toks.push((i, Tok::AndAnd));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        at: i,
+                        message: "expected '&&'".into(),
+                    });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    toks.push((i, Tok::OrOr));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        at: i,
+                        message: "expected '||'".into(),
+                    });
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((i, Tok::Cmp(CmpOp::Ne)));
+                    i += 2;
+                } else {
+                    toks.push((i, Tok::Not));
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((i, Tok::Cmp(CmpOp::Eq)));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        at: i,
+                        message: "expected '=='".into(),
+                    });
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((i, Tok::Cmp(CmpOp::Ge)));
+                    i += 2;
+                } else {
+                    toks.push((i, Tok::Cmp(CmpOp::Gt)));
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((i, Tok::Cmp(CmpOp::Le)));
+                    i += 2;
+                } else {
+                    toks.push((i, Tok::Cmp(CmpOp::Lt)));
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ParseError {
+                        at: i,
+                        message: "unterminated string".into(),
+                    });
+                }
+                toks.push((i, Tok::Str(input[start..j].to_string())));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let start = i;
+                let mut j = i + 1;
+                let mut is_float = false;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_digit() || bytes[j] == b'.' || bytes[j] == b'e')
+                {
+                    if bytes[j] == b'.' || bytes[j] == b'e' {
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text = &input[start..j];
+                if is_float {
+                    let v = text.parse::<f64>().map_err(|_| ParseError {
+                        at: start,
+                        message: format!("bad float literal '{text}'"),
+                    })?;
+                    toks.push((start, Tok::Float(v)));
+                } else {
+                    let v = text.parse::<i64>().map_err(|_| ParseError {
+                        at: start,
+                        message: format!("bad integer literal '{text}'"),
+                    })?;
+                    toks.push((start, Tok::Int(v)));
+                }
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                toks.push((start, Tok::Ident(input[start..j].to_string())));
+                i = j;
+            }
+            other => {
+                return Err(ParseError {
+                    at: i,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|(a, _)| *a)
+            .unwrap_or(self.len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(ref t) if t == want => Ok(()),
+            other => Err(ParseError {
+                at: self.at(),
+                message: format!("expected {want:?}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_and()?;
+        while self.peek() == Some(&Tok::OrOr) {
+            self.bump();
+            let right = self.parse_and()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_unary()?;
+        while self.peek() == Some(&Tok::AndAnd) {
+            self.bump();
+            let right = self.parse_unary()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == Some(&Tok::Not) {
+            self.bump();
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.parse_cmp()
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, ParseError> {
+        let left = self.parse_term()?;
+        if let Some(Tok::Cmp(op)) = self.peek().cloned() {
+            self.bump();
+            let right = self.parse_term()?;
+            return Ok(Expr::Cmp(Box::new(left), op, Box::new(right)));
+        }
+        Ok(left)
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, ParseError> {
+        let at = self.at();
+        match self.bump() {
+            Some(Tok::OpenParen) => {
+                let inner = self.parse_or()?;
+                self.expect(&Tok::CloseParen)?;
+                Ok(inner)
+            }
+            Some(Tok::Int(v)) => Ok(Expr::Lit(AdValue::Int(v))),
+            Some(Tok::Float(v)) => Ok(Expr::Lit(AdValue::Float(v))),
+            Some(Tok::Str(s)) => Ok(Expr::Lit(AdValue::Str(s))),
+            Some(Tok::Ident(name)) => {
+                let lower = name.to_ascii_lowercase();
+                if lower == "true" {
+                    return Ok(Expr::Lit(AdValue::Bool(true)));
+                }
+                if lower == "false" {
+                    return Ok(Expr::Lit(AdValue::Bool(false)));
+                }
+                // Scope prefix?
+                if (lower == "target" || lower == "my") && self.peek() == Some(&Tok::Dot) {
+                    self.bump();
+                    match self.bump() {
+                        Some(Tok::Ident(attr)) => {
+                            if lower == "target" {
+                                Ok(Expr::Target(attr))
+                            } else {
+                                Ok(Expr::My(attr))
+                            }
+                        }
+                        other => Err(ParseError {
+                            at: self.at(),
+                            message: format!("expected attribute after scope, found {other:?}"),
+                        }),
+                    }
+                } else {
+                    // Bare identifiers reference the TARGET (machine) ad,
+                    // as in HTCondor requirements.
+                    Ok(Expr::Target(name))
+                }
+            }
+            other => Err(ParseError {
+                at,
+                message: format!("unexpected token {other:?}"),
+            }),
+        }
+    }
+}
+
+/// Parse a requirements expression from text.
+pub fn parse_expr(input: &str) -> Result<Expr, ParseError> {
+    let toks = lex(input)?;
+    if toks.is_empty() {
+        return Err(ParseError {
+            at: 0,
+            message: "empty expression".into(),
+        });
+    }
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        len: input.len(),
+    };
+    let expr = p.parse_or()?;
+    if p.pos != p.toks.len() {
+        return Err(ParseError {
+            at: p.at(),
+            message: "trailing input after expression".into(),
+        });
+    }
+    Ok(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classad::ClassAd;
+
+    fn machine() -> ClassAd {
+        ClassAd::new()
+            .set("Cpus", 8i64)
+            .set("Memory", 32768i64)
+            .set("Arch", "X86_64")
+            .set("HasDocker", true)
+    }
+
+    fn eval(src: &str) -> bool {
+        parse_expr(src).unwrap().eval(&ClassAd::new(), &machine())
+    }
+
+    #[test]
+    fn simple_comparisons() {
+        assert!(eval("Cpus >= 4"));
+        assert!(!eval("Cpus >= 16"));
+        assert!(eval("Memory > 1024 && Cpus == 8"));
+        assert!(eval("Arch == \"X86_64\""));
+        assert!(!eval("Arch != \"X86_64\""));
+        assert!(eval("Cpus < 100"));
+        assert!(eval("Cpus <= 8"));
+    }
+
+    #[test]
+    fn boolean_structure_and_precedence() {
+        // && binds tighter than ||.
+        assert!(eval("Cpus >= 100 || Cpus >= 4 && Memory >= 1024"));
+        assert!(!eval("(Cpus >= 100 || Cpus >= 4) && Memory >= 99999999"));
+        assert!(eval("!(Cpus < 4)"));
+        assert!(eval("HasDocker"));
+        assert!(!eval("!HasDocker"));
+        assert!(eval("true"));
+        assert!(!eval("false"));
+    }
+
+    #[test]
+    fn scoped_attributes() {
+        let job = ClassAd::new().set("RequestCpus", 4i64);
+        let e = parse_expr("TARGET.Cpus >= MY.RequestCpus").unwrap();
+        assert!(e.eval(&job, &machine()));
+        let e2 = parse_expr("MY.RequestCpus > TARGET.Cpus").unwrap();
+        assert!(!e2.eval(&job, &machine()));
+    }
+
+    #[test]
+    fn float_and_negative_literals() {
+        assert!(eval("Memory >= 1024.5"));
+        assert!(eval("Cpus > -3"));
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        let e = parse_expr("Cpus >").unwrap_err();
+        assert!(e.message.contains("unexpected token"));
+        let e = parse_expr("Cpus & 1").unwrap_err();
+        assert_eq!(e.at, 5);
+        assert!(parse_expr("").is_err());
+        assert!(parse_expr("\"open").is_err());
+        assert!(parse_expr("Cpus >= 4 extra").is_err());
+        assert!(parse_expr("(Cpus >= 4").is_err());
+        assert!(parse_expr("Cpus = 4").is_err());
+        assert!(parse_expr("Cpus >= 9999999999999999999999").is_err());
+        assert!(parse_expr("@").is_err());
+    }
+
+    #[test]
+    fn whitespace_is_insensitive() {
+        assert!(eval("  Cpus\t>=\n4  "));
+    }
+
+    #[test]
+    fn round_trips_through_jobspec_usage() {
+        // The parsed expression plugs straight into a JobSpec.
+        let req = parse_expr("HasDocker && Memory >= 2048").unwrap();
+        let ad = ClassAd::new();
+        assert!(req.eval(&ad, &machine()));
+    }
+}

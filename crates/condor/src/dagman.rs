@@ -1,0 +1,459 @@
+//! DAGMan: dependency-driven workflow execution over the schedd.
+//!
+//! Pegasus plans abstract workflows into DAGMan DAGs; DAGMan submits a node
+//! once all its parents completed, polls the queue on a fixed interval
+//! (real DAGMan tails the job log every few seconds), retries failed nodes,
+//! and throttles concurrently submitted jobs.
+
+use std::collections::BTreeMap;
+
+use swf_simcore::{now, sleep, SimDuration, SimTime};
+
+use crate::error::CondorError;
+use crate::job::{JobId, JobResult, JobSpec, JobStatus};
+use crate::pool::Condor;
+
+/// One DAG node.
+pub struct DagNode {
+    /// Node name (unique in the DAG).
+    pub name: String,
+    /// The job to run.
+    pub job: JobSpec,
+    /// Retries allowed after the first failure.
+    pub retries: u32,
+}
+
+/// A workflow DAG.
+#[derive(Default)]
+pub struct DagSpec {
+    nodes: Vec<DagNode>,
+    /// children[i] = indices of nodes depending on i.
+    children: Vec<Vec<usize>>,
+    /// Number of parents per node.
+    parents: Vec<usize>,
+}
+
+impl DagSpec {
+    /// Empty DAG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node; returns its index.
+    pub fn add_node(&mut self, name: impl Into<String>, job: JobSpec) -> usize {
+        self.nodes.push(DagNode {
+            name: name.into(),
+            job,
+            retries: 0,
+        });
+        self.children.push(Vec::new());
+        self.parents.push(0);
+        self.nodes.len() - 1
+    }
+
+    /// Add a node with retries; returns its index.
+    pub fn add_node_with_retries(
+        &mut self,
+        name: impl Into<String>,
+        job: JobSpec,
+        retries: u32,
+    ) -> usize {
+        let idx = self.add_node(name, job);
+        self.nodes[idx].retries = retries;
+        idx
+    }
+
+    /// Declare `child` depends on `parent`.
+    pub fn add_edge(&mut self, parent: usize, child: usize) -> Result<(), CondorError> {
+        if parent >= self.nodes.len() || child >= self.nodes.len() {
+            return Err(CondorError::InvalidDag("edge index out of range".into()));
+        }
+        if parent == child {
+            return Err(CondorError::InvalidDag("self-dependency".into()));
+        }
+        self.children[parent].push(child);
+        self.parents[child] += 1;
+        Ok(())
+    }
+
+    /// Node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Kahn's algorithm: error when a cycle exists.
+    pub fn validate(&self) -> Result<(), CondorError> {
+        let mut indeg = self.parents.clone();
+        let mut queue: Vec<usize> = (0..self.nodes.len()).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(n) = queue.pop() {
+            seen += 1;
+            for &c in &self.children[n] {
+                indeg[c] -= 1;
+                if indeg[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        if seen == self.nodes.len() {
+            Ok(())
+        } else {
+            Err(CondorError::InvalidDag(format!(
+                "cycle among {} nodes",
+                self.nodes.len() - seen
+            )))
+        }
+    }
+}
+
+/// DAGMan parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DagmanConfig {
+    /// Queue polling interval (job-log tail cadence in real DAGMan).
+    pub poll_interval: SimDuration,
+    /// Maximum concurrently submitted jobs (0 = unlimited).
+    pub max_jobs: usize,
+    /// Lognormal jitter on each poll sleep (real DAGMan reacts to job-log
+    /// events with variable latency; 0 = strictly periodic). The jitter
+    /// stream is seeded from the run's start instant, so concurrent DAG
+    /// runs are naturally desynchronized yet the whole simulation stays
+    /// deterministic.
+    pub poll_jitter_cv: f64,
+}
+
+impl Default for DagmanConfig {
+    fn default() -> Self {
+        DagmanConfig {
+            poll_interval: SimDuration::from_secs(5),
+            max_jobs: 0,
+            poll_jitter_cv: 0.0,
+        }
+    }
+}
+
+/// Outcome of a DAG run.
+#[derive(Clone, Debug)]
+pub struct DagReport {
+    /// Per-node results by node name.
+    pub node_results: BTreeMap<String, JobResult>,
+    /// Submission instant.
+    pub started: SimTime,
+    /// Completion instant of the last node.
+    pub finished: SimTime,
+    /// Total condor jobs submitted (includes retries).
+    pub jobs_submitted: u32,
+}
+
+impl DagReport {
+    /// End-to-end workflow makespan.
+    pub fn makespan(&self) -> SimDuration {
+        self.finished - self.started
+    }
+}
+
+enum NodeState {
+    Waiting { missing_parents: usize },
+    Ready,
+    Submitted { id: JobId, attempt: u32 },
+    Done,
+}
+
+/// Execute a DAG on a condor pool to completion.
+#[allow(clippy::needless_range_loop)] // indices address parallel state vectors
+pub async fn run_dag(
+    condor: &Condor,
+    dag: &DagSpec,
+    config: DagmanConfig,
+) -> Result<DagReport, CondorError> {
+    dag.validate()?;
+    let started = now();
+    let mut poll_rng = swf_simcore::DetRng::new(started.as_nanos(), "dagman-poll");
+    let mut states: Vec<NodeState> = dag
+        .parents
+        .iter()
+        .map(|&p| {
+            if p == 0 {
+                NodeState::Ready
+            } else {
+                NodeState::Waiting { missing_parents: p }
+            }
+        })
+        .collect();
+    let mut results: BTreeMap<String, JobResult> = BTreeMap::new();
+    let mut done = 0usize;
+    let mut in_flight = 0usize;
+    let mut jobs_submitted = 0u32;
+
+    while done < dag.nodes.len() {
+        // Submit every ready node within the throttle.
+        for i in 0..dag.nodes.len() {
+            if matches!(states[i], NodeState::Ready)
+                && (config.max_jobs == 0 || in_flight < config.max_jobs)
+            {
+                let id = condor.submit(dag.nodes[i].job.clone());
+                jobs_submitted += 1;
+                in_flight += 1;
+                states[i] = NodeState::Submitted { id, attempt: 0 };
+            }
+        }
+        let poll = if config.poll_jitter_cv > 0.0 {
+            SimDuration::from_secs_f64(
+                poll_rng.lognormal(config.poll_interval.as_secs_f64(), config.poll_jitter_cv),
+            )
+        } else {
+            config.poll_interval
+        };
+        sleep(poll).await;
+        // Poll submitted nodes.
+        for i in 0..dag.nodes.len() {
+            let NodeState::Submitted { id, attempt } = states[i] else {
+                continue;
+            };
+            match condor.status(id)? {
+                JobStatus::Completed(result) if result.success => {
+                    results.insert(dag.nodes[i].name.clone(), result);
+                    states[i] = NodeState::Done;
+                    done += 1;
+                    in_flight -= 1;
+                    for &c in &dag.children[i] {
+                        if let NodeState::Waiting { missing_parents } = &mut states[c] {
+                            *missing_parents -= 1;
+                            if *missing_parents == 0 {
+                                states[c] = NodeState::Ready;
+                            }
+                        }
+                    }
+                }
+                JobStatus::Completed(result) => {
+                    if attempt < dag.nodes[i].retries {
+                        let id = condor.submit(dag.nodes[i].job.clone());
+                        jobs_submitted += 1;
+                        states[i] = NodeState::Submitted {
+                            id,
+                            attempt: attempt + 1,
+                        };
+                    } else {
+                        return Err(CondorError::DagNodeFailed {
+                            node: dag.nodes[i].name.clone(),
+                            attempts: attempt + 1,
+                            last_error: String::from_utf8_lossy(&result.output).to_string(),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    Ok(DagReport {
+        node_results: results,
+        started,
+        finished: now(),
+        jobs_submitted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobContext;
+    use crate::pool::CondorConfig;
+    use bytes::Bytes;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use swf_cluster::{Cluster, ClusterConfig};
+    use swf_simcore::{secs, Sim};
+
+    fn fast_pool() -> Condor {
+        let cluster = Cluster::new(&ClusterConfig::default());
+        Condor::start(
+            &cluster,
+            CondorConfig {
+                negotiator: crate::negotiator::NegotiatorConfig {
+                    cycle_interval: secs(1.0),
+                    match_latency: SimDuration::ZERO,
+                    ..crate::negotiator::NegotiatorConfig::default()
+                },
+                startd: crate::startd::StartdConfig {
+                    job_start_overhead: SimDuration::from_millis(50),
+                },
+            },
+        )
+    }
+
+    fn compute_job(d: f64) -> JobSpec {
+        JobSpec::new(move |ctx: JobContext| {
+            Box::pin(async move {
+                ctx.compute(secs(d)).await;
+                Ok(Bytes::new())
+            })
+        })
+    }
+
+    #[test]
+    fn chain_runs_in_order() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let condor = fast_pool();
+            let order: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+            let mut dag = DagSpec::new();
+            let mut prev = None;
+            for i in 0..4u32 {
+                let order = Rc::clone(&order);
+                let job = JobSpec::new(move |_ctx| {
+                    let order = Rc::clone(&order);
+                    Box::pin(async move {
+                        order.borrow_mut().push(i);
+                        Ok(Bytes::new())
+                    })
+                });
+                let idx = dag.add_node(format!("t{i}"), job);
+                if let Some(p) = prev {
+                    dag.add_edge(p, idx).unwrap();
+                }
+                prev = Some(idx);
+            }
+            let report = run_dag(&condor, &dag, DagmanConfig::default()).await.unwrap();
+            assert_eq!(*order.borrow(), vec![0, 1, 2, 3]);
+            assert_eq!(report.node_results.len(), 4);
+            assert_eq!(report.jobs_submitted, 4);
+            assert!(report.makespan() > SimDuration::ZERO);
+        });
+    }
+
+    #[test]
+    fn diamond_joins_wait_for_both_parents() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let condor = fast_pool();
+            let mut dag = DagSpec::new();
+            let a = dag.add_node("a", compute_job(0.1));
+            let b = dag.add_node("b", compute_job(2.0));
+            let c = dag.add_node("c", compute_job(0.1));
+            let d = dag.add_node("d", compute_job(0.1));
+            dag.add_edge(a, b).unwrap();
+            dag.add_edge(a, c).unwrap();
+            dag.add_edge(b, d).unwrap();
+            dag.add_edge(c, d).unwrap();
+            let report = run_dag(&condor, &dag, DagmanConfig::default()).await.unwrap();
+            let rb = &report.node_results["b"];
+            let rc = &report.node_results["c"];
+            let rd = &report.node_results["d"];
+            assert!(rd.started >= rb.finished);
+            assert!(rd.started >= rc.finished);
+        });
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let condor = fast_pool();
+            let mut dag = DagSpec::new();
+            let a = dag.add_node("a", compute_job(0.1));
+            let b = dag.add_node("b", compute_job(0.1));
+            dag.add_edge(a, b).unwrap();
+            dag.add_edge(b, a).unwrap();
+            let err = run_dag(&condor, &dag, DagmanConfig::default()).await.unwrap_err();
+            assert!(matches!(err, CondorError::InvalidDag(_)));
+            assert!(dag.add_edge(0, 9).is_err());
+            assert!(dag.add_edge(0, 0).is_err());
+        });
+    }
+
+    #[test]
+    fn retries_recover_flaky_nodes() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let condor = fast_pool();
+            let attempts = Rc::new(RefCell::new(0u32));
+            let attempts2 = Rc::clone(&attempts);
+            let flaky = JobSpec::new(move |_ctx| {
+                let attempts = Rc::clone(&attempts2);
+                Box::pin(async move {
+                    let mut a = attempts.borrow_mut();
+                    *a += 1;
+                    if *a < 3 {
+                        Err("flaky".to_string())
+                    } else {
+                        Ok(Bytes::new())
+                    }
+                })
+            });
+            let mut dag = DagSpec::new();
+            dag.add_node_with_retries("flaky", flaky, 3);
+            let report = run_dag(&condor, &dag, DagmanConfig::default()).await.unwrap();
+            assert_eq!(*attempts.borrow(), 3);
+            assert_eq!(report.jobs_submitted, 3);
+        });
+    }
+
+    #[test]
+    fn exhausted_retries_fail_the_dag() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let condor = fast_pool();
+            let mut dag = DagSpec::new();
+            dag.add_node_with_retries(
+                "doomed",
+                JobSpec::new(|_ctx| Box::pin(async { Err("always fails".to_string()) })),
+                1,
+            );
+            let err = run_dag(&condor, &dag, DagmanConfig::default()).await.unwrap_err();
+            match err {
+                CondorError::DagNodeFailed {
+                    node, attempts, ..
+                } => {
+                    assert_eq!(node, "doomed");
+                    assert_eq!(attempts, 2);
+                }
+                other => panic!("unexpected {other}"),
+            }
+        });
+    }
+
+    #[test]
+    fn throttle_limits_in_flight_jobs() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let condor = fast_pool();
+            let mut dag = DagSpec::new();
+            for i in 0..6 {
+                dag.add_node(format!("p{i}"), compute_job(3.0));
+            }
+            let t0 = now();
+            let report = run_dag(
+                &condor,
+                &dag,
+                DagmanConfig {
+                    poll_interval: secs(1.0),
+                    max_jobs: 2,
+                    ..DagmanConfig::default()
+                },
+            )
+            .await
+            .unwrap();
+            // 6 jobs, 2 at a time, 3s each → at least 9s of pure compute.
+            assert!((now() - t0).as_secs_f64() >= 9.0);
+            assert_eq!(report.node_results.len(), 6);
+        });
+    }
+
+    #[test]
+    fn empty_dag_completes_immediately() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let condor = fast_pool();
+            let dag = DagSpec::new();
+            assert!(dag.is_empty());
+            let report = run_dag(&condor, &dag, DagmanConfig::default()).await.unwrap();
+            assert_eq!(report.node_results.len(), 0);
+            assert_eq!(report.makespan(), SimDuration::ZERO);
+        });
+    }
+}

@@ -1,0 +1,51 @@
+//! Batch-system errors.
+
+use std::fmt;
+
+use crate::job::JobId;
+
+/// Errors from the HTCondor-style substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CondorError {
+    /// Unknown job id.
+    NoSuchJob(JobId),
+    /// Operation requires an Idle job.
+    NotIdle(JobId),
+    /// Job was removed before completing.
+    JobRemoved(JobId),
+    /// Input file missing on the submit node.
+    MissingInput(String),
+    /// Output file missing in the sandbox after execution.
+    MissingOutput(String),
+    /// DAG validation failed (cycle, bad edge).
+    InvalidDag(String),
+    /// A DAG node exhausted its retries.
+    DagNodeFailed {
+        /// Node name.
+        node: String,
+        /// Attempts made.
+        attempts: u32,
+        /// Last error text.
+        last_error: String,
+    },
+}
+
+impl fmt::Display for CondorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CondorError::NoSuchJob(id) => write!(f, "no such job: {id}"),
+            CondorError::NotIdle(id) => write!(f, "{id} is not idle"),
+            CondorError::JobRemoved(id) => write!(f, "{id} was removed"),
+            CondorError::MissingInput(p) => write!(f, "missing input file: {p}"),
+            CondorError::MissingOutput(p) => write!(f, "missing output file: {p}"),
+            CondorError::InvalidDag(m) => write!(f, "invalid DAG: {m}"),
+            CondorError::DagNodeFailed {
+                node,
+                attempts,
+                last_error,
+            } => write!(f, "DAG node {node} failed after {attempts} attempts: {last_error}"),
+        }
+    }
+}
+
+impl std::error::Error for CondorError {}

@@ -1,0 +1,194 @@
+//! Jobs: what the schedd queues and startds execute.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use swf_cluster::{Cluster, Node, NodeId};
+use swf_simcore::{SimDuration, SimTime};
+
+use crate::classad::{ClassAd, Expr};
+
+/// Job identifier (cluster id in HTCondor terms).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Boxed local future, the return of a job program.
+pub type LocalBoxFuture<T> = Pin<Box<dyn Future<Output = T>>>;
+
+/// The executable of a job: an async program run on the claimed worker.
+pub type JobFn = Rc<dyn Fn(JobContext) -> LocalBoxFuture<Result<Bytes, String>>>;
+
+/// Everything a running job can touch on its worker.
+#[derive(Clone)]
+pub struct JobContext {
+    /// The job's id.
+    pub job: JobId,
+    /// Node the job was matched to.
+    pub node: Node,
+    /// The whole cluster (network, shared fs, HTTP).
+    pub cluster: Cluster,
+    /// Node-local sandbox path prefix (`sandbox/<job>/`).
+    pub sandbox: String,
+}
+
+impl JobContext {
+    /// Charge `d` of single-core compute on the executing node. The core
+    /// was claimed by the startd slot, so this is a plain virtual sleep.
+    pub async fn compute(&self, d: SimDuration) {
+        swf_simcore::sleep(d).await;
+    }
+
+    /// Sandbox-relative path of a transferred input/output file.
+    pub fn sandbox_path(&self, file: &str) -> String {
+        format!("{}{file}", self.sandbox)
+    }
+
+    /// The node this job runs on.
+    pub fn node_id(&self) -> NodeId {
+        self.node.id()
+    }
+}
+
+/// A submitted job description.
+#[derive(Clone)]
+pub struct JobSpec {
+    /// Program to run on the worker.
+    pub program: JobFn,
+    /// Machine constraints.
+    pub requirements: Expr,
+    /// Cores requested (slot granularity is one core; >1 claims several).
+    pub request_cpus: u32,
+    /// Memory requested (bytes) — advisory in the ad.
+    pub request_memory: u64,
+    /// Files staged submit-node → worker sandbox before the program runs.
+    pub input_files: Vec<String>,
+    /// Files staged worker sandbox → submit node after success.
+    pub output_files: Vec<String>,
+    /// Higher runs first within a negotiation cycle.
+    pub priority: i32,
+    /// Extra job-ad attributes.
+    pub ad: ClassAd,
+}
+
+impl JobSpec {
+    /// Job with a program and defaults.
+    pub fn new(
+        program: impl Fn(JobContext) -> LocalBoxFuture<Result<Bytes, String>> + 'static,
+    ) -> Self {
+        JobSpec {
+            program: Rc::new(program),
+            requirements: Expr::True,
+            request_cpus: 1,
+            request_memory: swf_cluster::mib(512),
+            input_files: Vec::new(),
+            output_files: Vec::new(),
+            priority: 0,
+            ad: ClassAd::new(),
+        }
+    }
+
+    /// Set requirements (builder style).
+    pub fn with_requirements(mut self, req: Expr) -> Self {
+        self.requirements = req;
+        self
+    }
+
+    /// Set input files (builder style).
+    pub fn with_inputs(mut self, files: Vec<String>) -> Self {
+        self.input_files = files;
+        self
+    }
+
+    /// Set output files (builder style).
+    pub fn with_outputs(mut self, files: Vec<String>) -> Self {
+        self.output_files = files;
+        self
+    }
+
+    /// Set priority (builder style).
+    pub fn with_priority(mut self, p: i32) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// The job's ClassAd including request attributes.
+    pub fn job_ad(&self) -> ClassAd {
+        let mut ad = self.ad.clone();
+        ad.insert("RequestCpus", i64::from(self.request_cpus));
+        ad.insert("RequestMemory", self.request_memory as i64);
+        ad
+    }
+}
+
+/// Observable job state.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobStatus {
+    /// Queued, waiting for a match.
+    Idle,
+    /// Matched and executing on a node.
+    Running(NodeId),
+    /// Finished.
+    Completed(JobResult),
+    /// Removed before completion.
+    Removed,
+}
+
+/// Result of a completed job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobResult {
+    /// Whether the program returned Ok.
+    pub success: bool,
+    /// Program output (or error text).
+    pub output: Bytes,
+    /// Node that ran the job.
+    pub node: NodeId,
+    /// When execution started (after match + transfer).
+    pub started: SimTime,
+    /// When the job finished.
+    pub finished: SimTime,
+}
+
+impl JobResult {
+    /// Wall-clock from start of execution to completion.
+    pub fn execution_time(&self) -> SimDuration {
+        self.finished - self.started
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_ad_carries_requests() {
+        let spec = JobSpec::new(|_ctx| Box::pin(async { Ok(Bytes::new()) }))
+            .with_priority(5)
+            .with_inputs(vec!["a.mat".into()]);
+        let ad = spec.job_ad();
+        assert_eq!(ad.get_int("RequestCpus"), Some(1));
+        assert!(ad.get_int("RequestMemory").unwrap() > 0);
+        assert_eq!(spec.priority, 5);
+        assert_eq!(spec.input_files, vec!["a.mat"]);
+    }
+
+    #[test]
+    fn result_execution_time() {
+        let r = JobResult {
+            success: true,
+            output: Bytes::new(),
+            node: NodeId(1),
+            started: SimTime::from_nanos(1_000_000_000),
+            finished: SimTime::from_nanos(3_500_000_000),
+        };
+        assert_eq!(r.execution_time(), SimDuration::from_millis(2500));
+    }
+}

@@ -1,0 +1,346 @@
+//! The negotiator: periodic matchmaking cycles between idle jobs and free
+//! startd slots.
+//!
+//! HTCondor negotiates in cycles (default every few tens of seconds); jobs
+//! submitted between cycles wait for the next one. That per-stage queueing
+//! delay dominates the paper's workflow makespans, which is why the Fig. 6
+//! native bar sits near 25 s per task despite sub-second compute.
+
+use swf_simcore::{sleep, DetRng, SimDuration};
+
+use crate::job::JobId;
+use crate::schedd::Schedd;
+use crate::startd::Startd;
+
+/// Negotiator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct NegotiatorConfig {
+    /// Time between negotiation cycles.
+    pub cycle_interval: SimDuration,
+    /// Matchmaking latency charged per matched job.
+    pub match_latency: SimDuration,
+    /// Lognormal jitter (coefficient of variation) applied to each cycle
+    /// sleep. Real negotiators drift with pool load; drifting boundaries
+    /// also prevent a long interval from quantizing away sub-interval
+    /// effects in experiments (0 = strictly periodic).
+    pub cycle_jitter_cv: f64,
+    /// Mean end-to-end activation latency charged per matched job before
+    /// the startd claims its slot: schedd shadow spawn, claim activation
+    /// and transfer-queue delays, which dominate per-job latency when
+    /// Pegasus reuses claims. Sampled lognormally per job; continuous (not
+    /// boundary-quantized), so small per-venue overheads stay visible in
+    /// workflow makespans as they are in the paper's Fig. 6.
+    pub activation_delay: SimDuration,
+    /// Coefficient of variation of the activation delay (0 = fixed).
+    pub activation_jitter_cv: f64,
+    /// Seed for the jitter streams.
+    pub seed: u64,
+}
+
+impl Default for NegotiatorConfig {
+    fn default() -> Self {
+        NegotiatorConfig {
+            cycle_interval: SimDuration::from_secs(20),
+            match_latency: SimDuration::from_millis(30),
+            cycle_jitter_cv: 0.0,
+            activation_delay: SimDuration::ZERO,
+            activation_jitter_cv: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// The matchmaking daemon.
+pub struct Negotiator {
+    schedd: Schedd,
+    startds: Vec<Startd>,
+    config: NegotiatorConfig,
+    activation_rng: std::cell::RefCell<DetRng>,
+}
+
+impl Negotiator {
+    /// New negotiator over a pool of startds.
+    pub fn new(schedd: Schedd, startds: Vec<Startd>, config: NegotiatorConfig) -> Self {
+        Negotiator {
+            schedd,
+            startds,
+            config,
+            activation_rng: std::cell::RefCell::new(DetRng::new(config.seed, "claim-activation")),
+        }
+    }
+
+    fn sample_activation(&self) -> SimDuration {
+        let mean = self.config.activation_delay;
+        if mean.is_zero() {
+            return SimDuration::ZERO;
+        }
+        if self.config.activation_jitter_cv <= 0.0 {
+            return mean;
+        }
+        SimDuration::from_secs_f64(
+            self.activation_rng
+                .borrow_mut()
+                .lognormal(mean.as_secs_f64(), self.config.activation_jitter_cv),
+        )
+    }
+
+    /// Run forever, one cycle per interval (jittered when configured).
+    pub async fn run(self) {
+        let mut rng = DetRng::new(self.config.seed, "negotiator-cycle");
+        loop {
+            self.cycle().await;
+            let base = self.config.cycle_interval;
+            let interval = if self.config.cycle_jitter_cv > 0.0 {
+                SimDuration::from_secs_f64(
+                    rng.lognormal(base.as_secs_f64(), self.config.cycle_jitter_cv),
+                )
+            } else {
+                base
+            };
+            sleep(interval).await;
+        }
+    }
+
+    /// One negotiation cycle. Returns the jobs matched.
+    pub async fn cycle(&self) -> Vec<JobId> {
+        let mut matched = Vec::new();
+        // Track slots reserved within this cycle so one cycle cannot
+        // overcommit a startd before the claims land.
+        let mut reserved: Vec<usize> = self.startds.iter().map(|_| 0).collect();
+        for job_id in self.schedd.idle_jobs() {
+            let Ok(spec) = self.schedd.spec(job_id) else {
+                continue;
+            };
+            let job_ad = spec.job_ad();
+            let want = spec.request_cpus.max(1) as usize;
+            // Candidates: requirement match + enough unreserved free slots.
+            // Prefer the startd with the most free slots (spread), then
+            // stable order.
+            let mut best: Option<(usize, usize)> = None; // (free, idx)
+            for (idx, startd) in self.startds.iter().enumerate() {
+                if startd.is_draining() {
+                    continue;
+                }
+                let free = startd.free_slots().saturating_sub(reserved[idx]);
+                if free < want {
+                    continue;
+                }
+                if !spec.requirements.eval(&job_ad, &startd.machine_ad()) {
+                    continue;
+                }
+                if best.map(|(f, _)| free > f).unwrap_or(true) {
+                    best = Some((free, idx));
+                }
+            }
+            if let Some((_, idx)) = best {
+                reserved[idx] += want;
+                sleep(self.config.match_latency).await;
+                // Hand the job to the startd; it claims slots and reports
+                // Running/Completed itself.
+                let startd = self.startds[idx].clone();
+                let schedd = self.schedd.clone();
+                // Mark as running pre-claim so the next cycle cannot
+                // re-match it (the startd will overwrite with the real
+                // node status immediately).
+                schedd.set_status(job_id, crate::job::JobStatus::Running(startd.node().id()));
+                let activation = self.sample_activation();
+                swf_simcore::spawn(async move {
+                    if !activation.is_zero() {
+                        sleep(activation).await;
+                    }
+                    startd.execute(job_id, spec, schedd).await;
+                });
+                matched.push(job_id);
+            }
+        }
+        matched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classad::Expr;
+    use crate::job::{JobContext, JobSpec};
+    use bytes::Bytes;
+    use swf_cluster::{Cluster, ClusterConfig};
+    use swf_simcore::{now, secs, Sim, SimTime};
+
+    fn rig() -> (Cluster, Schedd, Vec<Startd>) {
+        let cluster = Cluster::new(&ClusterConfig::default());
+        let startds: Vec<Startd> = cluster
+            .worker_nodes()
+            .iter()
+            .map(|n| {
+                Startd::new(
+                    n.clone(),
+                    cluster.clone(),
+                    crate::startd::StartdConfig {
+                        job_start_overhead: SimDuration::from_millis(100),
+                    },
+                )
+            })
+            .collect();
+        (cluster, Schedd::new(), startds)
+    }
+
+    fn quick_job(d: f64) -> JobSpec {
+        JobSpec::new(move |ctx: JobContext| {
+            Box::pin(async move {
+                ctx.compute(secs(d)).await;
+                Ok(Bytes::new())
+            })
+        })
+    }
+
+    #[test]
+    fn jobs_wait_for_the_next_cycle() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (_c, schedd, startds) = rig();
+            let config = NegotiatorConfig {
+                cycle_interval: secs(10.0),
+                match_latency: SimDuration::ZERO,
+                    ..NegotiatorConfig::default()
+            };
+            swf_simcore::spawn(Negotiator::new(schedd.clone(), startds, config).run());
+            // First cycle fires at t=0 with an empty queue.
+            swf_simcore::sleep(secs(1.0)).await;
+            let id = schedd.submit(quick_job(0.5));
+            let r = schedd.wait(id).await.unwrap();
+            // Matched at the t=10 cycle: starts ≥ 10s.
+            assert!(r.started >= SimTime::ZERO + secs(10.0), "{:?}", r.started);
+            assert!(r.success);
+        });
+    }
+
+    #[test]
+    fn one_cycle_matches_many_jobs_across_nodes() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (_c, schedd, startds) = rig(); // 3 workers × 8 slots
+            let negotiator = Negotiator::new(
+                schedd.clone(),
+                startds.clone(),
+                NegotiatorConfig {
+                    cycle_interval: secs(60.0),
+                    match_latency: SimDuration::ZERO,
+                    ..NegotiatorConfig::default()
+                },
+            );
+            let ids: Vec<_> = (0..12).map(|_| schedd.submit(quick_job(1.0))).collect();
+            let matched = negotiator.cycle().await;
+            assert_eq!(matched.len(), 12);
+            for id in ids {
+                assert!(schedd.wait(id).await.unwrap().success);
+            }
+            // Spread: every startd got some work.
+            // (Jobs have completed, slots free again; check via ad history
+            // indirectly: completion is enough here.)
+        });
+    }
+
+    #[test]
+    fn requirements_filter_machines() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (_c, schedd, startds) = rig();
+            let negotiator = Negotiator::new(
+                schedd.clone(),
+                startds,
+                NegotiatorConfig {
+                    cycle_interval: secs(60.0),
+                    match_latency: SimDuration::ZERO,
+                    ..NegotiatorConfig::default()
+                },
+            );
+            // Impossible requirement: never matched.
+            let id = schedd.submit(
+                quick_job(0.1).with_requirements(Expr::target_ge("Cpus", 1000i64)),
+            );
+            let matched = negotiator.cycle().await;
+            assert!(matched.is_empty());
+            assert_eq!(schedd.status(id).unwrap(), crate::job::JobStatus::Idle);
+        });
+    }
+
+    #[test]
+    fn cycle_does_not_overcommit_slots() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (_c, schedd, startds) = rig(); // 24 slots total
+            let negotiator = Negotiator::new(
+                schedd.clone(),
+                startds,
+                NegotiatorConfig {
+                    cycle_interval: secs(60.0),
+                    match_latency: SimDuration::ZERO,
+                    ..NegotiatorConfig::default()
+                },
+            );
+            let _ids: Vec<_> = (0..30).map(|_| schedd.submit(quick_job(5.0))).collect();
+            let matched = negotiator.cycle().await;
+            assert_eq!(matched.len(), 24);
+            // The remaining 6 stay idle until the next cycle.
+            assert_eq!(schedd.idle_jobs().len(), 6);
+        });
+    }
+
+    #[test]
+    fn draining_startds_receive_no_matches() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (_c, schedd, startds) = rig();
+            // Drain all but the last worker.
+            for s in &startds[..startds.len() - 1] {
+                s.drain();
+                assert!(s.is_draining());
+            }
+            let last = startds.last().unwrap().clone();
+            let negotiator = Negotiator::new(
+                schedd.clone(),
+                startds,
+                NegotiatorConfig {
+                    cycle_interval: secs(60.0),
+                    match_latency: SimDuration::ZERO,
+                    ..NegotiatorConfig::default()
+                },
+            );
+            let ids: Vec<_> = (0..4).map(|_| schedd.submit(quick_job(0.2))).collect();
+            let matched = negotiator.cycle().await;
+            assert_eq!(matched.len(), 4);
+            for id in ids {
+                let r = schedd.wait(id).await.unwrap();
+                // Every job landed on the one undrained node.
+                assert_eq!(r.node, last.node().id());
+            }
+            // Undrain restores matching elsewhere.
+            last.undrain();
+        });
+    }
+
+    #[test]
+    fn multi_core_requests_claim_multiple_slots() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (_c, schedd, startds) = rig();
+            let negotiator = Negotiator::new(
+                schedd.clone(),
+                startds,
+                NegotiatorConfig {
+                    cycle_interval: secs(60.0),
+                    match_latency: SimDuration::ZERO,
+                    ..NegotiatorConfig::default()
+                },
+            );
+            let mut spec = quick_job(1.0);
+            spec.request_cpus = 8;
+            // 3 nodes × 8 slots: four 8-core jobs → only 3 match.
+            let _ids: Vec<_> = (0..4).map(|_| schedd.submit(spec.clone())).collect();
+            let matched = negotiator.cycle().await;
+            assert_eq!(matched.len(), 3);
+            let t = now();
+            let _ = t;
+        });
+    }
+}

@@ -1,0 +1,147 @@
+//! Pool assembly: schedd + one startd per worker + negotiator.
+
+use swf_cluster::Cluster;
+use swf_simcore::spawn;
+
+use crate::error::CondorError;
+use crate::job::{JobId, JobResult, JobSpec, JobStatus};
+use crate::negotiator::{Negotiator, NegotiatorConfig};
+use crate::schedd::Schedd;
+use crate::startd::{Startd, StartdConfig};
+
+/// Pool-wide configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CondorConfig {
+    /// Negotiator parameters.
+    pub negotiator: NegotiatorConfig,
+    /// Startd parameters.
+    pub startd: StartdConfig,
+}
+
+/// A running HTCondor-style pool.
+#[derive(Clone)]
+pub struct Condor {
+    schedd: Schedd,
+    startds: Vec<Startd>,
+}
+
+impl Condor {
+    /// Boot the pool: schedd on the submit node, a startd per worker node,
+    /// negotiator loop spawned.
+    pub fn start(cluster: &Cluster, config: CondorConfig) -> Condor {
+        let schedd = Schedd::new();
+        let startds: Vec<Startd> = cluster
+            .worker_nodes()
+            .iter()
+            .map(|n| Startd::new(n.clone(), cluster.clone(), config.startd))
+            .collect();
+        spawn(Negotiator::new(schedd.clone(), startds.clone(), config.negotiator).run());
+        Condor { schedd, startds }
+    }
+
+    /// Submit a job.
+    pub fn submit(&self, spec: JobSpec) -> JobId {
+        self.schedd.submit(spec)
+    }
+
+    /// Job status.
+    pub fn status(&self, id: JobId) -> Result<JobStatus, CondorError> {
+        self.schedd.status(id)
+    }
+
+    /// Await completion.
+    pub async fn wait(&self, id: JobId) -> Result<JobResult, CondorError> {
+        self.schedd.wait(id).await
+    }
+
+    /// Submit then await.
+    pub async fn submit_and_wait(&self, spec: JobSpec) -> Result<JobResult, CondorError> {
+        let id = self.submit(spec);
+        self.wait(id).await
+    }
+
+    /// The schedd (queue inspection).
+    pub fn schedd(&self) -> &Schedd {
+        &self.schedd
+    }
+
+    /// The startd pool.
+    pub fn startds(&self) -> &[Startd] {
+        &self.startds
+    }
+
+    /// Total slots across the pool.
+    pub fn total_slots(&self) -> usize {
+        self.startds.iter().map(|s| s.total_slots()).sum()
+    }
+
+    /// Free slots across the pool.
+    pub fn free_slots(&self) -> usize {
+        self.startds.iter().map(|s| s.free_slots()).sum()
+    }
+
+    /// Drain a worker: running jobs complete, no new matches land there
+    /// (`condor_drain`). Returns false if the node has no startd.
+    pub fn drain_node(&self, node: swf_cluster::NodeId) -> bool {
+        match self.startds.iter().find(|s| s.node().id() == node) {
+            Some(s) => {
+                s.drain();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Resume matching on a drained worker.
+    pub fn undrain_node(&self, node: swf_cluster::NodeId) -> bool {
+        match self.startds.iter().find(|s| s.node().id() == node) {
+            Some(s) => {
+                s.undrain();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobContext;
+    use bytes::Bytes;
+    use swf_cluster::ClusterConfig;
+    use swf_simcore::{secs, SimDuration, Sim};
+
+    #[test]
+    fn pool_boots_and_runs_a_job() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let cluster = Cluster::new(&ClusterConfig::default());
+            let condor = Condor::start(
+                &cluster,
+                CondorConfig {
+                    negotiator: NegotiatorConfig {
+                        cycle_interval: secs(2.0),
+                        match_latency: SimDuration::ZERO,
+                    ..NegotiatorConfig::default()
+                    },
+                    ..CondorConfig::default()
+                },
+            );
+            assert_eq!(condor.total_slots(), 24);
+            let r = condor
+                .submit_and_wait(JobSpec::new(|ctx: JobContext| {
+                    Box::pin(async move {
+                        ctx.compute(secs(0.458)).await;
+                        Ok(Bytes::from_static(b"matmul"))
+                    })
+                }))
+                .await
+                .unwrap();
+            assert!(r.success);
+            assert_eq!(&r.output[..], b"matmul");
+            assert_eq!(condor.free_slots(), 24);
+            assert_eq!(condor.schedd().completed_total(), 1);
+        });
+    }
+}

@@ -1,0 +1,271 @@
+//! The schedd: job queue, status tracking, completion waiting.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use swf_simcore::sync::Notify;
+
+use crate::error::CondorError;
+use crate::job::{JobId, JobResult, JobSpec, JobStatus};
+
+struct JobRecord {
+    spec: JobSpec,
+    status: JobStatus,
+}
+
+struct State {
+    jobs: BTreeMap<JobId, JobRecord>,
+    next_id: u64,
+    submitted_total: u64,
+    completed_total: u64,
+}
+
+/// The job queue daemon.
+#[derive(Clone)]
+pub struct Schedd {
+    state: Rc<RefCell<State>>,
+    changed: Notify,
+    version: Rc<Cell<u64>>,
+}
+
+impl Default for Schedd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Schedd {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Schedd {
+            state: Rc::new(RefCell::new(State {
+                jobs: BTreeMap::new(),
+                next_id: 1,
+                submitted_total: 0,
+                completed_total: 0,
+            })),
+            changed: Notify::new(),
+            version: Rc::new(Cell::new(0)),
+        }
+    }
+
+    fn bump(&self) {
+        self.version.set(self.version.get() + 1);
+        self.changed.notify_waiters();
+    }
+
+    /// Queue version (bumps on every status change).
+    pub fn version(&self) -> u64 {
+        self.version.get()
+    }
+
+    /// Wait for any queue change since `seen`; returns the new version.
+    pub async fn changed(&self, seen: u64) -> u64 {
+        loop {
+            let v = self.version.get();
+            if v > seen {
+                return v;
+            }
+            self.changed.notified().await;
+        }
+    }
+
+    /// Submit a job; returns its id.
+    pub fn submit(&self, spec: JobSpec) -> JobId {
+        let mut s = self.state.borrow_mut();
+        let id = JobId(s.next_id);
+        s.next_id += 1;
+        s.submitted_total += 1;
+        s.jobs.insert(
+            id,
+            JobRecord {
+                spec,
+                status: JobStatus::Idle,
+            },
+        );
+        drop(s);
+        self.bump();
+        id
+    }
+
+    /// Current status of a job.
+    pub fn status(&self, id: JobId) -> Result<JobStatus, CondorError> {
+        self.state
+            .borrow()
+            .jobs
+            .get(&id)
+            .map(|r| r.status.clone())
+            .ok_or(CondorError::NoSuchJob(id))
+    }
+
+    /// The spec of a job (for the negotiator/startd).
+    pub fn spec(&self, id: JobId) -> Result<JobSpec, CondorError> {
+        self.state
+            .borrow()
+            .jobs
+            .get(&id)
+            .map(|r| r.spec.clone())
+            .ok_or(CondorError::NoSuchJob(id))
+    }
+
+    /// Idle jobs in negotiation order: priority desc, then submit order.
+    pub fn idle_jobs(&self) -> Vec<JobId> {
+        let s = self.state.borrow();
+        let mut idle: Vec<(i32, JobId)> = s
+            .jobs
+            .iter()
+            .filter(|(_, r)| r.status == JobStatus::Idle)
+            .map(|(id, r)| (r.spec.priority, *id))
+            .collect();
+        idle.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        idle.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Update a job's status.
+    pub fn set_status(&self, id: JobId, status: JobStatus) {
+        let mut s = self.state.borrow_mut();
+        if let Some(rec) = s.jobs.get_mut(&id) {
+            if matches!(status, JobStatus::Completed(_))
+                && !matches!(rec.status, JobStatus::Completed(_))
+            {
+                s.completed_total += 1;
+            }
+            if let Some(rec) = s.jobs.get_mut(&id) {
+                rec.status = status;
+            }
+        }
+        drop(s);
+        self.bump();
+    }
+
+    /// Remove a job from the queue (only Idle jobs can be removed cleanly).
+    pub fn remove(&self, id: JobId) -> Result<(), CondorError> {
+        let mut s = self.state.borrow_mut();
+        let rec = s.jobs.get_mut(&id).ok_or(CondorError::NoSuchJob(id))?;
+        match rec.status {
+            JobStatus::Idle => {
+                rec.status = JobStatus::Removed;
+                drop(s);
+                self.bump();
+                Ok(())
+            }
+            _ => Err(CondorError::NotIdle(id)),
+        }
+    }
+
+    /// Await a job's completion.
+    pub async fn wait(&self, id: JobId) -> Result<JobResult, CondorError> {
+        loop {
+            match self.status(id)? {
+                JobStatus::Completed(r) => return Ok(r),
+                JobStatus::Removed => return Err(CondorError::JobRemoved(id)),
+                _ => {}
+            }
+            self.changed.notified().await;
+        }
+    }
+
+    /// Jobs in the queue, any state.
+    pub fn queue_len(&self) -> usize {
+        self.state.borrow().jobs.len()
+    }
+
+    /// Jobs submitted over the schedd's lifetime.
+    pub fn submitted_total(&self) -> u64 {
+        self.state.borrow().submitted_total
+    }
+
+    /// Jobs completed over the schedd's lifetime.
+    pub fn completed_total(&self) -> u64 {
+        self.state.borrow().completed_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use swf_cluster::NodeId;
+    use swf_simcore::{secs, sleep, spawn, Sim, SimTime};
+
+    fn noop_spec() -> JobSpec {
+        JobSpec::new(|_ctx| Box::pin(async { Ok(Bytes::new()) }))
+    }
+
+    #[test]
+    fn submit_and_status() {
+        let s = Schedd::new();
+        let id = s.submit(noop_spec());
+        assert_eq!(s.status(id).unwrap(), JobStatus::Idle);
+        assert_eq!(s.queue_len(), 1);
+        assert!(s.status(JobId(99)).is_err());
+    }
+
+    #[test]
+    fn idle_order_respects_priority_then_fifo() {
+        let s = Schedd::new();
+        let a = s.submit(noop_spec());
+        let b = s.submit(noop_spec().with_priority(10));
+        let c = s.submit(noop_spec());
+        assert_eq!(s.idle_jobs(), vec![b, a, c]);
+        s.set_status(a, JobStatus::Running(NodeId(1)));
+        assert_eq!(s.idle_jobs(), vec![b, c]);
+    }
+
+    #[test]
+    fn wait_resolves_on_completion() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let s = Schedd::new();
+            let id = s.submit(noop_spec());
+            let s2 = s.clone();
+            spawn(async move {
+                sleep(secs(3.0)).await;
+                s2.set_status(
+                    id,
+                    JobStatus::Completed(JobResult {
+                        success: true,
+                        output: Bytes::from_static(b"done"),
+                        node: NodeId(2),
+                        started: SimTime::ZERO,
+                        finished: swf_simcore::now(),
+                    }),
+                );
+            });
+            let r = s.wait(id).await.unwrap();
+            assert!(r.success);
+            assert_eq!(&r.output[..], b"done");
+            assert_eq!(s.completed_total(), 1);
+        });
+    }
+
+    #[test]
+    fn remove_only_idle() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let s = Schedd::new();
+            let id = s.submit(noop_spec());
+            s.set_status(id, JobStatus::Running(NodeId(1)));
+            assert!(matches!(s.remove(id), Err(CondorError::NotIdle(_))));
+            let id2 = s.submit(noop_spec());
+            s.remove(id2).unwrap();
+            assert!(matches!(s.wait(id2).await, Err(CondorError::JobRemoved(_))));
+        });
+    }
+
+    #[test]
+    fn changed_wakes_watchers() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let s = Schedd::new();
+            let v0 = s.version();
+            let s2 = s.clone();
+            let h = spawn(async move { s2.changed(v0).await });
+            sleep(secs(1.0)).await;
+            s.submit(noop_spec());
+            let v = h.await;
+            assert!(v > v0);
+        });
+    }
+}

@@ -1,0 +1,329 @@
+//! The startd: per-node execution agent with slot management and sandbox
+//! file transfer.
+//!
+//! One slot per core. A matched job claims its requested slots, pays the
+//! starter overhead, stages inputs from the submit node into a node-local
+//! sandbox, runs its program, stages outputs back, and reports completion
+//! to the schedd. The synchronous stage-in/stage-out is what makes the
+//! paper's traditional containerized path expensive (container images and
+//! matrices both ride this channel).
+
+use swf_cluster::{Cluster, Node};
+use swf_simcore::sync::Semaphore;
+use swf_simcore::{now, sleep, SimDuration};
+
+use crate::classad::ClassAd;
+use crate::error::CondorError;
+use crate::job::{JobContext, JobId, JobResult, JobSpec, JobStatus};
+use crate::schedd::Schedd;
+
+/// Startd parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct StartdConfig {
+    /// Starter process fork + environment setup per job.
+    pub job_start_overhead: SimDuration,
+}
+
+impl Default for StartdConfig {
+    fn default() -> Self {
+        StartdConfig {
+            job_start_overhead: SimDuration::from_millis(800),
+        }
+    }
+}
+
+/// Per-node execution agent.
+#[derive(Clone)]
+pub struct Startd {
+    node: Node,
+    cluster: Cluster,
+    slots: Semaphore,
+    config: StartdConfig,
+    draining: std::rc::Rc<std::cell::Cell<bool>>,
+}
+
+impl Startd {
+    /// Startd with one slot per core of `node`.
+    pub fn new(node: Node, cluster: Cluster, config: StartdConfig) -> Self {
+        let slots = Semaphore::new(node.cores().capacity());
+        Startd {
+            node,
+            cluster,
+            slots,
+            config,
+            draining: std::rc::Rc::new(std::cell::Cell::new(false)),
+        }
+    }
+
+    /// Start draining: running jobs finish, but the negotiator stops
+    /// matching new jobs here (`condor_drain` semantics).
+    pub fn drain(&self) {
+        self.draining.set(true);
+    }
+
+    /// Resume accepting matches.
+    pub fn undrain(&self) {
+        self.draining.set(false);
+    }
+
+    /// Is the startd draining?
+    pub fn is_draining(&self) -> bool {
+        self.draining.get()
+    }
+
+    /// The node this startd manages.
+    pub fn node(&self) -> &Node {
+        &self.node
+    }
+
+    /// Slots not currently claimed.
+    pub fn free_slots(&self) -> usize {
+        self.slots.available()
+    }
+
+    /// Total slots.
+    pub fn total_slots(&self) -> usize {
+        self.slots.capacity()
+    }
+
+    /// The machine ClassAd advertised to the negotiator.
+    pub fn machine_ad(&self) -> ClassAd {
+        ClassAd::new()
+            .set("Machine", self.node.name())
+            .set("Cpus", self.total_slots() as i64)
+            .set("FreeSlots", self.free_slots() as i64)
+            .set("Memory", (self.node.memory().capacity() / (1024 * 1024)) as i64)
+            .set("Arch", "X86_64")
+            .set("HasDocker", true)
+    }
+
+    /// Execute a matched job to completion, reporting status to `schedd`.
+    /// Called (spawned) by the negotiator after a successful match.
+    pub async fn execute(&self, id: JobId, spec: JobSpec, schedd: Schedd) {
+        let _slots = self
+            .slots
+            .acquire_many(spec.request_cpus.max(1) as usize)
+            .await;
+        schedd.set_status(id, JobStatus::Running(self.node.id()));
+        let started = now();
+        sleep(self.config.job_start_overhead).await;
+
+        let sandbox = format!("sandbox/{id}/");
+        let outcome = self.run_in_sandbox(id, &spec, &sandbox).await;
+
+        let (success, output) = match outcome {
+            Ok(bytes) => (true, bytes),
+            Err(e) => (false, bytes::Bytes::from(e.to_string())),
+        };
+        schedd.set_status(
+            id,
+            JobStatus::Completed(JobResult {
+                success,
+                output,
+                node: self.node.id(),
+                started,
+                finished: now(),
+            }),
+        );
+    }
+
+    async fn run_in_sandbox(
+        &self,
+        id: JobId,
+        spec: &JobSpec,
+        sandbox: &str,
+    ) -> Result<bytes::Bytes, CondorError> {
+        // Stage in: submit node shared fs → node-local sandbox.
+        for f in &spec.input_files {
+            let data = self
+                .cluster
+                .shared_read_from(self.node.id(), f)
+                .await
+                .map_err(|_| CondorError::MissingInput(f.clone()))?;
+            self.node.fs().write(format!("{sandbox}{f}"), data).await;
+        }
+        let ctx = JobContext {
+            job: id,
+            node: self.node.clone(),
+            cluster: self.cluster.clone(),
+            sandbox: sandbox.to_string(),
+        };
+        let result = (spec.program)(ctx).await;
+        let bytes = match result {
+            Ok(b) => b,
+            Err(e) => {
+                self.cleanup_sandbox(sandbox);
+                return Err(CondorError::DagNodeFailed {
+                    node: id.to_string(),
+                    attempts: 1,
+                    last_error: e,
+                });
+            }
+        };
+        // Stage out: sandbox → submit node shared fs.
+        for f in &spec.output_files {
+            let path = format!("{sandbox}{f}");
+            let data = self
+                .node
+                .fs()
+                .read(&path)
+                .await
+                .map_err(|_| CondorError::MissingOutput(f.clone()))?;
+            self.cluster
+                .shared_write_from(self.node.id(), f.clone(), data)
+                .await
+                .map_err(|e| CondorError::MissingOutput(format!("{f}: {e}")))?;
+        }
+        self.cleanup_sandbox(sandbox);
+        Ok(bytes)
+    }
+
+    fn cleanup_sandbox(&self, sandbox: &str) {
+        for f in self.node.fs().list() {
+            if f.starts_with(sandbox) {
+                self.node.fs().remove(&f);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use swf_cluster::ClusterConfig;
+    use swf_simcore::{secs, Sim};
+
+    fn rig() -> (Cluster, Startd, Schedd) {
+        let cluster = Cluster::new(&ClusterConfig::default());
+        let node = cluster.worker_nodes()[0].clone();
+        let startd = Startd::new(node, cluster.clone(), StartdConfig::default());
+        (cluster, startd, Schedd::new())
+    }
+
+    #[test]
+    fn machine_ad_shape() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (_c, startd, _s) = rig();
+            let ad = startd.machine_ad();
+            assert_eq!(ad.get_int("Cpus"), Some(8));
+            assert_eq!(ad.get_int("FreeSlots"), Some(8));
+            assert!(ad.get_int("Memory").unwrap() >= 32_000);
+        });
+    }
+
+    #[test]
+    fn execute_stages_inputs_runs_and_stages_outputs() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (cluster, startd, schedd) = rig();
+            cluster.shared_fs().stage("in.mat", Bytes::from(vec![7u8; 1024]));
+            let spec = JobSpec::new(|ctx: JobContext| {
+                Box::pin(async move {
+                    let data = ctx
+                        .node
+                        .fs()
+                        .read(&ctx.sandbox_path("in.mat"))
+                        .await
+                        .map_err(|e| e.to_string())?;
+                    let doubled: Vec<u8> = data.iter().map(|b| b * 2).collect();
+                    ctx.node
+                        .fs()
+                        .write(ctx.sandbox_path("out.mat"), Bytes::from(doubled))
+                        .await;
+                    ctx.compute(secs(0.5)).await;
+                    Ok(Bytes::from_static(b"ok"))
+                })
+            })
+            .with_inputs(vec!["in.mat".into()])
+            .with_outputs(vec!["out.mat".into()]);
+            let id = schedd.submit(spec.clone());
+            startd.execute(id, spec, schedd.clone()).await;
+            let r = schedd.wait(id).await.unwrap();
+            assert!(r.success);
+            // Output landed on the submit node's shared fs.
+            let out = cluster.shared_fs().read("out.mat").await.unwrap();
+            assert_eq!(out[0], 14);
+            // Sandbox cleaned.
+            assert_eq!(startd.node().fs().file_count(), 0);
+        });
+    }
+
+    #[test]
+    fn missing_input_fails_job() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (_cluster, startd, schedd) = rig();
+            let spec = JobSpec::new(|_ctx| Box::pin(async { Ok(Bytes::new()) }))
+                .with_inputs(vec!["ghost.mat".into()]);
+            let id = schedd.submit(spec.clone());
+            startd.execute(id, spec, schedd.clone()).await;
+            let r = schedd.wait(id).await.unwrap();
+            assert!(!r.success);
+            assert!(String::from_utf8_lossy(&r.output).contains("missing input"));
+        });
+    }
+
+    #[test]
+    fn missing_output_fails_job() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (_cluster, startd, schedd) = rig();
+            let spec = JobSpec::new(|_ctx| Box::pin(async { Ok(Bytes::new()) }))
+                .with_outputs(vec!["never-written.mat".into()]);
+            let id = schedd.submit(spec.clone());
+            startd.execute(id, spec, schedd.clone()).await;
+            let r = schedd.wait(id).await.unwrap();
+            assert!(!r.success);
+            assert!(String::from_utf8_lossy(&r.output).contains("missing output"));
+        });
+    }
+
+    #[test]
+    fn slots_serialize_excess_jobs() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (_cluster, startd, schedd) = rig(); // 8 slots
+            let mk = || {
+                JobSpec::new(|ctx: JobContext| {
+                    Box::pin(async move {
+                        ctx.compute(secs(1.0)).await;
+                        Ok(Bytes::new())
+                    })
+                })
+            };
+            let t0 = now();
+            let mut ids = Vec::new();
+            for _ in 0..9 {
+                let spec = mk();
+                let id = schedd.submit(spec.clone());
+                let startd = startd.clone();
+                let schedd = schedd.clone();
+                swf_simcore::spawn(async move { startd.execute(id, spec, schedd).await });
+                ids.push(id);
+            }
+            for id in ids {
+                schedd.wait(id).await.unwrap();
+            }
+            let elapsed = (now() - t0).as_secs_f64();
+            // 9 jobs on 8 slots: two waves ≈ 2 × (0.8 start + 1.0 compute).
+            assert!((3.0..4.2).contains(&elapsed), "elapsed {elapsed}");
+        });
+    }
+
+    #[test]
+    fn job_program_failure_reports_error_output() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (_cluster, startd, schedd) = rig();
+            let spec =
+                JobSpec::new(|_ctx| Box::pin(async { Err("segfault in task".to_string()) }));
+            let id = schedd.submit(spec.clone());
+            startd.execute(id, spec, schedd.clone()).await;
+            let r = schedd.wait(id).await.unwrap();
+            assert!(!r.success);
+            assert!(String::from_utf8_lossy(&r.output).contains("segfault"));
+        });
+    }
+}

@@ -1,0 +1,54 @@
+//! Container runtime errors.
+
+use std::fmt;
+
+/// Errors from the container substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainerError {
+    /// Image (or manifest) not present in the registry.
+    ImageNotFound(String),
+    /// Container id not known to this runtime.
+    NoSuchContainer(u64),
+    /// Operation invalid in the container's current state.
+    InvalidState {
+        /// Container id.
+        id: u64,
+        /// State the container is in.
+        state: &'static str,
+        /// Operation that was attempted.
+        op: &'static str,
+    },
+    /// Node memory exhausted while creating the container.
+    OutOfMemory(String),
+    /// The containerized task itself failed.
+    TaskFailed(String),
+}
+
+impl fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContainerError::ImageNotFound(r) => write!(f, "image not found: {r}"),
+            ContainerError::NoSuchContainer(id) => write!(f, "no such container: {id}"),
+            ContainerError::InvalidState { id, state, op } => {
+                write!(f, "container {id} is {state}; cannot {op}")
+            }
+            ContainerError::OutOfMemory(m) => write!(f, "out of memory: {m}"),
+            ContainerError::TaskFailed(m) => write!(f, "task failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {}
+
+impl From<swf_cluster::ClusterError> for ContainerError {
+    fn from(e: swf_cluster::ClusterError) -> Self {
+        match e {
+            swf_cluster::ClusterError::OutOfMemory { node, requested, available } => {
+                ContainerError::OutOfMemory(format!(
+                    "{node}: requested {requested}B, available {available}B"
+                ))
+            }
+            other => ContainerError::TaskFailed(other.to_string()),
+        }
+    }
+}

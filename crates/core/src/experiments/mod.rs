@@ -1,0 +1,83 @@
+//! Experiment runners for every figure in the paper's evaluation.
+
+pub mod coldstart;
+pub mod concurrent;
+pub mod fig1;
+pub mod fig2;
+pub mod fig56;
+
+pub use coldstart::ColdStartResult;
+pub use concurrent::{average_slowest, run_once, ConcurrentOutcome, ConcurrentParams};
+pub use fig1::{Fig1Result, Fig1Row};
+pub use fig2::{Fig2Result, Fig2Row};
+pub use fig56::{run_fig5, run_fig6, Fig5Result, Fig5Row, Fig6Result, Fig6Row};
+
+use crate::config::ExperimentConfig;
+
+/// Render the §V-A setup header printed by every harness binary.
+pub fn setup_header(config: &ExperimentConfig) -> String {
+    let mut t = swf_metrics::Table::new(
+        "Software & Hardware Configuration (paper §V-A)",
+        &["component", "paper", "reproduction"],
+    );
+    t.row(&[
+        "cluster".into(),
+        "4 VMs".into(),
+        format!("{} simulated nodes", config.cluster.nodes),
+    ]);
+    t.row(&[
+        "per-node".into(),
+        "8 cores / 32 GB, Xeon Gold 6342".into(),
+        format!(
+            "{} cores / {}",
+            config.cluster.node_spec.cores,
+            swf_cluster::human_bytes(config.cluster.node_spec.memory)
+        ),
+    ]);
+    t.row(&[
+        "workflow manager".into(),
+        "Pegasus 5.0.7".into(),
+        "swf-pegasus (planner + DAGMan)".into(),
+    ]);
+    t.row(&[
+        "batch system".into(),
+        "HTCondor 23.8.1".into(),
+        format!(
+            "swf-condor (negotiation every {})",
+            config.condor.negotiator.cycle_interval
+        ),
+    ]);
+    t.row(&[
+        "orchestrator".into(),
+        "Kubernetes v1.30.3".into(),
+        "swf-k8s (API server, scheduler, kubelets)".into(),
+    ]);
+    t.row(&[
+        "serverless".into(),
+        "Knative".into(),
+        "swf-knative (KPA, activator, queue-proxy)".into(),
+    ]);
+    t.row(&[
+        "task".into(),
+        "350×350 int matmul (NumPy 2.0.1)".into(),
+        format!(
+            "{dim}×{dim} i64 matmul (Rust kernels), compute model {}",
+            config.compute.for_dim(config.matrix_dim),
+            dim = config.matrix_dim
+        ),
+    ]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_mentions_all_subsystems() {
+        let h = setup_header(&ExperimentConfig::paper());
+        for needle in ["Pegasus", "HTCondor", "Kubernetes", "Knative", "350×350"] {
+            assert!(h.contains(needle), "missing {needle} in header");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Orchestrator errors.
+
+use std::fmt;
+
+/// Errors from the Kubernetes-style control plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum K8sError {
+    /// Object already exists.
+    AlreadyExists(String),
+    /// Object not found.
+    NotFound(String),
+    /// No node can satisfy the pod's resource requests.
+    Unschedulable(String),
+    /// Waiting for a condition timed out.
+    Timeout(String),
+    /// Underlying container runtime failure.
+    Runtime(String),
+}
+
+impl fmt::Display for K8sError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            K8sError::AlreadyExists(n) => write!(f, "already exists: {n}"),
+            K8sError::NotFound(n) => write!(f, "not found: {n}"),
+            K8sError::Unschedulable(m) => write!(f, "unschedulable: {m}"),
+            K8sError::Timeout(m) => write!(f, "timed out: {m}"),
+            K8sError::Runtime(m) => write!(f, "runtime error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for K8sError {}
+
+impl From<swf_container::ContainerError> for K8sError {
+    fn from(e: swf_container::ContainerError) -> Self {
+        K8sError::Runtime(e.to_string())
+    }
+}

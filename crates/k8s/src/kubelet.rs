@@ -1,0 +1,340 @@
+//! The kubelet: per-node agent that turns scheduled pods into running
+//! containers and finalizes deletions.
+//!
+//! Startup path: ensure image (pull if missing) → create container →
+//! start → readiness delay → report Running/Ready. Deletion path: stop →
+//! remove → finalize the API object. Both run as spawned tasks so one slow
+//! pull never blocks other pods on the node.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use swf_simcore::{sleep, spawn};
+
+use crate::api::ApiServer;
+use crate::pod::{Pod, PodPhase};
+
+use swf_container::{ContainerPhase, ContainerRuntime};
+
+/// Kubelet parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct KubeletConfig {
+    /// First port handed to pods on this node.
+    pub port_base: u16,
+}
+
+impl Default for KubeletConfig {
+    fn default() -> Self {
+        KubeletConfig { port_base: 30000 }
+    }
+}
+
+/// The per-node kubelet.
+#[derive(Clone)]
+pub struct Kubelet {
+    api: ApiServer,
+    runtime: ContainerRuntime,
+    next_port: Rc<Cell<u16>>,
+    inflight: Rc<RefCell<HashSet<String>>>,
+}
+
+impl Kubelet {
+    /// Kubelet for `runtime`'s node.
+    pub fn new(api: ApiServer, runtime: ContainerRuntime, config: KubeletConfig) -> Self {
+        Kubelet {
+            api,
+            runtime,
+            next_port: Rc::new(Cell::new(config.port_base)),
+            inflight: Rc::new(RefCell::new(HashSet::new())),
+        }
+    }
+
+    /// The container runtime this kubelet drives.
+    pub fn runtime(&self) -> &ContainerRuntime {
+        &self.runtime
+    }
+
+    /// Run forever, reconciling pods bound to this node.
+    pub async fn run(self) {
+        let mut watcher = self.api.pods().watch();
+        loop {
+            self.reconcile();
+            watcher.changed().await;
+        }
+    }
+
+    /// One reconcile pass (non-blocking: work is spawned).
+    pub fn reconcile(&self) {
+        let my_node = self.runtime.node().id();
+        let mine: Vec<Pod> = self
+            .api
+            .pods()
+            .filter(|p| p.status.node == Some(my_node));
+        for pod in mine {
+            let name = pod.meta.name.clone();
+            if self.inflight.borrow().contains(&name) {
+                continue;
+            }
+            if pod.meta.deletion_requested {
+                self.inflight.borrow_mut().insert(name.clone());
+                let this = self.clone();
+                spawn(async move {
+                    this.teardown(&name).await;
+                    this.inflight.borrow_mut().remove(&name);
+                });
+            } else if pod.status.phase == PodPhase::Scheduled
+                && self.api.node_ready(my_node)
+            {
+                self.inflight.borrow_mut().insert(name.clone());
+                let this = self.clone();
+                spawn(async move {
+                    this.startup(&name).await;
+                    this.inflight.borrow_mut().remove(&name);
+                });
+            }
+        }
+    }
+
+    async fn startup(&self, name: &str) {
+        let Some(pod) = self.api.pods().get(name) else {
+            return;
+        };
+        let image = pod.spec.image.clone();
+        if let Err(e) = self.runtime.ensure_image(&image).await {
+            self.fail(name, &format!("image pull failed: {e}"));
+            return;
+        }
+        let container = match self.runtime.create(&image, pod.spec.resources).await {
+            Ok(c) => c,
+            Err(e) => {
+                self.fail(name, &format!("create failed: {e}"));
+                return;
+            }
+        };
+        if let Err(e) = self.runtime.start(container).await {
+            self.fail(name, &format!("start failed: {e}"));
+            return;
+        }
+        // Application boot before readiness.
+        if !pod.spec.readiness_delay.is_zero() {
+            sleep(pod.spec.readiness_delay).await;
+        }
+        // The pod may have been deleted — or failed over by the node
+        // controller — while starting; never overwrite that state.
+        let aborted = self
+            .api
+            .pods()
+            .get(name)
+            .map(|p| p.meta.deletion_requested || p.status.phase == PodPhase::Failed)
+            .unwrap_or(true);
+        if aborted {
+            let _ = self.runtime.stop(container).await;
+            let _ = self.runtime.remove(container).await;
+            let still_deleting = self
+                .api
+                .pods()
+                .get(name)
+                .map(|p| p.meta.deletion_requested)
+                .unwrap_or(false);
+            if still_deleting {
+                self.api.finalize_pod_delete(name);
+            }
+            return;
+        }
+        let port = if pod.spec.port != 0 {
+            pod.spec.port
+        } else {
+            let p = self.next_port.get();
+            self.next_port.set(p.wrapping_add(1).max(1024));
+            p
+        };
+        self.api.pods().update(name, |p| {
+            p.status.phase = PodPhase::Running;
+            p.status.ready = true;
+            p.status.container = Some(container);
+            p.status.port = port;
+        });
+    }
+
+    async fn teardown(&self, name: &str) {
+        let Some(pod) = self.api.pods().get(name) else {
+            return;
+        };
+        if let Some(container) = pod.status.container {
+            if matches!(self.runtime.phase(container), Ok(ContainerPhase::Running)) {
+                let _ = self.runtime.stop(container).await;
+            }
+            let _ = self.runtime.remove(container).await;
+        }
+        self.api.finalize_pod_delete(name);
+    }
+
+    fn fail(&self, name: &str, message: &str) {
+        self.api.pods().update(name, |p| {
+            p.status.phase = PodPhase::Failed;
+            p.status.ready = false;
+            p.status.message = message.to_string();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::ObjectMeta;
+    use crate::pod::PodSpec;
+    use swf_cluster::{mib, Node, NodeId, NodeSpec};
+    use swf_container::{Image, ImageRef, OverheadModel, Registry, RegistryConfig, ResourceLimits};
+    use swf_simcore::{millis, now, secs, Sim, SimDuration};
+
+    fn setup() -> (ApiServer, Kubelet, Registry, ImageRef) {
+        let api = ApiServer::default();
+        let node = Node::new(NodeId(1), NodeSpec::default());
+        let registry = Registry::new(RegistryConfig::default());
+        let image = ImageRef::parse("fn:v1");
+        registry.push(Image::single_layer(image.clone(), 1, mib(100)));
+        let runtime = ContainerRuntime::new(node, registry.clone(), OverheadModel::default(), 3);
+        let kubelet = Kubelet::new(api.clone(), runtime, KubeletConfig::default());
+        (api, kubelet, registry, image)
+    }
+
+    fn scheduled_pod(name: &str, image: &ImageRef) -> Pod {
+        let mut p = Pod::new(ObjectMeta::named(name), PodSpec::new(image.clone()));
+        p.spec.node_name = Some(NodeId(1));
+        p
+    }
+
+    #[test]
+    fn scheduled_pod_becomes_running_and_ready() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (api, kubelet, _r, image) = setup();
+            swf_simcore::spawn(kubelet.clone().run());
+            api.create_pod(scheduled_pod("p", &image)).await.unwrap();
+            sleep(secs(30.0)).await;
+            let p = api.pods().get("p").unwrap();
+            assert_eq!(p.status.phase, PodPhase::Running);
+            assert!(p.status.ready);
+            assert!(p.status.container.is_some());
+            assert!(p.status.port >= 30000);
+        });
+    }
+
+    #[test]
+    fn readiness_delay_defers_ready() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (api, kubelet, registry, image) = setup();
+            // Pre-pull so startup cost is only create+start+readiness.
+            registry.pull(NodeId(1), &image).await.unwrap();
+            swf_simcore::spawn(kubelet.clone().run());
+            let mut pod = scheduled_pod("p", &image);
+            pod.spec.readiness_delay = secs(1.0);
+            let t0 = now();
+            api.create_pod(pod).await.unwrap();
+            // Wait until ready and measure.
+            let mut w = api.pods().watch();
+            loop {
+                if api.pods().get("p").map(|p| p.status.ready).unwrap_or(false) {
+                    break;
+                }
+                w.changed().await;
+            }
+            let startup = now() - t0;
+            let m = OverheadModel::default();
+            assert!(startup >= m.create + m.start + secs(1.0));
+            assert!(startup < m.create + m.start + secs(1.0) + millis(20));
+        });
+    }
+
+    #[test]
+    fn deletion_tears_down_container_and_finalizes() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (api, kubelet, _r, image) = setup();
+            swf_simcore::spawn(kubelet.clone().run());
+            api.create_pod(scheduled_pod("p", &image)).await.unwrap();
+            sleep(secs(30.0)).await;
+            assert_eq!(kubelet.runtime().container_count(), 1);
+            api.delete_pod("p").await.unwrap();
+            sleep(secs(5.0)).await;
+            assert!(api.pods().get("p").is_none());
+            assert_eq!(kubelet.runtime().container_count(), 0);
+        });
+    }
+
+    #[test]
+    fn deletion_during_startup_cleans_up() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (api, kubelet, _r, image) = setup();
+            swf_simcore::spawn(kubelet.clone().run());
+            let mut pod = scheduled_pod("p", &image);
+            pod.spec.readiness_delay = secs(10.0);
+            api.create_pod(pod).await.unwrap();
+            // Delete mid-boot (image pull + create take > 1ms).
+            sleep(millis(500)).await;
+            api.delete_pod("p").await.unwrap();
+            sleep(secs(60.0)).await;
+            assert!(api.pods().get("p").is_none());
+            assert_eq!(kubelet.runtime().container_count(), 0);
+        });
+    }
+
+    #[test]
+    fn oom_pod_is_marked_failed() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (api, kubelet, _r, image) = setup();
+            swf_simcore::spawn(kubelet.clone().run());
+            let mut pod = scheduled_pod("p", &image);
+            pod.spec.resources = ResourceLimits {
+                cpu_millis: 1000,
+                memory: swf_cluster::gib(64), // > node's 32 GiB
+            };
+            api.create_pod(pod).await.unwrap();
+            sleep(secs(30.0)).await;
+            let p = api.pods().get("p").unwrap();
+            assert_eq!(p.status.phase, PodPhase::Failed);
+            assert!(p.status.message.contains("create failed"));
+        });
+    }
+
+    #[test]
+    fn two_pods_get_distinct_ports() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (api, kubelet, _r, image) = setup();
+            swf_simcore::spawn(kubelet.clone().run());
+            api.create_pod(scheduled_pod("a", &image)).await.unwrap();
+            api.create_pod(scheduled_pod("b", &image)).await.unwrap();
+            sleep(secs(30.0)).await;
+            let pa = api.pods().get("a").unwrap().status.port;
+            let pb = api.pods().get("b").unwrap().status.port;
+            assert_ne!(pa, pb);
+        });
+    }
+
+    #[test]
+    fn image_pull_failure_marks_failed() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (api, kubelet, _r, _image) = setup();
+            swf_simcore::spawn(kubelet.clone().run());
+            let ghost = ImageRef::parse("ghost:v0");
+            api.create_pod(scheduled_pod("p", &ghost)).await.unwrap();
+            sleep(secs(5.0)).await;
+            let p = api.pods().get("p").unwrap();
+            assert_eq!(p.status.phase, PodPhase::Failed);
+            assert!(p.status.message.contains("image pull failed"));
+        });
+    }
+
+    /// The check uses SimDuration to silence unused-import pedantry.
+    #[test]
+    fn config_default() {
+        let _ = SimDuration::ZERO;
+        assert_eq!(KubeletConfig::default().port_base, 30000);
+    }
+}

@@ -1,0 +1,146 @@
+//! Pods: the schedulable unit.
+
+use swf_cluster::NodeId;
+use swf_container::{ContainerId, ImageRef, ResourceLimits};
+use swf_simcore::SimDuration;
+
+use crate::meta::ObjectMeta;
+
+/// Desired state of a pod.
+#[derive(Clone, Debug)]
+pub struct PodSpec {
+    /// Container image to run.
+    pub image: ImageRef,
+    /// Resource requests/limits (requests == limits in this model).
+    pub resources: ResourceLimits,
+    /// Pin to a node (bypasses the scheduler when set at creation).
+    pub node_name: Option<NodeId>,
+    /// Extra application boot time after the container starts before the
+    /// pod reports Ready (e.g. a Flask server importing NumPy).
+    pub readiness_delay: SimDuration,
+    /// TCP port the pod serves on (allocated by the kubelet when zero).
+    pub port: u16,
+}
+
+impl PodSpec {
+    /// Spec running `image` with default limits.
+    pub fn new(image: ImageRef) -> Self {
+        PodSpec {
+            image,
+            resources: ResourceLimits::default(),
+            node_name: None,
+            readiness_delay: SimDuration::ZERO,
+            port: 0,
+        }
+    }
+
+    /// Set resources (builder style).
+    pub fn with_resources(mut self, resources: ResourceLimits) -> Self {
+        self.resources = resources;
+        self
+    }
+
+    /// Set readiness delay (builder style).
+    pub fn with_readiness_delay(mut self, d: SimDuration) -> Self {
+        self.readiness_delay = d;
+        self
+    }
+}
+
+/// Observed lifecycle phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PodPhase {
+    /// Accepted, not yet bound to a node.
+    Pending,
+    /// Bound; kubelet is pulling/creating.
+    Scheduled,
+    /// Container started.
+    Running,
+    /// Terminated successfully (not used by server pods).
+    Succeeded,
+    /// Terminated with failure.
+    Failed,
+}
+
+/// Observed state of a pod.
+#[derive(Clone, Debug)]
+pub struct PodStatus {
+    /// Current phase.
+    pub phase: PodPhase,
+    /// Node the pod is bound to.
+    pub node: Option<NodeId>,
+    /// Passed its readiness probe (routable).
+    pub ready: bool,
+    /// Backing container (set by the kubelet).
+    pub container: Option<ContainerId>,
+    /// Port the pod serves on (set by the kubelet).
+    pub port: u16,
+    /// Failure/termination message.
+    pub message: String,
+}
+
+impl Default for PodStatus {
+    fn default() -> Self {
+        PodStatus {
+            phase: PodPhase::Pending,
+            node: None,
+            ready: false,
+            container: None,
+            port: 0,
+            message: String::new(),
+        }
+    }
+}
+
+/// A pod object.
+#[derive(Clone, Debug)]
+pub struct Pod {
+    /// Metadata.
+    pub meta: ObjectMeta,
+    /// Desired state.
+    pub spec: PodSpec,
+    /// Observed state.
+    pub status: PodStatus,
+}
+
+impl Pod {
+    /// New pod in `Pending`.
+    pub fn new(meta: ObjectMeta, spec: PodSpec) -> Self {
+        Pod {
+            meta,
+            spec,
+            status: PodStatus::default(),
+        }
+    }
+
+    /// Routable: running, ready, not being deleted.
+    pub fn is_routable(&self) -> bool {
+        self.status.phase == PodPhase::Running
+            && self.status.ready
+            && !self.meta.deletion_requested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swf_container::ImageRef;
+
+    #[test]
+    fn new_pod_is_pending_and_unroutable() {
+        let p = Pod::new(ObjectMeta::named("p1"), PodSpec::new(ImageRef::parse("img")));
+        assert_eq!(p.status.phase, PodPhase::Pending);
+        assert!(!p.is_routable());
+    }
+
+    #[test]
+    fn routable_requires_ready_running_and_live() {
+        let mut p = Pod::new(ObjectMeta::named("p1"), PodSpec::new(ImageRef::parse("img")));
+        p.status.phase = PodPhase::Running;
+        assert!(!p.is_routable());
+        p.status.ready = true;
+        assert!(p.is_routable());
+        p.meta.deletion_requested = true;
+        assert!(!p.is_routable());
+    }
+}

@@ -1,0 +1,111 @@
+//! Services and endpoints: stable names in front of ready pods.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use swf_cluster::NodeId;
+
+use crate::meta::{LabelSelector, ObjectMeta};
+
+/// A service selecting ready pods by label.
+#[derive(Clone, Debug)]
+pub struct Service {
+    /// Metadata.
+    pub meta: ObjectMeta,
+    /// Pod selector.
+    pub selector: LabelSelector,
+}
+
+/// One routable backend.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Endpoint {
+    /// Node hosting the pod.
+    pub node: NodeId,
+    /// Pod serving port.
+    pub port: u16,
+}
+
+/// The ready backends of a service (maintained by the endpoints
+/// controller).
+#[derive(Clone, Debug, Default)]
+pub struct Endpoints {
+    /// Service name these endpoints belong to.
+    pub service: String,
+    /// Ready backends, sorted for determinism.
+    pub ready: Vec<Endpoint>,
+}
+
+/// Deterministic round-robin load balancer over an endpoints snapshot
+/// (kube-proxy stand-in).
+#[derive(Clone)]
+pub struct RoundRobin {
+    cursor: Rc<Cell<usize>>,
+}
+
+impl Default for RoundRobin {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoundRobin {
+    /// Balancer starting at the first backend.
+    pub fn new() -> Self {
+        RoundRobin {
+            cursor: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// Pick the next backend from the snapshot, if any.
+    pub fn pick(&self, endpoints: &Endpoints) -> Option<Endpoint> {
+        if endpoints.ready.is_empty() {
+            return None;
+        }
+        let i = self.cursor.get();
+        self.cursor.set(i.wrapping_add(1));
+        Some(endpoints.ready[i % endpoints.ready.len()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(n: usize) -> Endpoints {
+        Endpoints {
+            service: "s".into(),
+            ready: (0..n)
+                .map(|i| Endpoint {
+                    node: NodeId(i),
+                    port: 8080,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let rr = RoundRobin::new();
+        let e = eps(3);
+        let picks: Vec<usize> = (0..6).map(|_| rr.pick(&e).unwrap().node.0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_endpoints_yield_none() {
+        let rr = RoundRobin::new();
+        assert_eq!(rr.pick(&eps(0)), None);
+    }
+
+    #[test]
+    fn cursor_survives_backend_changes() {
+        let rr = RoundRobin::new();
+        let three = eps(3);
+        rr.pick(&three);
+        rr.pick(&three);
+        let two = eps(2);
+        // Cursor keeps advancing; modulo applies to the new set.
+        assert_eq!(rr.pick(&two).unwrap().node.0, 0);
+        assert_eq!(rr.pick(&two).unwrap().node.0, 1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Deployments and ReplicaSets.
+
+use crate::meta::{LabelSelector, ObjectMeta};
+use crate::pod::PodSpec;
+
+/// Template stamped onto pods created by a ReplicaSet.
+#[derive(Clone, Debug)]
+pub struct PodTemplate {
+    /// Labels applied to created pods.
+    pub meta: ObjectMeta,
+    /// Pod spec for created pods.
+    pub spec: PodSpec,
+}
+
+/// A ReplicaSet keeps `replicas` matching pods alive.
+#[derive(Clone, Debug)]
+pub struct ReplicaSet {
+    /// Metadata.
+    pub meta: ObjectMeta,
+    /// Desired replica count.
+    pub replicas: u32,
+    /// Which pods this set owns.
+    pub selector: LabelSelector,
+    /// Template for new pods.
+    pub template: PodTemplate,
+    /// Observed ready replicas (status).
+    pub ready_replicas: u32,
+}
+
+/// A Deployment manages a ReplicaSet (single revision in this model —
+/// rollout strategies are out of scope for the paper's experiments).
+#[derive(Clone, Debug)]
+pub struct Deployment {
+    /// Metadata.
+    pub meta: ObjectMeta,
+    /// Desired replica count.
+    pub replicas: u32,
+    /// Pod selector.
+    pub selector: LabelSelector,
+    /// Pod template.
+    pub template: PodTemplate,
+}
+
+impl Deployment {
+    /// Convenience constructor.
+    pub fn new(
+        meta: ObjectMeta,
+        replicas: u32,
+        selector: LabelSelector,
+        template: PodTemplate,
+    ) -> Self {
+        Deployment {
+            meta,
+            replicas,
+            selector,
+            template,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swf_container::ImageRef;
+
+    #[test]
+    fn deployment_construction() {
+        let d = Deployment::new(
+            ObjectMeta::named("fn-matmul"),
+            2,
+            LabelSelector::eq("app", "matmul"),
+            PodTemplate {
+                meta: ObjectMeta::default().with_label("app", "matmul"),
+                spec: PodSpec::new(ImageRef::parse("matmul")),
+            },
+        );
+        assert_eq!(d.replicas, 2);
+        assert!(d
+            .selector
+            .matches(&d.template.meta.labels));
+    }
+}

@@ -1,0 +1,41 @@
+//! Knative platform errors.
+
+use std::fmt;
+
+/// Errors surfaced by the serverless platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KnativeError {
+    /// No such KService.
+    ServiceNotFound(String),
+    /// No handler registered for a service's function.
+    HandlerMissing(String),
+    /// Cold start did not produce a ready pod in time.
+    ColdStartTimeout(String),
+    /// All forwarding attempts failed.
+    Unavailable(String),
+    /// The function itself failed.
+    FunctionFailed(String),
+    /// Underlying orchestrator failure.
+    K8s(String),
+}
+
+impl fmt::Display for KnativeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KnativeError::ServiceNotFound(s) => write!(f, "kservice not found: {s}"),
+            KnativeError::HandlerMissing(s) => write!(f, "no handler registered for {s}"),
+            KnativeError::ColdStartTimeout(s) => write!(f, "cold start timed out for {s}"),
+            KnativeError::Unavailable(s) => write!(f, "service unavailable: {s}"),
+            KnativeError::FunctionFailed(s) => write!(f, "function failed: {s}"),
+            KnativeError::K8s(s) => write!(f, "orchestrator error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for KnativeError {}
+
+impl From<swf_k8s::K8sError> for KnativeError {
+    fn from(e: swf_k8s::K8sError) -> Self {
+        KnativeError::K8s(e.to_string())
+    }
+}

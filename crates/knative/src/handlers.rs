@@ -1,0 +1,76 @@
+//! Function handler registry.
+//!
+//! A handler turns an HTTP request into a containerized [`Workload`] — the
+//! simulated analogue of the paper's Flask route calling the matmul code.
+//! Handlers are registered per KService before workflow execution, mirroring
+//! the paper's manual pre-registration step.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use swf_cluster::Request;
+use swf_container::Workload;
+
+/// Builds a workload from a request.
+pub type Handler = Rc<dyn Fn(&Request) -> Workload>;
+
+/// Registry mapping KService name → handler.
+#[derive(Clone, Default)]
+pub struct HandlerRegistry {
+    map: Rc<RefCell<HashMap<String, Handler>>>,
+}
+
+impl HandlerRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) the handler for a service.
+    pub fn register(&self, service: impl Into<String>, handler: Handler) {
+        self.map.borrow_mut().insert(service.into(), handler);
+    }
+
+    /// Convenience: register from a plain closure.
+    pub fn register_fn(
+        &self,
+        service: impl Into<String>,
+        f: impl Fn(&Request) -> Workload + 'static,
+    ) {
+        self.register(service, Rc::new(f));
+    }
+
+    /// Look up a handler.
+    pub fn get(&self, service: &str) -> Option<Handler> {
+        self.map.borrow().get(service).cloned()
+    }
+
+    /// Is a handler registered?
+    pub fn contains(&self, service: &str) -> bool {
+        self.map.borrow().contains_key(service)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use swf_simcore::secs;
+
+    #[test]
+    fn register_and_build_workload() {
+        let reg = HandlerRegistry::new();
+        reg.register_fn("matmul", |req| {
+            let n = req.body.len();
+            Workload::new(secs(0.1), move || Ok(Bytes::from(vec![n as u8])))
+        });
+        assert!(reg.contains("matmul"));
+        assert!(!reg.contains("other"));
+        let h = reg.get("matmul").unwrap();
+        let w = h(&Request::post("/", Bytes::from_static(b"abc")));
+        assert_eq!(w.compute, secs(0.1));
+        let out = (w.run)().unwrap();
+        assert_eq!(&out[..], &[3]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Knative Services and Revisions.
+
+use swf_container::{ImageRef, ResourceLimits};
+use swf_k8s::ObjectMeta;
+
+use crate::config::{
+    INITIAL_SCALE_ANNOTATION, MAX_SCALE_ANNOTATION, MIN_SCALE_ANNOTATION, TARGET_ANNOTATION,
+};
+
+/// A Knative Service: the user-facing object. Creating one materializes a
+/// Revision, a Kubernetes Deployment and a routable endpoint.
+#[derive(Clone, Debug)]
+pub struct KService {
+    /// Metadata; autoscaling annotations live here.
+    pub meta: ObjectMeta,
+    /// Function container image.
+    pub image: ImageRef,
+    /// Maximum concurrent requests per container (0 = unlimited,
+    /// 1 = the paper's strongest-isolation serverless setting).
+    pub container_concurrency: u32,
+    /// Resource requests/limits of each function pod.
+    pub resources: ResourceLimits,
+}
+
+impl KService {
+    /// Service with default annotations.
+    pub fn new(name: impl Into<String>, image: ImageRef) -> Self {
+        KService {
+            meta: ObjectMeta::named(name),
+            image,
+            container_concurrency: 0,
+            resources: ResourceLimits::default(),
+        }
+    }
+
+    /// Set pod resources (builder style).
+    pub fn with_resources(mut self, resources: ResourceLimits) -> Self {
+        self.resources = resources;
+        self
+    }
+
+    /// Set container concurrency (builder style).
+    pub fn with_container_concurrency(mut self, cc: u32) -> Self {
+        self.container_concurrency = cc;
+        self
+    }
+
+    /// Set `autoscaling.knative.dev/min-scale` (builder style).
+    pub fn with_min_scale(mut self, n: u32) -> Self {
+        self.meta
+            .annotations
+            .insert(MIN_SCALE_ANNOTATION.into(), n.to_string());
+        self
+    }
+
+    /// Set `autoscaling.knative.dev/initial-scale` (builder style).
+    pub fn with_initial_scale(mut self, n: u32) -> Self {
+        self.meta
+            .annotations
+            .insert(INITIAL_SCALE_ANNOTATION.into(), n.to_string());
+        self
+    }
+
+    /// Set `autoscaling.knative.dev/target` (builder style).
+    pub fn with_target(mut self, target: f64) -> Self {
+        self.meta
+            .annotations
+            .insert(TARGET_ANNOTATION.into(), target.to_string());
+        self
+    }
+
+    /// Set `autoscaling.knative.dev/max-scale` (builder style).
+    pub fn with_max_scale(mut self, n: u32) -> Self {
+        self.meta
+            .annotations
+            .insert(MAX_SCALE_ANNOTATION.into(), n.to_string());
+        self
+    }
+}
+
+/// A materialized revision of a KService.
+#[derive(Clone, Debug)]
+pub struct Revision {
+    /// Metadata (name = `<ksvc>-00001`).
+    pub meta: ObjectMeta,
+    /// Owning KService name.
+    pub service: String,
+    /// Image deployed.
+    pub image: ImageRef,
+    /// Per-container concurrency limit (0 = unlimited).
+    pub container_concurrency: u32,
+    /// Floor on replicas.
+    pub min_scale: u32,
+    /// Replicas at creation.
+    pub initial_scale: u32,
+    /// Per-pod concurrency target for the autoscaler.
+    pub target: f64,
+    /// Cap on replicas (0 = uncapped).
+    pub max_scale: u32,
+    /// Pod resources.
+    pub resources: ResourceLimits,
+}
+
+impl Revision {
+    /// Derive the revision from a KService, applying annotation defaults.
+    pub fn from_service(ksvc: &KService, default_target: f64) -> Self {
+        let min_scale = ksvc.meta.annotation::<u32>(MIN_SCALE_ANNOTATION).unwrap_or(0);
+        // Knative defaults initial-scale to 1 (a revision starts one pod
+        // unless explicitly deferred to 0).
+        let initial_scale = ksvc
+            .meta
+            .annotation::<u32>(INITIAL_SCALE_ANNOTATION)
+            .unwrap_or(1)
+            .max(min_scale);
+        let target = ksvc
+            .meta
+            .annotation::<f64>(TARGET_ANNOTATION)
+            .unwrap_or(default_target);
+        let max_scale = ksvc.meta.annotation::<u32>(MAX_SCALE_ANNOTATION).unwrap_or(0);
+        Revision {
+            meta: ObjectMeta::named(format!("{}-00001", ksvc.meta.name))
+                .owned_by(&ksvc.meta.name),
+            service: ksvc.meta.name.clone(),
+            image: ksvc.image.clone(),
+            container_concurrency: ksvc.container_concurrency,
+            min_scale,
+            initial_scale,
+            target,
+            max_scale,
+            resources: ksvc.resources,
+        }
+    }
+
+    /// Name of the backing Kubernetes Deployment.
+    pub fn deployment_name(&self) -> String {
+        format!("{}-deployment", self.meta.name)
+    }
+
+    /// Name of the backing Kubernetes Service (endpoints source).
+    pub fn k8s_service_name(&self) -> String {
+        format!("{}-private", self.meta.name)
+    }
+
+    /// The label selecting this revision's pods.
+    pub fn pod_label() -> &'static str {
+        "serving.knative.dev/revision"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_annotations_flow_into_revision() {
+        let ksvc = KService::new("matmul", ImageRef::parse("hpc/matmul"))
+            .with_container_concurrency(1)
+            .with_min_scale(3)
+            .with_target(2.0)
+            .with_max_scale(8);
+        let rev = Revision::from_service(&ksvc, 1.0);
+        assert_eq!(rev.meta.name, "matmul-00001");
+        assert_eq!(rev.service, "matmul");
+        assert_eq!(rev.container_concurrency, 1);
+        assert_eq!(rev.min_scale, 3);
+        assert_eq!(rev.initial_scale, 3); // floored by min-scale
+        assert_eq!(rev.target, 2.0);
+        assert_eq!(rev.max_scale, 8);
+        assert_eq!(rev.deployment_name(), "matmul-00001-deployment");
+    }
+
+    #[test]
+    fn initial_scale_zero_defers_downloads() {
+        let ksvc = KService::new("m", ImageRef::parse("i")).with_initial_scale(0);
+        let rev = Revision::from_service(&ksvc, 1.0);
+        assert_eq!(rev.initial_scale, 0);
+        assert_eq!(rev.min_scale, 0);
+    }
+
+    #[test]
+    fn default_initial_scale_is_one() {
+        let ksvc = KService::new("m", ImageRef::parse("i"));
+        let rev = Revision::from_service(&ksvc, 1.0);
+        assert_eq!(rev.initial_scale, 1);
+        assert_eq!(rev.target, 1.0);
+    }
+}

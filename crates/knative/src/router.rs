@@ -1,0 +1,198 @@
+//! Ingress router + activator.
+//!
+//! Warm path: resolve the revision's ready endpoints, round-robin, forward.
+//! Cold path (no endpoints): buffer the request at the activator — the
+//! buffered demand counts toward autoscaler concurrency — poke the
+//! Deployment to at least one replica, wait for an endpoint, then forward.
+//! This is the 1.48 s cold start measured in the paper's §III-B.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use swf_cluster::{ClusterError, HttpStack, NodeId, Request, Response};
+use swf_k8s::{RoundRobin, Store};
+use swf_simcore::{sleep, timeout, Elapsed, SimDuration};
+
+use crate::config::DataPlaneConfig;
+use crate::error::KnativeError;
+use crate::ksvc::Revision;
+use crate::metrics::MetricHub;
+
+/// How the router chooses among ready endpoints.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RoutingPolicy {
+    /// Deterministic round-robin (kube-proxy-like; Knative's default-ish).
+    #[default]
+    RoundRobin,
+    /// Prefer the pod on the node with the most free CPU capacity — the
+    /// paper's §IX-D "task redirection away from over-utilized nodes".
+    LeastLoaded,
+}
+
+/// Router parameters beyond the shared data-plane config.
+#[derive(Clone, Copy, Debug)]
+pub struct RouterConfig {
+    /// Give up on a cold start after this long.
+    pub cold_start_deadline: SimDuration,
+    /// Forwarding attempts before returning 503.
+    pub max_retries: u32,
+    /// Endpoint selection policy.
+    pub policy: RoutingPolicy,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            cold_start_deadline: SimDuration::from_secs(300),
+            max_retries: 8,
+            policy: RoutingPolicy::RoundRobin,
+        }
+    }
+}
+
+/// The ingress router.
+#[derive(Clone)]
+pub struct Router {
+    k8s: swf_k8s::K8s,
+    http: HttpStack,
+    revisions: Store<Revision>,
+    hub: MetricHub,
+    data_plane: DataPlaneConfig,
+    config: RouterConfig,
+    balancers: Rc<RefCell<HashMap<String, RoundRobin>>>,
+}
+
+impl Router {
+    /// New router.
+    pub fn new(
+        k8s: swf_k8s::K8s,
+        http: HttpStack,
+        revisions: Store<Revision>,
+        hub: MetricHub,
+        data_plane: DataPlaneConfig,
+        config: RouterConfig,
+    ) -> Self {
+        Router {
+            k8s,
+            http,
+            revisions,
+            hub,
+            data_plane,
+            config,
+            balancers: Rc::new(RefCell::new(HashMap::new())),
+        }
+    }
+
+    /// Resolve the single active revision of a KService.
+    pub fn active_revision(&self, service: &str) -> Result<Revision, KnativeError> {
+        self.revisions
+            .get(&format!("{service}-00001"))
+            .ok_or_else(|| KnativeError::ServiceNotFound(service.to_string()))
+    }
+
+    /// Invoke `service` from `from`, synchronously returning the response.
+    pub async fn invoke(
+        &self,
+        from: NodeId,
+        service: &str,
+        request: Request,
+    ) -> Result<Response, KnativeError> {
+        let revision = self.active_revision(service)?;
+        let eps_name = revision.k8s_service_name();
+        let mut attempts = 0;
+        loop {
+            let endpoint = {
+                let eps = self.k8s.api().endpoints().get(&eps_name).unwrap_or_default();
+                match self.config.policy {
+                    RoutingPolicy::RoundRobin => {
+                        let mut balancers = self.balancers.borrow_mut();
+                        let rr = balancers
+                            .entry(revision.meta.name.clone())
+                            .or_default();
+                        rr.pick(&eps)
+                    }
+                    RoutingPolicy::LeastLoaded => self.pick_least_loaded(&eps),
+                }
+            };
+            match endpoint {
+                Some(ep) => {
+                    match self.http.request(from, ep.node, ep.port, request.clone()).await {
+                        Ok(resp) if resp.status == 500 => {
+                            return Err(KnativeError::FunctionFailed(
+                                String::from_utf8_lossy(&resp.body).to_string(),
+                            ));
+                        }
+                        Ok(resp) => return Ok(resp),
+                        Err(ClusterError::ConnectionRefused { .. })
+                        | Err(ClusterError::ConnectionReset) => {
+                            // Pod died between endpoint resolution and
+                            // delivery; retry against fresh endpoints.
+                            attempts += 1;
+                            if attempts >= self.config.max_retries {
+                                return Err(KnativeError::Unavailable(format!(
+                                    "{service}: {attempts} failed attempts"
+                                )));
+                            }
+                        }
+                        Err(e) => return Err(KnativeError::Unavailable(e.to_string())),
+                    }
+                }
+                None => {
+                    // Cold start: buffer at the activator until ready.
+                    self.activate(&revision).await?;
+                }
+            }
+        }
+    }
+
+    /// §IX-D task redirection: route to the endpoint whose node currently
+    /// has the most free cores, falling back to round-robin order on ties
+    /// (sorted endpoint lists keep this deterministic).
+    fn pick_least_loaded(&self, eps: &swf_k8s::Endpoints) -> Option<swf_k8s::Endpoint> {
+        eps.ready
+            .iter()
+            .copied()
+            .max_by_key(|ep| {
+                self.k8s
+                    .runtime(ep.node)
+                    .map(|rt| rt.node().cores().available())
+                    .unwrap_or(0)
+            })
+    }
+
+    /// The activator path: register buffered demand, poke the deployment,
+    /// wait for at least one ready endpoint.
+    async fn activate(&self, revision: &Revision) -> Result<(), KnativeError> {
+        let _buffered = self.hub.buffer_request(&revision.meta.name);
+        sleep(self.data_plane.activator_latency).await;
+        // Poke: ensure the deployment wants at least one replica without
+        // waiting for the next autoscaler tick (Knative's activator sends
+        // a scale-up hint to the autoscaler).
+        let dep = revision.deployment_name();
+        let current = self.k8s.api().deployments().get(&dep).map(|d| d.replicas);
+        if current == Some(0) {
+            let floor = revision.min_scale.max(1);
+            let _ = self.k8s.api().scale_deployment(&dep, floor).await;
+        }
+        let eps_name = revision.k8s_service_name();
+        let wait = self.k8s.wait_endpoints(&eps_name, 1, self.config.cold_start_deadline);
+        match timeout(self.config.cold_start_deadline, wait).await {
+            Ok(Ok(())) => Ok(()),
+            Ok(Err(e)) => Err(KnativeError::K8s(e.to_string())),
+            Err(Elapsed) => Err(KnativeError::ColdStartTimeout(revision.service.clone())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn router_config_defaults() {
+        let c = RouterConfig::default();
+        assert!(c.max_retries > 0);
+        assert!(c.cold_start_deadline > SimDuration::from_secs(60));
+    }
+}

@@ -1,0 +1,18 @@
+//! # swf-metrics
+//!
+//! Measurement toolkit for the reproduction's experiment harness: summary
+//! statistics and percentiles, ordinary least-squares regression (the
+//! paper's slope analysis in Figs. 1 and 2), ternary mix grids for Fig. 5,
+//! and uniform table/CSV/JSON report rendering.
+
+#![warn(missing_docs)]
+
+pub mod regression;
+pub mod report;
+pub mod stats;
+pub mod ternary;
+
+pub use regression::{fit, Line};
+pub use report::Table;
+pub use stats::{geomean, percentile, Summary};
+pub use ternary::{fig6_mixes, simplex_grid, MixPoint};

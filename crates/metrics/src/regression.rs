@@ -1,0 +1,125 @@
+//! Ordinary least-squares linear regression — the analysis behind the
+//! paper's slope comparisons (Fig. 1's "up to 30%" and Fig. 2's
+//! 0.28 / 0.30 / 0.96 s-per-task slopes).
+
+/// Fitted line `y = slope·x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+pub struct Line {
+    /// Slope.
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+}
+
+/// Fit OLS over `(x, y)` pairs. Fewer than two distinct x values yield a
+/// horizontal line through the mean.
+pub fn fit(points: &[(f64, f64)]) -> Line {
+    let n = points.len() as f64;
+    if points.is_empty() {
+        return Line {
+            slope: 0.0,
+            intercept: 0.0,
+            r_squared: 0.0,
+        };
+    }
+    let mean_x = points.iter().map(|(x, _)| x).sum::<f64>() / n;
+    let mean_y = points.iter().map(|(_, y)| y).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+    let sxy: f64 = points
+        .iter()
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    if sxx == 0.0 {
+        return Line {
+            slope: 0.0,
+            intercept: mean_y,
+            r_squared: 0.0,
+        };
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = points.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Line {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+impl Line {
+    /// Predicted y at x.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+
+    /// Relative slope reduction of `self` versus `other` — the paper's
+    /// "Knative can reduce overall execution time by up to 30% compared to
+    /// Docker" comes from `1 - slope_knative / slope_docker`.
+    pub fn slope_reduction_vs(&self, other: &Line) -> f64 {
+        if other.slope == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.slope / other.slope
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line_recovers_parameters() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let l = fit(&pts);
+        assert!((l.slope - 3.0).abs() < 1e-12);
+        assert!((l.intercept - 2.0).abs() < 1e-12);
+        assert!((l.r_squared - 1.0).abs() < 1e-12);
+        assert!((l.predict(20.0) - 62.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_r2_below_one() {
+        let pts = [(0.0, 0.1), (1.0, 0.9), (2.0, 2.2), (3.0, 2.8)];
+        let l = fit(&pts);
+        assert!(l.slope > 0.8 && l.slope < 1.1);
+        assert!(l.r_squared > 0.9 && l.r_squared < 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(fit(&[]).slope, 0.0);
+        let l = fit(&[(2.0, 5.0), (2.0, 7.0)]);
+        assert_eq!(l.slope, 0.0);
+        assert_eq!(l.intercept, 6.0);
+    }
+
+    #[test]
+    fn slope_reduction_matches_fig1_claim() {
+        // Docker 0.625 s/task vs Knative 0.478 s/task → ≈ 23.5% reduction;
+        // the paper reports "up to 30%".
+        let docker = Line {
+            slope: 0.625,
+            intercept: 0.0,
+            r_squared: 1.0,
+        };
+        let knative = Line {
+            slope: 0.478,
+            intercept: 1.48,
+            r_squared: 1.0,
+        };
+        let red = knative.slope_reduction_vs(&docker);
+        assert!(red > 0.2 && red < 0.3, "reduction {red}");
+        assert_eq!(knative.slope_reduction_vs(&Line { slope: 0.0, intercept: 0.0, r_squared: 0.0 }), 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Ternary mix grids for Figure 5.
+//!
+//! Fig. 5 plots makespan over the simplex of task-environment mixes
+//! (native, serverless, container). This module enumerates a uniform grid
+//! of barycentric mix points and converts them to 2-D plot coordinates.
+
+/// A point on the mix simplex; fractions sum to 1.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+pub struct MixPoint {
+    /// Fraction of native tasks.
+    pub native: f64,
+    /// Fraction of serverless tasks.
+    pub serverless: f64,
+    /// Fraction of traditional-container tasks.
+    pub container: f64,
+}
+
+impl MixPoint {
+    /// Build, asserting the fractions are a distribution.
+    pub fn new(native: f64, serverless: f64, container: f64) -> MixPoint {
+        let sum = native + serverless + container;
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "mix must sum to 1 (got {sum})"
+        );
+        MixPoint {
+            native,
+            serverless,
+            container,
+        }
+    }
+
+    /// Cartesian coordinates in the unit triangle (equilateral, native at
+    /// bottom-right, serverless bottom-left, container top — the paper's
+    /// orientation).
+    pub fn to_cartesian(&self) -> (f64, f64) {
+        // Standard barycentric → cartesian with vertices:
+        // serverless (0,0), native (1,0), container (0.5, √3/2).
+        let x = self.native + 0.5 * self.container;
+        let y = self.container * (3.0f64.sqrt() / 2.0);
+        (x, y)
+    }
+}
+
+/// Enumerate all grid points with `steps` subdivisions per axis
+/// (`steps = 4` → fractions in {0, .25, .5, .75, 1}); the count is the
+/// triangular number `(steps+1)(steps+2)/2`.
+pub fn simplex_grid(steps: usize) -> Vec<MixPoint> {
+    let mut points = Vec::new();
+    for i in 0..=steps {
+        for j in 0..=(steps - i) {
+            let k = steps - i - j;
+            points.push(MixPoint {
+                native: i as f64 / steps as f64,
+                serverless: j as f64 / steps as f64,
+                container: k as f64 / steps as f64,
+            });
+        }
+    }
+    points
+}
+
+/// The five highlighted mixes of Fig. 6, in paper bar order:
+/// all-native, half-serverless, all-serverless, half-container,
+/// all-container.
+pub fn fig6_mixes() -> [(&'static str, MixPoint); 5] {
+    [
+        ("all-native", MixPoint::new(1.0, 0.0, 0.0)),
+        ("half-serverless-half-native", MixPoint::new(0.5, 0.5, 0.0)),
+        ("all-serverless", MixPoint::new(0.0, 1.0, 0.0)),
+        ("half-container-half-native", MixPoint::new(0.5, 0.0, 0.5)),
+        ("all-container", MixPoint::new(0.0, 0.0, 1.0)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_counts_are_triangular() {
+        assert_eq!(simplex_grid(1).len(), 3);
+        assert_eq!(simplex_grid(2).len(), 6);
+        assert_eq!(simplex_grid(4).len(), 15);
+        assert_eq!(simplex_grid(10).len(), 66);
+    }
+
+    #[test]
+    fn grid_points_are_distributions() {
+        for p in simplex_grid(5) {
+            let sum = p.native + p.serverless + p.container;
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(p.native >= 0.0 && p.serverless >= 0.0 && p.container >= 0.0);
+        }
+    }
+
+    #[test]
+    fn cartesian_corners() {
+        let (x, y) = MixPoint::new(1.0, 0.0, 0.0).to_cartesian();
+        assert_eq!((x, y), (1.0, 0.0));
+        let (x, y) = MixPoint::new(0.0, 1.0, 0.0).to_cartesian();
+        assert_eq!((x, y), (0.0, 0.0));
+        let (x, y) = MixPoint::new(0.0, 0.0, 1.0).to_cartesian();
+        assert!((x - 0.5).abs() < 1e-12 && (y - 0.866).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "mix must sum to 1")]
+    fn bad_mix_panics() {
+        let _ = MixPoint::new(0.5, 0.5, 0.5);
+    }
+
+    #[test]
+    fn fig6_has_five_bars() {
+        let mixes = fig6_mixes();
+        assert_eq!(mixes.len(), 5);
+        assert_eq!(mixes[0].0, "all-native");
+        assert_eq!(mixes[4].0, "all-container");
+    }
+}

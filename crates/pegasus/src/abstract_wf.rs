@@ -1,0 +1,286 @@
+//! Abstract workflows: the DAX layer of Pegasus.
+//!
+//! A workflow developer describes *transformations* (logical executables),
+//! *files* and *jobs* referencing both; data dependencies are derived from
+//! producer/consumer file relations, never declared explicitly — exactly
+//! Pegasus' model.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use swf_simcore::SimDuration;
+use swf_workloads::ExecEnv;
+
+/// Logical task computation: ordered input payloads → ordered outputs.
+pub type TaskLogic = Rc<dyn Fn(Vec<Bytes>) -> Result<Vec<Bytes>, String>>;
+
+/// A logical executable registered in the transformation catalog.
+#[derive(Clone)]
+pub struct Transformation {
+    /// Logical name (`matmul`).
+    pub name: String,
+    /// Real computation.
+    pub logic: TaskLogic,
+    /// Modelled single-core compute time per invocation.
+    pub compute: SimDuration,
+    /// Container image (name:tag) for containerized/serverless execution.
+    pub container_image: Option<String>,
+}
+
+impl Transformation {
+    /// New transformation.
+    pub fn new(
+        name: impl Into<String>,
+        compute: SimDuration,
+        logic: impl Fn(Vec<Bytes>) -> Result<Vec<Bytes>, String> + 'static,
+    ) -> Self {
+        Transformation {
+            name: name.into(),
+            logic: Rc::new(logic),
+            compute,
+            container_image: None,
+        }
+    }
+
+    /// Attach a container image (builder style).
+    pub fn with_container(mut self, image: impl Into<String>) -> Self {
+        self.container_image = Some(image.into());
+        self
+    }
+}
+
+/// One abstract job: an invocation of a transformation.
+#[derive(Clone)]
+pub struct AbstractJob {
+    /// Job name, unique in the workflow.
+    pub name: String,
+    /// Transformation name (must exist in the catalog at plan time).
+    pub transformation: String,
+    /// Input files, in the order the transformation expects them.
+    pub inputs: Vec<String>,
+    /// Output files, in the order the transformation produces them.
+    pub outputs: Vec<String>,
+    /// Execution venue chosen for this job (the paper assigns one of the
+    /// three setups per task before the run).
+    pub env: ExecEnv,
+}
+
+/// Validation errors for abstract workflows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkflowError {
+    /// Two jobs produce the same file.
+    DuplicateProducer(String),
+    /// Two jobs share a name.
+    DuplicateJob(String),
+    /// Dependencies contain a cycle.
+    Cyclic,
+}
+
+impl std::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkflowError::DuplicateProducer(file) => {
+                write!(f, "file {file} has more than one producer")
+            }
+            WorkflowError::DuplicateJob(name) => write!(f, "duplicate job name {name}"),
+            WorkflowError::Cyclic => write!(f, "workflow has a dependency cycle"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+/// An abstract workflow (DAX).
+#[derive(Clone, Default)]
+pub struct AbstractWorkflow {
+    /// Workflow name.
+    pub name: String,
+    jobs: Vec<AbstractJob>,
+}
+
+impl AbstractWorkflow {
+    /// Empty workflow.
+    pub fn new(name: impl Into<String>) -> Self {
+        AbstractWorkflow {
+            name: name.into(),
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Append a job; returns its index.
+    pub fn add_job(&mut self, job: AbstractJob) -> usize {
+        self.jobs.push(job);
+        self.jobs.len() - 1
+    }
+
+    /// The jobs in insertion order.
+    pub fn jobs(&self) -> &[AbstractJob] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when the workflow has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Files consumed but produced by no job (must be staged beforehand).
+    pub fn external_inputs(&self) -> Vec<String> {
+        let produced: BTreeSet<&String> =
+            self.jobs.iter().flat_map(|j| j.outputs.iter()).collect();
+        let mut ext: BTreeSet<String> = BTreeSet::new();
+        for j in &self.jobs {
+            for i in &j.inputs {
+                if !produced.contains(i) {
+                    ext.insert(i.clone());
+                }
+            }
+        }
+        ext.into_iter().collect()
+    }
+
+    /// Derive edges `(producer_idx, consumer_idx)` from file relations and
+    /// validate the workflow.
+    pub fn derive_dependencies(&self) -> Result<Vec<(usize, usize)>, WorkflowError> {
+        let mut names = BTreeSet::new();
+        for j in &self.jobs {
+            if !names.insert(&j.name) {
+                return Err(WorkflowError::DuplicateJob(j.name.clone()));
+            }
+        }
+        let mut producer: BTreeMap<&String, usize> = BTreeMap::new();
+        for (idx, j) in self.jobs.iter().enumerate() {
+            for out in &j.outputs {
+                if producer.insert(out, idx).is_some() {
+                    return Err(WorkflowError::DuplicateProducer(out.clone()));
+                }
+            }
+        }
+        let mut edges = Vec::new();
+        for (idx, j) in self.jobs.iter().enumerate() {
+            for input in &j.inputs {
+                if let Some(&p) = producer.get(input) {
+                    if p == idx {
+                        return Err(WorkflowError::Cyclic);
+                    }
+                    edges.push((p, idx));
+                }
+            }
+        }
+        // Cycle check (Kahn).
+        let n = self.jobs.len();
+        let mut indeg = vec![0usize; n];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(p, c) in &edges {
+            indeg[c] += 1;
+            children[p].push(c);
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(x) = queue.pop() {
+            seen += 1;
+            for &c in &children[x] {
+                indeg[c] -= 1;
+                if indeg[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        if seen != n {
+            return Err(WorkflowError::Cyclic);
+        }
+        Ok(edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(name: &str, inputs: &[&str], outputs: &[&str]) -> AbstractJob {
+        AbstractJob {
+            name: name.into(),
+            transformation: "matmul".into(),
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            outputs: outputs.iter().map(|s| s.to_string()).collect(),
+            env: ExecEnv::Native,
+        }
+    }
+
+    #[test]
+    fn dependencies_derive_from_files() {
+        let mut wf = AbstractWorkflow::new("chain");
+        wf.add_job(job("t0", &["seed_a", "seed_b0"], &["out0"]));
+        wf.add_job(job("t1", &["out0", "seed_b1"], &["out1"]));
+        wf.add_job(job("t2", &["out1", "seed_b2"], &["out2"]));
+        let edges = wf.derive_dependencies().unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+        assert_eq!(
+            wf.external_inputs(),
+            vec!["seed_a", "seed_b0", "seed_b1", "seed_b2"]
+        );
+    }
+
+    #[test]
+    fn duplicate_producer_rejected() {
+        let mut wf = AbstractWorkflow::new("bad");
+        wf.add_job(job("a", &[], &["x"]));
+        wf.add_job(job("b", &[], &["x"]));
+        assert_eq!(
+            wf.derive_dependencies(),
+            Err(WorkflowError::DuplicateProducer("x".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_job_name_rejected() {
+        let mut wf = AbstractWorkflow::new("bad");
+        wf.add_job(job("a", &[], &["x"]));
+        wf.add_job(job("a", &[], &["y"]));
+        assert_eq!(
+            wf.derive_dependencies(),
+            Err(WorkflowError::DuplicateJob("a".into()))
+        );
+    }
+
+    #[test]
+    fn self_and_mutual_cycles_rejected() {
+        let mut wf = AbstractWorkflow::new("selfloop");
+        wf.add_job(job("a", &["x"], &["x"]));
+        assert_eq!(wf.derive_dependencies(), Err(WorkflowError::Cyclic));
+
+        let mut wf2 = AbstractWorkflow::new("mutual");
+        wf2.add_job(job("a", &["y"], &["x"]));
+        wf2.add_job(job("b", &["x"], &["y"]));
+        assert_eq!(wf2.derive_dependencies(), Err(WorkflowError::Cyclic));
+    }
+
+    #[test]
+    fn fanout_fanin_edges() {
+        let mut wf = AbstractWorkflow::new("diamond");
+        wf.add_job(job("src", &["seed"], &["m"]));
+        wf.add_job(job("l", &["m"], &["lo"]));
+        wf.add_job(job("r", &["m"], &["ro"]));
+        wf.add_job(job("sink", &["lo", "ro"], &["final"]));
+        let mut edges = wf.derive_dependencies().unwrap();
+        edges.sort();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn transformation_builder() {
+        let t = Transformation::new("matmul", SimDuration::from_millis(458), |inputs| {
+            Ok(vec![inputs[0].clone()])
+        })
+        .with_container("hpc/matmul:1.0");
+        assert_eq!(t.container_image.as_deref(), Some("hpc/matmul:1.0"));
+        let out = (t.logic)(vec![Bytes::from_static(b"z")]).unwrap();
+        assert_eq!(&out[0][..], b"z");
+    }
+}

@@ -1,0 +1,217 @@
+//! Small future combinators used throughout the simulation: racing two
+//! futures, timeouts in virtual time, and joining homogeneous sets.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+use crate::executor::{sleep, Sleep};
+use crate::time::SimDuration;
+
+/// Result of [`race`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Either<A, B> {
+    /// The first future finished first.
+    Left(A),
+    /// The second future finished first.
+    Right(B),
+}
+
+/// Run two futures concurrently, resolving with whichever finishes first.
+/// The loser is dropped (cancelled). Ties go to the left future.
+pub fn race<A, B>(a: A, b: B) -> Race<A, B>
+where
+    A: Future,
+    B: Future,
+{
+    Race { a, b }
+}
+
+/// Future returned by [`race`].
+pub struct Race<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Future, B: Future> Future for Race<A, B> {
+    type Output = Either<A::Output, B::Output>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: we never move `a` or `b` out of the pinned struct; we only
+        // project pinned references to the fields.
+        let this = unsafe { self.get_unchecked_mut() };
+        let a = unsafe { Pin::new_unchecked(&mut this.a) };
+        if let Poll::Ready(v) = a.poll(cx) {
+            return Poll::Ready(Either::Left(v));
+        }
+        let b = unsafe { Pin::new_unchecked(&mut this.b) };
+        if let Poll::Ready(v) = b.poll(cx) {
+            return Poll::Ready(Either::Right(v));
+        }
+        Poll::Pending
+    }
+}
+
+/// Error returned by [`timeout`] when the deadline elapses first.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct Elapsed;
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "virtual-time deadline elapsed")
+    }
+}
+impl std::error::Error for Elapsed {}
+
+/// Run `fut` with a virtual-time deadline.
+pub fn timeout<F: Future>(d: SimDuration, fut: F) -> Timeout<F> {
+    Timeout {
+        fut,
+        sleep: sleep(d),
+    }
+}
+
+/// Future returned by [`timeout`].
+pub struct Timeout<F> {
+    fut: F,
+    sleep: Sleep,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: field projection only; nothing is moved.
+        let this = unsafe { self.get_unchecked_mut() };
+        let fut = unsafe { Pin::new_unchecked(&mut this.fut) };
+        if let Poll::Ready(v) = fut.poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        let sleep = unsafe { Pin::new_unchecked(&mut this.sleep) };
+        if sleep.poll(cx).is_ready() {
+            return Poll::Ready(Err(Elapsed));
+        }
+        Poll::Pending
+    }
+}
+
+/// Await every join handle, collecting results in order.
+pub async fn join_all<T: 'static>(
+    handles: Vec<crate::executor::JoinHandle<T>>,
+) -> Vec<T> {
+    let mut out = Vec::with_capacity(handles.len());
+    for h in handles {
+        out.push(h.await);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{now, sleep, spawn, Sim};
+    use crate::time::{secs, SimTime};
+
+    #[test]
+    fn race_picks_earlier() {
+        let sim = Sim::new();
+        let r = sim.block_on(async {
+            race(
+                async {
+                    sleep(secs(2.0)).await;
+                    "slow"
+                },
+                async {
+                    sleep(secs(1.0)).await;
+                    "fast"
+                },
+            )
+            .await
+        });
+        assert_eq!(r, Either::Right("fast"));
+        assert_eq!(sim.now(), SimTime::ZERO + secs(1.0));
+    }
+
+    #[test]
+    fn race_tie_goes_left() {
+        let sim = Sim::new();
+        let r = sim.block_on(async {
+            race(
+                async {
+                    sleep(secs(1.0)).await;
+                    1
+                },
+                async {
+                    sleep(secs(1.0)).await;
+                    2
+                },
+            )
+            .await
+        });
+        assert_eq!(r, Either::Left(1));
+    }
+
+    #[test]
+    fn timeout_ok_when_future_is_fast() {
+        let sim = Sim::new();
+        let r = sim.block_on(async {
+            timeout(secs(5.0), async {
+                sleep(secs(1.0)).await;
+                42
+            })
+            .await
+        });
+        assert_eq!(r, Ok(42));
+        assert_eq!(sim.now(), SimTime::ZERO + secs(1.0));
+    }
+
+    #[test]
+    fn timeout_elapses() {
+        let sim = Sim::new();
+        let r = sim.block_on(async {
+            timeout(secs(1.0), async {
+                sleep(secs(100.0)).await;
+                42
+            })
+            .await
+        });
+        assert_eq!(r, Err(Elapsed));
+        assert_eq!(sim.now(), SimTime::ZERO + secs(1.0));
+        // The loser's 100s timer must be cancelled: idle run stays at 1s.
+        sim.run_until_idle();
+        assert_eq!(sim.now(), SimTime::ZERO + secs(1.0));
+    }
+
+    #[test]
+    fn join_all_preserves_order() {
+        let sim = Sim::new();
+        let out = sim.block_on(async {
+            let handles: Vec<_> = (0..4u64)
+                .map(|i| {
+                    spawn(async move {
+                        sleep(secs((4 - i) as f64)).await;
+                        i
+                    })
+                })
+                .collect();
+            join_all(handles).await
+        });
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::ZERO + secs(4.0));
+    }
+
+    #[test]
+    fn nested_timeouts() {
+        let sim = Sim::new();
+        let r = sim.block_on(async {
+            timeout(secs(10.0), async {
+                let inner = timeout(secs(1.0), async {
+                    sleep(secs(5.0)).await;
+                })
+                .await;
+                assert_eq!(inner, Err(Elapsed));
+                now()
+            })
+            .await
+        });
+        assert_eq!(r, Ok(SimTime::ZERO + secs(1.0)));
+    }
+}

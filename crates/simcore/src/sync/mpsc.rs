@@ -1,0 +1,251 @@
+//! Multi-producer, single-consumer FIFO channel (unbounded).
+//!
+//! Used as the message mailbox of every simulated component (API server,
+//! kubelet, schedd, activator, ...). Unbounded is the right model here: real
+//! control planes use TCP backlogs and retries; the simulation instead keeps
+//! explicit queueing delay in the *service* model, not the transport.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct Shared<T> {
+    queue: VecDeque<T>,
+    recv_waker: Option<Waker>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// Sending half; clone freely.
+pub struct Sender<T> {
+    shared: Rc<RefCell<Shared<T>>>,
+}
+
+/// Receiving half.
+pub struct Receiver<T> {
+    shared: Rc<RefCell<Shared<T>>>,
+}
+
+/// All receivers are gone; the message is returned.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mpsc receiver dropped")
+    }
+}
+
+/// Create a connected unbounded channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Rc::new(RefCell::new(Shared {
+        queue: VecDeque::new(),
+        recv_waker: None,
+        senders: 1,
+        receiver_alive: true,
+    }));
+    (
+        Sender {
+            shared: Rc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.borrow_mut().senders += 1;
+        Sender {
+            shared: Rc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a message; fails only if the receiver is gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut s = self.shared.borrow_mut();
+        if !s.receiver_alive {
+            return Err(SendError(msg));
+        }
+        s.queue.push_back(msg);
+        if let Some(w) = s.recv_waker.take() {
+            drop(s);
+            w.wake();
+        }
+        Ok(())
+    }
+
+    /// True when the receiver has been dropped.
+    pub fn is_closed(&self) -> bool {
+        !self.shared.borrow().receiver_alive
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut s = self.shared.borrow_mut();
+        s.senders -= 1;
+        if s.senders == 0 {
+            if let Some(w) = s.recv_waker.take() {
+                drop(s);
+                w.wake();
+            }
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.borrow_mut().receiver_alive = false;
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Await the next message; `None` once every sender is dropped and the
+    /// queue is drained.
+    pub fn recv(&mut self) -> Recv<'_, T> {
+        Recv { receiver: self }
+    }
+
+    /// Non-blocking pop.
+    pub fn try_recv(&mut self) -> Option<T> {
+        self.shared.borrow_mut().queue.pop_front()
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.borrow().queue.len()
+    }
+
+    /// True when no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct Recv<'a, T> {
+    receiver: &'a mut Receiver<T>,
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Option<T>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut s = self.receiver.shared.borrow_mut();
+        if let Some(v) = s.queue.pop_front() {
+            return Poll::Ready(Some(v));
+        }
+        if s.senders == 0 {
+            return Poll::Ready(None);
+        }
+        s.recv_waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{sleep, spawn, Sim};
+    use crate::time::secs;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let sim = Sim::new();
+        let got = sim.block_on(async {
+            let (tx, mut rx) = channel();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            got
+        });
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_parks_until_send() {
+        let sim = Sim::new();
+        let v = sim.block_on(async {
+            let (tx, mut rx) = channel();
+            spawn(async move {
+                sleep(secs(3.0)).await;
+                tx.send(7u8).unwrap();
+            });
+            rx.recv().await
+        });
+        assert_eq!(v, Some(7));
+    }
+
+    #[test]
+    fn recv_none_when_all_senders_dropped() {
+        let sim = Sim::new();
+        let v = sim.block_on(async {
+            let (tx, mut rx) = channel::<u8>();
+            let tx2 = tx.clone();
+            drop(tx);
+            spawn(async move {
+                sleep(secs(1.0)).await;
+                drop(tx2);
+            });
+            rx.recv().await
+        });
+        assert_eq!(v, None);
+    }
+
+    #[test]
+    fn send_after_receiver_drop_errors() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (tx, rx) = channel();
+            drop(rx);
+            assert!(tx.is_closed());
+            assert_eq!(tx.send(1), Err(SendError(1)));
+        });
+    }
+
+    #[test]
+    fn multi_producer_interleaves_by_send_time() {
+        let sim = Sim::new();
+        let got = sim.block_on(async {
+            let (tx, mut rx) = channel();
+            for i in 0..3u32 {
+                let tx = tx.clone();
+                spawn(async move {
+                    sleep(secs(f64::from(i + 1))).await;
+                    tx.send(i).unwrap();
+                });
+            }
+            drop(tx);
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            got
+        });
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn try_recv_and_len() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (tx, mut rx) = channel();
+            assert!(rx.is_empty());
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.len(), 2);
+            assert_eq!(rx.try_recv(), Some(1));
+            assert_eq!(rx.try_recv(), Some(2));
+            assert_eq!(rx.try_recv(), None);
+        });
+    }
+}

@@ -1,0 +1,295 @@
+//! Edge-triggered notification primitive (a minimal `tokio::sync::Notify`).
+//!
+//! Used for watch-style wakeups: "the object store changed, re-reconcile".
+//! A stored permit makes `notify_one` before `notified().await` not get lost.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct State {
+    /// One stored permit (as in tokio's Notify).
+    permit: bool,
+    waiters: VecDeque<Rc<RefCell<WaitState>>>,
+}
+
+struct WaitState {
+    notified: bool,
+    waker: Option<Waker>,
+}
+
+/// Notification handle; clone freely.
+#[derive(Clone)]
+pub struct Notify {
+    state: Rc<RefCell<State>>,
+}
+
+impl Default for Notify {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Notify {
+    /// New notifier with no stored permit.
+    pub fn new() -> Self {
+        Notify {
+            state: Rc::new(RefCell::new(State {
+                permit: false,
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Wake one waiter, or store a permit if none is waiting.
+    pub fn notify_one(&self) {
+        let waker = {
+            let mut s = self.state.borrow_mut();
+            match s.waiters.pop_front() {
+                Some(w) => {
+                    let mut wb = w.borrow_mut();
+                    wb.notified = true;
+                    wb.waker.take()
+                }
+                None => {
+                    s.permit = true;
+                    None
+                }
+            }
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+
+    /// Wake all current waiters (does not store a permit).
+    pub fn notify_waiters(&self) {
+        let wakers: Vec<_> = {
+            let mut s = self.state.borrow_mut();
+            s.waiters
+                .drain(..)
+                .filter_map(|w| {
+                    let mut wb = w.borrow_mut();
+                    wb.notified = true;
+                    wb.waker.take()
+                })
+                .collect()
+        };
+        for w in wakers {
+            w.wake();
+        }
+    }
+
+    /// Wait for a notification.
+    pub fn notified(&self) -> Notified {
+        Notified {
+            state: Rc::clone(&self.state),
+            wait: None,
+            done: false,
+        }
+    }
+}
+
+/// Future returned by [`Notify::notified`].
+pub struct Notified {
+    state: Rc<RefCell<State>>,
+    wait: Option<Rc<RefCell<WaitState>>>,
+    /// True once this future has returned `Ready` — its notification was
+    /// consumed and must not be re-forwarded on drop.
+    done: bool,
+}
+
+impl Future for Notified {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.done {
+            return Poll::Ready(());
+        }
+        if let Some(w) = &self.wait {
+            let mut wb = w.borrow_mut();
+            if wb.notified {
+                drop(wb);
+                self.done = true;
+                return Poll::Ready(());
+            }
+            wb.waker = Some(cx.waker().clone());
+            return Poll::Pending;
+        }
+        let mut s = self.state.borrow_mut();
+        if s.permit {
+            s.permit = false;
+            drop(s);
+            self.done = true;
+            return Poll::Ready(());
+        }
+        let w = Rc::new(RefCell::new(WaitState {
+            notified: false,
+            waker: Some(cx.waker().clone()),
+        }));
+        s.waiters.push_back(Rc::clone(&w));
+        drop(s);
+        self.wait = Some(w);
+        Poll::Pending
+    }
+}
+
+impl Drop for Notified {
+    fn drop(&mut self) {
+        if self.done {
+            // Notification consumed normally; nothing to clean up.
+            return;
+        }
+        if let Some(w) = &self.wait {
+            let notified = w.borrow().notified;
+            if notified {
+                // We were picked by notify_one but dropped before observing
+                // the wake: hand the notification to the next waiter so it
+                // is not lost.
+                // We consumed a notify_one that never got observed; pass it on.
+                let mut s = self.state.borrow_mut();
+                if let Some(next) = s.waiters.pop_front() {
+                    let mut nb = next.borrow_mut();
+                    nb.notified = true;
+                    if let Some(wk) = nb.waker.take() {
+                        drop(nb);
+                        drop(s);
+                        wk.wake();
+                    }
+                } else {
+                    s.permit = true;
+                }
+            } else {
+                // Remove ourselves from the queue.
+                let mut s = self.state.borrow_mut();
+                s.waiters.retain(|x| !Rc::ptr_eq(x, w));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{now, sleep, spawn, Sim};
+    use crate::time::{secs, SimTime};
+
+    #[test]
+    fn notify_one_wakes_single_waiter() {
+        let sim = Sim::new();
+        let t = sim.block_on(async {
+            let n = Notify::new();
+            let h = {
+                let n = n.clone();
+                spawn(async move {
+                    n.notified().await;
+                    now()
+                })
+            };
+            sleep(secs(2.0)).await;
+            n.notify_one();
+            h.await
+        });
+        assert_eq!(t, SimTime::ZERO + secs(2.0));
+    }
+
+    #[test]
+    fn stored_permit_is_not_lost() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let n = Notify::new();
+            n.notify_one(); // before anyone waits
+            n.notified().await; // must complete immediately
+        });
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn notify_waiters_wakes_everyone() {
+        let sim = Sim::new();
+        let count = sim.block_on(async {
+            let n = Notify::new();
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let n = n.clone();
+                handles.push(spawn(async move {
+                    n.notified().await;
+                    1u32
+                }));
+            }
+            sleep(secs(1.0)).await;
+            n.notify_waiters();
+            let mut c = 0;
+            for h in handles {
+                c += h.await;
+            }
+            c
+        });
+        assert_eq!(count, 4);
+    }
+
+    /// Regression: a consumed notification must NOT be re-forwarded on drop.
+    /// Two tasks repeatedly waiting on the same Notify used to bounce a
+    /// phantom permit between each other forever (live-lock).
+    #[test]
+    fn consumed_notification_is_not_forwarded() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let n = Notify::new();
+            let mut wakes = 0u32;
+            for _ in 0..3 {
+                let a = {
+                    let n = n.clone();
+                    spawn(async move {
+                        n.notified().await;
+                    })
+                };
+                let b = {
+                    let n = n.clone();
+                    spawn(async move {
+                        n.notified().await;
+                    })
+                };
+                sleep(secs(0.1)).await;
+                n.notify_waiters();
+                a.await;
+                b.await;
+                wakes += 1;
+            }
+            assert_eq!(wakes, 3);
+            // No phantom permit: a fresh notified() must wait, not complete.
+            let late = {
+                let n = n.clone();
+                spawn(async move {
+                    n.notified().await;
+                    now()
+                })
+            };
+            sleep(secs(1.0)).await;
+            n.notify_one();
+            let woke_at = late.await;
+            assert!(woke_at >= SimTime::ZERO + secs(1.0));
+        });
+    }
+
+    #[test]
+    fn notify_waiters_does_not_store_permit() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let n = Notify::new();
+            n.notify_waiters(); // nobody waiting; nothing stored
+            let h = {
+                let n = n.clone();
+                spawn(async move {
+                    n.notified().await;
+                    now()
+                })
+            };
+            sleep(secs(1.0)).await;
+            n.notify_one();
+            assert_eq!(h.await, SimTime::ZERO + secs(1.0));
+        });
+    }
+}

@@ -1,0 +1,164 @@
+//! Single-producer, single-consumer, single-value channel.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct Shared<T> {
+    value: Option<T>,
+    waker: Option<Waker>,
+    sender_dropped: bool,
+    receiver_dropped: bool,
+}
+
+/// Sending half. Consumed by [`Sender::send`].
+pub struct Sender<T> {
+    shared: Rc<RefCell<Shared<T>>>,
+}
+
+/// Receiving half; a future resolving to `Ok(value)` or
+/// `Err(RecvError)` if the sender was dropped without sending.
+pub struct Receiver<T> {
+    shared: Rc<RefCell<Shared<T>>>,
+}
+
+/// The sender was dropped without sending a value.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "oneshot sender dropped without sending")
+    }
+}
+impl std::error::Error for RecvError {}
+
+/// Create a connected oneshot pair.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Rc::new(RefCell::new(Shared {
+        value: None,
+        waker: None,
+        sender_dropped: false,
+        receiver_dropped: false,
+    }));
+    (
+        Sender {
+            shared: Rc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Send the value; returns it back if the receiver is gone.
+    pub fn send(self, value: T) -> Result<(), T> {
+        let mut s = self.shared.borrow_mut();
+        if s.receiver_dropped {
+            return Err(value);
+        }
+        s.value = Some(value);
+        if let Some(w) = s.waker.take() {
+            drop(s);
+            w.wake();
+        }
+        Ok(())
+    }
+
+    /// True if the receiving half has been dropped.
+    pub fn is_closed(&self) -> bool {
+        self.shared.borrow().receiver_dropped
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut s = self.shared.borrow_mut();
+        s.sender_dropped = true;
+        if let Some(w) = s.waker.take() {
+            drop(s);
+            w.wake();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.borrow_mut().receiver_dropped = true;
+    }
+}
+
+impl<T> Future for Receiver<T> {
+    type Output = Result<T, RecvError>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut s = self.shared.borrow_mut();
+        if let Some(v) = s.value.take() {
+            return Poll::Ready(Ok(v));
+        }
+        if s.sender_dropped {
+            return Poll::Ready(Err(RecvError));
+        }
+        s.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{sleep, spawn, Sim};
+    use crate::time::secs;
+
+    #[test]
+    fn send_then_recv() {
+        let sim = Sim::new();
+        let v = sim.block_on(async {
+            let (tx, rx) = channel();
+            spawn(async move {
+                sleep(secs(1.0)).await;
+                tx.send(99).unwrap();
+            });
+            rx.await.unwrap()
+        });
+        assert_eq!(v, 99);
+    }
+
+    #[test]
+    fn dropped_sender_yields_err() {
+        let sim = Sim::new();
+        let r = sim.block_on(async {
+            let (tx, rx) = channel::<u32>();
+            spawn(async move {
+                sleep(secs(1.0)).await;
+                drop(tx);
+            });
+            rx.await
+        });
+        assert_eq!(r, Err(RecvError));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_returns_value() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (tx, rx) = channel::<u32>();
+            drop(rx);
+            assert!(tx.is_closed());
+            assert_eq!(tx.send(5), Err(5));
+        });
+    }
+
+    #[test]
+    fn recv_before_send_parks_and_wakes() {
+        let sim = Sim::new();
+        let v = sim.block_on(async {
+            let (tx, rx) = channel();
+            let h = spawn(async move { rx.await.unwrap() });
+            sleep(secs(2.0)).await;
+            tx.send("late").unwrap();
+            h.await
+        });
+        assert_eq!(v, "late");
+    }
+}

@@ -1,0 +1,184 @@
+//! Lightweight event tracing for simulated components.
+//!
+//! Components emit `(time, component, event, detail)` records into a shared
+//! ring. Tests assert on traces; harness binaries can dump them for
+//! debugging. Tracing is off by default and costs one branch when disabled.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::time::SimTime;
+
+/// One trace record.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// Emitting component, e.g. `"kubelet/node-2"`.
+    pub component: String,
+    /// Event kind, e.g. `"pod-started"`.
+    pub event: String,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} {} {}",
+            self.at, self.component, self.event, self.detail
+        )
+    }
+}
+
+struct Inner {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+    limit: usize,
+}
+
+/// Shared trace sink; clone freely.
+#[derive(Clone)]
+pub struct Trace {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl Trace {
+    /// A trace that records events (up to `limit`, then drops).
+    pub fn enabled(limit: usize) -> Self {
+        Trace {
+            inner: Rc::new(RefCell::new(Inner {
+                enabled: true,
+                events: Vec::new(),
+                limit,
+            })),
+        }
+    }
+
+    /// A trace that ignores everything.
+    pub fn disabled() -> Self {
+        Trace {
+            inner: Rc::new(RefCell::new(Inner {
+                enabled: false,
+                events: Vec::new(),
+                limit: 0,
+            })),
+        }
+    }
+
+    /// True if recording.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.borrow().enabled
+    }
+
+    /// Record an event at virtual time `at`.
+    pub fn emit(
+        &self,
+        at: SimTime,
+        component: impl Into<String>,
+        event: impl Into<String>,
+        detail: impl fmt::Display,
+    ) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.enabled || inner.events.len() >= inner.limit {
+            return;
+        }
+        let ev = TraceEvent {
+            at,
+            component: component.into(),
+            event: event.into(),
+            detail: detail.to_string(),
+        };
+        inner.events.push(ev);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot all recorded events.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.inner.borrow().events.clone()
+    }
+
+    /// Events whose kind matches `event`.
+    pub fn filter(&self, event: &str) -> Vec<TraceEvent> {
+        self.inner
+            .borrow()
+            .events
+            .iter()
+            .filter(|e| e.event == event)
+            .cloned()
+            .collect()
+    }
+
+    /// Count of events with the given kind.
+    pub fn count(&self, event: &str) -> usize {
+        self.inner
+            .borrow()
+            .events
+            .iter()
+            .filter(|e| e.event == event)
+            .count()
+    }
+
+    /// Render the whole trace, one event per line.
+    pub fn render(&self) -> String {
+        let inner = self.inner.borrow();
+        let mut s = String::new();
+        for e in &inner.events {
+            s.push_str(&e.to_string());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::secs;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let t = Trace::disabled();
+        t.emit(SimTime::ZERO, "c", "e", "d");
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_and_filters() {
+        let t = Trace::enabled(100);
+        t.emit(SimTime::ZERO + secs(1.0), "kubelet/n1", "pod-started", "p-1");
+        t.emit(SimTime::ZERO + secs(2.0), "kubelet/n2", "pod-started", "p-2");
+        t.emit(SimTime::ZERO + secs(3.0), "scheduler", "bound", "p-1->n1");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.count("pod-started"), 2);
+        assert_eq!(t.filter("bound")[0].component, "scheduler");
+        assert!(t.render().contains("pod-started"));
+    }
+
+    #[test]
+    fn limit_caps_recording() {
+        let t = Trace::enabled(2);
+        for i in 0..5 {
+            t.emit(SimTime::ZERO, "c", "e", i);
+        }
+        assert_eq!(t.len(), 2);
+    }
+}

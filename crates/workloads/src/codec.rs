@@ -1,0 +1,178 @@
+//! Binary matrix file format.
+//!
+//! The paper's tasks read/write matrices as files; this codec is the wire
+//! and disk representation used across the simulated filesystems and HTTP
+//! payloads: magic `SWFM`, u32 rows, u32 cols, little-endian i64 entries.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::matrix::Matrix;
+
+/// Magic prefix of encoded matrices.
+pub const MAGIC: &[u8; 4] = b"SWFM";
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Payload too short or missing magic.
+    BadHeader,
+    /// Payload length disagrees with the header shape.
+    Truncated {
+        /// Bytes expected from the header.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadHeader => write!(f, "bad matrix header"),
+            CodecError::Truncated { expected, actual } => {
+                write!(f, "truncated matrix payload: expected {expected}B, got {actual}B")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Encode a matrix.
+pub fn encode(m: &Matrix) -> Bytes {
+    let mut buf = BytesMut::with_capacity(12 + m.as_slice().len() * 8);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(m.rows() as u32);
+    buf.put_u32_le(m.cols() as u32);
+    for &v in m.as_slice() {
+        buf.put_i64_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decode a matrix.
+pub fn decode(mut data: Bytes) -> Result<Matrix, CodecError> {
+    if data.len() < 12 || &data[..4] != MAGIC {
+        return Err(CodecError::BadHeader);
+    }
+    data.advance(4);
+    let rows = data.get_u32_le() as usize;
+    let cols = data.get_u32_le() as usize;
+    let expected = rows * cols * 8;
+    if data.len() != expected {
+        return Err(CodecError::Truncated {
+            expected,
+            actual: data.len(),
+        });
+    }
+    let mut v = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        v.push(data.get_i64_le());
+    }
+    Ok(Matrix::from_vec(rows, cols, v))
+}
+
+/// Size in bytes of an encoded `r × c` matrix (for data-movement models).
+pub const fn encoded_size(r: usize, c: usize) -> usize {
+    12 + r * c * 8
+}
+
+/// Encode a pair of matrices into one request payload (the paper passes
+/// both input matrices by value in the invocation request).
+pub fn encode_pair(a: &Matrix, b: &Matrix) -> Bytes {
+    let ea = encode(a);
+    let eb = encode(b);
+    let mut buf = BytesMut::with_capacity(8 + ea.len() + eb.len());
+    buf.put_u64_le(ea.len() as u64);
+    buf.put_slice(&ea);
+    buf.put_slice(&eb);
+    buf.freeze()
+}
+
+/// Decode a pair encoded by [`encode_pair`].
+pub fn decode_pair(mut data: Bytes) -> Result<(Matrix, Matrix), CodecError> {
+    if data.len() < 8 {
+        return Err(CodecError::BadHeader);
+    }
+    let alen = data.get_u64_le() as usize;
+    if data.len() < alen {
+        return Err(CodecError::Truncated {
+            expected: alen,
+            actual: data.len(),
+        });
+    }
+    let a = decode(data.split_to(alen))?;
+    let b = decode(data)?;
+    Ok((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use swf_simcore::DetRng;
+
+    #[test]
+    fn roundtrip() {
+        let mut rng = DetRng::new(5, "codec");
+        let m = Matrix::random(13, 7, &mut rng, -100, 100);
+        let enc = encode(&m);
+        assert_eq!(enc.len(), encoded_size(13, 7));
+        assert_eq!(decode(enc).unwrap(), m);
+    }
+
+    #[test]
+    fn paper_matrix_size_is_under_a_megabyte() {
+        // 350×350 × 8B ≈ 980 KB — the pass-by-value payload of one input.
+        let sz = encoded_size(350, 350);
+        assert_eq!(sz, 12 + 350 * 350 * 8);
+        assert!(sz < 1_000_000);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert_eq!(decode(Bytes::from_static(b"XX")), Err(CodecError::BadHeader));
+        assert_eq!(
+            decode(Bytes::from_static(b"NOPE12345678")),
+            Err(CodecError::BadHeader)
+        );
+        let m = Matrix::identity(3);
+        let enc = encode(&m);
+        let cut = enc.slice(0..enc.len() - 4);
+        assert!(matches!(decode(cut), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn pair_roundtrip() {
+        let mut rng = DetRng::new(6, "pair");
+        let a = Matrix::random(4, 5, &mut rng, -10, 10);
+        let b = Matrix::random(5, 6, &mut rng, -10, 10);
+        let enc = encode_pair(&a, &b);
+        let (da, db) = decode_pair(enc).unwrap();
+        assert_eq!(da, a);
+        assert_eq!(db, b);
+    }
+
+    #[test]
+    fn pair_bad_inputs() {
+        assert!(decode_pair(Bytes::from_static(b"xy")).is_err());
+        let mut buf = bytes::BytesMut::new();
+        use bytes::BufMut;
+        buf.put_u64_le(1_000_000);
+        buf.put_slice(b"short");
+        assert!(matches!(
+            decode_pair(buf.freeze()),
+            Err(CodecError::Truncated { .. })
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn roundtrip_prop(seed in 0u64..500, r in 1usize..20, c in 1usize..20) {
+            let mut rng = DetRng::new(seed, "rt");
+            let m = Matrix::random(r, c, &mut rng, i64::MIN / 4, i64::MAX / 4);
+            prop_assert_eq!(decode(encode(&m)).unwrap(), m);
+        }
+    }
+}

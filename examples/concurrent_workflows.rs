@@ -1,0 +1,51 @@
+//! The paper's Fig. 4 experiment in miniature: several concurrent
+//! sequential workflows with randomly mixed execution environments,
+//! reporting the §V-D metric (makespan of the slowest workflow).
+//!
+//! Run with: `cargo run --release --example concurrent_workflows`
+
+use swf_core::experiments::{run_once, ConcurrentParams};
+use swf_core::ExperimentConfig;
+use swf_workloads::EnvMix;
+
+fn main() {
+    let config = ExperimentConfig::quick();
+    let mixes = [
+        ("all-native", EnvMix::ALL_NATIVE),
+        ("one-third each", EnvMix { serverless: 0.34, container: 0.33 }),
+        ("all-serverless", EnvMix::ALL_SERVERLESS),
+        ("all-container", EnvMix::ALL_CONTAINER),
+    ];
+    println!("4 concurrent workflows x 5 tasks, random env assignment per mix:\n");
+    println!("{:<16} {:>10} {:>10} {:>8}", "mix", "slowest_s", "mean_s", "tasks");
+    for (label, mix) in mixes {
+        let outcome = run_once(
+            &config,
+            ConcurrentParams {
+                workflows: 4,
+                tasks_per_workflow: 5,
+                mix,
+                ..ConcurrentParams::default()
+            },
+            0,
+        );
+        println!(
+            "{label:<16} {:>10.1} {:>10.1} {:>8}",
+            outcome.slowest, outcome.mean, outcome.tasks
+        );
+    }
+    println!("\nper-workflow makespans for the mixed run:");
+    let mixed = run_once(
+        &config,
+        ConcurrentParams {
+            workflows: 4,
+            tasks_per_workflow: 5,
+            mix: EnvMix { serverless: 0.34, container: 0.33 },
+            ..ConcurrentParams::default()
+        },
+        0,
+    );
+    for (i, m) in mixed.workflow_makespans.iter().enumerate() {
+        println!("  workflow {i}: {m:.1}s");
+    }
+}

@@ -1,0 +1,32 @@
+//! # serverless-hpc-workflows
+//!
+//! Full Rust reproduction of *Serverless Computing for Dynamic HPC
+//! Workflows* (Thurimella et al., SC 2024): integration of a Knative-style
+//! serverless platform with a Pegasus-style workflow management system on
+//! HTCondor and Kubernetes, evaluated with the paper's matrix-multiplication
+//! workflows in a deterministic virtual-time simulation.
+//!
+//! This umbrella crate re-exports every layer; see the individual crates
+//! for details:
+//!
+//! - [`simcore`] — deterministic virtual-time async kernel
+//! - [`cluster`] — nodes, network, filesystems, HTTP
+//! - [`container`] — images, registry, runtime, `docker run`
+//! - [`k8s`] — API server, scheduler, kubelets, controllers
+//! - [`knative`] — KServices, KPA autoscaler, activator, queue-proxy
+//! - [`condor`] — schedd, negotiator, startds, DAGMan
+//! - [`pegasus`] — abstract workflows, catalogs, planner
+//! - [`workloads`] — real matmul kernels, codecs, workflow shapes
+//! - [`metrics`] — stats, regression, ternary grids, reports
+//! - [`core`] — the paper's contribution + experiment runners
+
+pub use swf_cluster as cluster;
+pub use swf_condor as condor;
+pub use swf_container as container;
+pub use swf_core as core;
+pub use swf_k8s as k8s;
+pub use swf_knative as knative;
+pub use swf_metrics as metrics;
+pub use swf_pegasus as pegasus;
+pub use swf_simcore as simcore;
+pub use swf_workloads as workloads;

@@ -1,0 +1,87 @@
+//! Whole-stack determinism: two fresh simulations with the same seeds must
+//! reproduce every observable — makespans, per-workflow timings, network
+//! byte counts and container lifecycle counters — bit for bit.
+
+use swf_core::experiments::{run_once, ConcurrentParams};
+use swf_core::{ExperimentConfig, TestBed};
+use swf_simcore::{secs, Sim};
+use swf_workloads::EnvMix;
+
+#[test]
+fn concurrent_experiment_is_bit_reproducible() {
+    let config = ExperimentConfig::quick();
+    let params = ConcurrentParams {
+        workflows: 3,
+        tasks_per_workflow: 3,
+        mix: EnvMix {
+            serverless: 0.4,
+            container: 0.3,
+        },
+        ..ConcurrentParams::default()
+    };
+    let a = run_once(&config, params, 5);
+    let b = run_once(&config, params, 5);
+    assert_eq!(a.workflow_makespans, b.workflow_makespans);
+    assert_eq!(a.slowest, b.slowest);
+}
+
+#[test]
+fn different_reps_actually_differ() {
+    let config = ExperimentConfig::quick();
+    let params = ConcurrentParams {
+        workflows: 3,
+        tasks_per_workflow: 3,
+        mix: EnvMix::ALL_SERVERLESS,
+        ..ConcurrentParams::default()
+    };
+    let a = run_once(&config, params, 0);
+    let b = run_once(&config, params, 1);
+    // Different repetition seeds redraw jitter and assignments.
+    assert_ne!(
+        a.workflow_makespans, b.workflow_makespans,
+        "distinct reps should not coincide exactly"
+    );
+}
+
+#[test]
+fn testbed_boot_is_reproducible_to_the_byte() {
+    let observe = || {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let config = ExperimentConfig::quick();
+            let bed = TestBed::boot(&config);
+            swf_core::register_matmul(&bed.knative, &config);
+            bed.knative.wait_ready("matmul", 1, secs(600.0)).await.unwrap();
+            (
+                swf_simcore::now().as_nanos(),
+                bed.cluster.network().bytes_moved(),
+                bed.registry.bytes_served(),
+                bed.k8s.api().pods().len(),
+            )
+        })
+    };
+    let a = observe();
+    let b = observe();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn seed_changes_propagate_everywhere() {
+    let run = |seed: u64| {
+        let mut config = ExperimentConfig::quick();
+        config.seed = seed;
+        run_once(
+            &config,
+            ConcurrentParams {
+                workflows: 2,
+                tasks_per_workflow: 3,
+                mix: EnvMix::ALL_NATIVE,
+                ..ConcurrentParams::default()
+            },
+            0,
+        )
+        .slowest
+    };
+    // Different seeds → different jitter draws → different makespans.
+    assert_ne!(run(1), run(2));
+}

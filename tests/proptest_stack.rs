@@ -1,0 +1,72 @@
+//! Property-based tests over the integrated stack.
+
+use proptest::prelude::*;
+
+use swf_core::experiments::{run_once, ConcurrentParams};
+use swf_core::ExperimentConfig;
+use swf_workloads::EnvMix;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The slowest workflow is never faster than the mean, and every
+    /// makespan is positive, for arbitrary mixes and small shapes.
+    #[test]
+    fn slowest_dominates_mean(
+        serverless_pct in 0u32..=10,
+        container_pct in 0u32..=10,
+        workflows in 1usize..=3,
+        tasks in 1usize..=3,
+    ) {
+        let total = serverless_pct + container_pct;
+        let (s, c) = if total > 10 {
+            (serverless_pct as f64 / total as f64, container_pct as f64 / total as f64)
+        } else {
+            (serverless_pct as f64 / 10.0, container_pct as f64 / 10.0)
+        };
+        let config = ExperimentConfig::quick();
+        let outcome = run_once(
+            &config,
+            ConcurrentParams {
+                workflows,
+                tasks_per_workflow: tasks,
+                mix: EnvMix { serverless: s, container: c },
+                ..ConcurrentParams::default()
+            },
+            1,
+        );
+        prop_assert_eq!(outcome.workflow_makespans.len(), workflows);
+        prop_assert!(outcome.slowest >= outcome.mean - 1e-9);
+        for m in &outcome.workflow_makespans {
+            prop_assert!(*m > 0.0);
+        }
+    }
+
+    /// Adding tasks to every workflow never reduces the slowest makespan
+    /// (monotonicity of the makespan in workload size).
+    #[test]
+    fn makespan_monotone_in_tasks(tasks in 1usize..=2) {
+        let config = ExperimentConfig::quick();
+        let run = |t: usize| {
+            run_once(
+                &config,
+                ConcurrentParams {
+                    workflows: 2,
+                    tasks_per_workflow: t,
+                    mix: EnvMix::ALL_NATIVE,
+                    ..ConcurrentParams::default()
+                },
+                0,
+            )
+            .slowest
+        };
+        let small = run(tasks);
+        let large = run(tasks + 2);
+        prop_assert!(
+            large > small,
+            "more tasks must take longer: {} vs {}",
+            large,
+            small
+        );
+    }
+}
