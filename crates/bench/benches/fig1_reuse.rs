@@ -18,13 +18,17 @@ fn fig1_reuse(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1");
     group.sample_size(10);
     for tasks in [20usize, 40] {
-        group.bench_with_input(BenchmarkId::new("docker_vs_knative", tasks), &tasks, |b, &n| {
-            b.iter(|| {
-                let r = fig1::run(&config, &[n]);
-                assert!(r.rows[0].docker_total > 0.0);
-                r.rows[0].knative_total
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("docker_vs_knative", tasks),
+            &tasks,
+            |b, &n| {
+                b.iter(|| {
+                    let r = fig1::run(&config, &[n]);
+                    assert!(r.rows[0].docker_total > 0.0);
+                    r.rows[0].knative_total
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -6,7 +6,7 @@
 //! 4. task clustering levels (the paper's §IX-C task resizing),
 //! 5. routing policy: round-robin vs §IX-D least-loaded redirection.
 //!
-//! Usage: `cargo run --release -p swf-bench --bin ablations [--quick]`
+//! Usage: `cargo run --release -p swf-bench --bin ablations [--quick] [--trace] [--trace-out <path>]`
 
 use bytes::Bytes;
 
@@ -30,11 +30,15 @@ fn scale() -> (usize, usize) {
 
 /// Ablation 1 — container concurrency: shared containers (cc=0) vs
 /// strict one-request-per-container (cc=1) on the all-serverless workload.
-fn ablate_reuse(t: &mut Table) {
+fn ablate_reuse(t: &mut Table, collectors: &mut Vec<(String, swf_obs::Obs)>) {
     let (workflows, tasks) = scale();
-    for (label, cc) in [("containerConcurrency=1", 1u32), ("containerConcurrency=0 (shared)", 0)] {
+    for (label, cc) in [
+        ("containerConcurrency=1", 1u32),
+        ("containerConcurrency=0 (shared)", 0),
+    ] {
         let mut config = ExperimentConfig::quick();
         config.container_concurrency = cc;
+        config.trace = swf_bench::is_traced();
         let o = run_once(
             &config,
             ConcurrentParams {
@@ -50,11 +54,12 @@ fn ablate_reuse(t: &mut Table) {
             label.into(),
             format!("{:.1}", o.slowest),
         ]);
+        collectors.push((format!("reuse/{label}"), o.obs));
     }
 }
 
 /// Ablation 2 — provisioning: pre-staged warm pods vs deferred downloads.
-fn ablate_provisioning(t: &mut Table) {
+fn ablate_provisioning(t: &mut Table, collectors: &mut Vec<(String, swf_obs::Obs)>) {
     let (workflows, tasks) = scale();
     for (label, mode) in [
         ("min-scale pre-staged", Provisioning::PreStage),
@@ -62,6 +67,7 @@ fn ablate_provisioning(t: &mut Table) {
     ] {
         let mut config = ExperimentConfig::quick();
         config.provisioning = mode;
+        config.trace = swf_bench::is_traced();
         let o = run_once(
             &config,
             ConcurrentParams {
@@ -72,16 +78,25 @@ fn ablate_provisioning(t: &mut Table) {
             },
             0,
         );
-        t.row(&["provisioning".into(), label.into(), format!("{:.1}", o.slowest)]);
+        t.row(&[
+            "provisioning".into(),
+            label.into(),
+            format!("{:.1}", o.slowest),
+        ]);
+        collectors.push((format!("provisioning/{label}"), o.obs));
     }
 }
 
 /// Ablation 3 — pass-by-value serialization on vs off (node-resident data).
-fn ablate_payload(t: &mut Table) {
+fn ablate_payload(t: &mut Table, collectors: &mut Vec<(String, swf_obs::Obs)>) {
     let (workflows, tasks) = scale();
-    for (label, rate) in [("pass-by-value (4 MB/s ser.)", 4.0e6), ("node-resident data", 0.0)] {
+    for (label, rate) in [
+        ("pass-by-value (4 MB/s ser.)", 4.0e6),
+        ("node-resident data", 0.0),
+    ] {
         let mut config = ExperimentConfig::quick();
         config.serialization_rate = rate;
+        config.trace = swf_bench::is_traced();
         // Use paper-sized matrices so payload costs are visible.
         config.matrix_dim = if swf_bench::is_quick() { 64 } else { 350 };
         let o = run_once(
@@ -94,15 +109,21 @@ fn ablate_payload(t: &mut Table) {
             },
             0,
         );
-        t.row(&["file management".into(), label.into(), format!("{:.1}", o.slowest)]);
+        t.row(&[
+            "file management".into(),
+            label.into(),
+            format!("{:.1}", o.slowest),
+        ]);
+        collectors.push((format!("payload/{label}"), o.obs));
     }
 }
 
 /// Ablation 4 — task clustering levels (§IX-C task resizing).
-fn ablate_clustering(t: &mut Table) {
+fn ablate_clustering(t: &mut Table, collectors: &mut Vec<(String, swf_obs::Obs)>) {
     let (workflows, tasks) = scale();
     for level in [1usize, 2, 4] {
-        let config = ExperimentConfig::quick();
+        let mut config = ExperimentConfig::quick();
+        config.trace = swf_bench::is_traced();
         let o = run_once(
             &config,
             ConcurrentParams {
@@ -121,18 +142,26 @@ fn ablate_clustering(t: &mut Table) {
             format!("cluster level {level}"),
             format!("{:.1}", o.slowest),
         ]);
+        collectors.push((format!("clustering/level-{level}"), o.obs));
     }
 }
 
 /// Ablation 5 — routing: round-robin vs least-loaded redirection (§IX-D)
 /// under a skewed background load.
-fn ablate_routing(t: &mut Table) {
+fn ablate_routing(t: &mut Table, collectors: &mut Vec<(String, swf_obs::Obs)>) {
     for (label, policy) in [
         ("round-robin", RoutingPolicy::RoundRobin),
         ("least-loaded (§IX-D)", RoutingPolicy::LeastLoaded),
     ] {
+        let obs = if swf_bench::is_traced() {
+            swf_obs::Obs::enabled()
+        } else {
+            swf_obs::Obs::disabled()
+        };
+        let obs2 = obs.clone();
         let sim = Sim::new();
         let mean_latency = sim.block_on(async move {
+            let _obs_guard = swf_obs::install(obs2);
             let mut config = ExperimentConfig::quick();
             config.knative.routing = policy;
             let bed = TestBed::boot(&config);
@@ -177,6 +206,7 @@ fn ablate_routing(t: &mut Table) {
             label.into(),
             format!("{mean_latency:.2}"),
         ]);
+        collectors.push((format!("routing/{label}"), obs));
     }
 }
 
@@ -185,11 +215,15 @@ fn main() {
         "Ablations over the paper's design choices (seconds; lower is better)",
         &["ablation", "variant", "metric_s"],
     );
-    ablate_reuse(&mut t);
-    ablate_provisioning(&mut t);
-    ablate_payload(&mut t);
-    ablate_clustering(&mut t);
-    ablate_routing(&mut t);
+    let mut collectors: Vec<(String, swf_obs::Obs)> = Vec::new();
+    ablate_reuse(&mut t, &mut collectors);
+    ablate_provisioning(&mut t, &mut collectors);
+    ablate_payload(&mut t, &mut collectors);
+    ablate_clustering(&mut t, &mut collectors);
+    ablate_routing(&mut t, &mut collectors);
     println!("{}", t.render());
     println!("metric: rows 1-8 = slowest-workflow makespan; rows 9-10 = mean request latency");
+    let refs: Vec<(&str, &swf_obs::Obs)> =
+        collectors.iter().map(|(l, o)| (l.as_str(), o)).collect();
+    swf_bench::dump_observability(&refs);
 }

@@ -1,16 +1,21 @@
 //! Regenerate the §III-B cold-start measurement (paper: 1.48 s).
 //!
-//! Usage: `cargo run --release -p swf-bench --bin coldstart [--quick]`
+//! Usage: `cargo run --release -p swf-bench --bin coldstart [--quick] [--trace] [--trace-out <path>]`
 
-use swf_bench::cli_config;
+use swf_bench::{cli_config, dump_observability, install_cli_obs};
 use swf_core::experiments::{coldstart, setup_header};
 
 fn main() {
     let config = cli_config();
+    let (obs, _guard) = install_cli_obs();
     println!("{}", setup_header(&config));
     let r = coldstart::run(&config);
     println!("## §III-B cold start");
     println!("first request (cold): {:.3} s", r.first_request);
-    println!("cold start (minus compute): {:.3} s   [paper: 1.48 s]", r.cold_start);
+    println!(
+        "cold start (minus compute): {:.3} s   [paper: 1.48 s]",
+        r.cold_start
+    );
     println!("warm request: {:.3} s", r.warm_request);
+    dump_observability(&[("coldstart", &obs)]);
 }

@@ -1,13 +1,14 @@
 //! Regenerate Figure 1: Docker vs Knative total/execution time for N
 //! sequential matrix-multiplication tasks.
 //!
-//! Usage: `cargo run --release -p swf-bench --bin fig1 [--quick]`
+//! Usage: `cargo run --release -p swf-bench --bin fig1 [--quick] [--trace] [--trace-out <path>]`
 
-use swf_bench::{cli_config, fig1_report, is_quick};
+use swf_bench::{cli_config, dump_observability, fig1_report, install_cli_obs, is_quick};
 use swf_core::experiments::{fig1, setup_header};
 
 fn main() {
     let config = cli_config();
+    let (obs, _guard) = install_cli_obs();
     println!("{}", setup_header(&config));
     let counts: Vec<usize> = if is_quick() {
         vec![10, 20, 40, 80]
@@ -16,4 +17,5 @@ fn main() {
     };
     let result = fig1::run(&config, &counts);
     println!("{}", fig1_report(&result));
+    dump_observability(&[("fig1", &obs)]);
 }

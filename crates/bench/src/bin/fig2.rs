@@ -1,13 +1,14 @@
 //! Regenerate Figure 2: makespan of k parallel tasks under native, Knative
 //! and traditional-container execution via HTCondor.
 //!
-//! Usage: `cargo run --release -p swf-bench --bin fig2 [--quick]`
+//! Usage: `cargo run --release -p swf-bench --bin fig2 [--quick] [--trace] [--trace-out <path>]`
 
-use swf_bench::{cli_config, fig2_report, is_quick};
+use swf_bench::{cli_config, dump_observability, fig2_report, install_cli_obs, is_quick};
 use swf_core::experiments::{fig2, setup_header};
 
 fn main() {
     let mut config = cli_config();
+    let (obs, _guard) = install_cli_obs();
     // The parallel experiment submits one burst of independent jobs: no
     // DAGMan, no claim reuse — per-job latency is negotiation-bound, not
     // activation-bound. Calibrated so the native slope lands near the
@@ -22,4 +23,5 @@ fn main() {
     };
     let result = fig2::run(&config, &counts);
     println!("{}", fig2_report(&result));
+    dump_observability(&[("fig2", &obs)]);
 }

@@ -2,9 +2,9 @@
 //! Sweeps environment mixes over the simplex; each point runs 10 concurrent
 //! 10-task workflows and reports the average slowest-workflow makespan.
 //!
-//! Usage: `cargo run --release -p swf-bench --bin fig5 [--quick]`
+//! Usage: `cargo run --release -p swf-bench --bin fig5 [--quick] [--trace] [--trace-out <path>]`
 
-use swf_bench::{cli_config, fig5_report, is_quick};
+use swf_bench::{cli_config, dump_observability, fig5_report, is_quick};
 use swf_core::experiments::{run_fig5, setup_header};
 
 fn main() {
@@ -17,4 +17,20 @@ fn main() {
     };
     let result = run_fig5(&config, steps, workflows, tasks, repeats);
     println!("{}", fig5_report(&result));
+    let labels: Vec<String> = result
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "n{:.2}-s{:.2}-c{:.2}",
+                r.mix.native, r.mix.serverless, r.mix.container
+            )
+        })
+        .collect();
+    let collectors: Vec<(&str, &swf_obs::Obs)> = labels
+        .iter()
+        .map(String::as_str)
+        .zip(&result.collectors)
+        .collect();
+    dump_observability(&collectors);
 }

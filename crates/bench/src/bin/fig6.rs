@@ -1,9 +1,9 @@
 //! Regenerate Figure 6: average makespan of the slowest of 10 concurrent
 //! workflows for the five highlighted environment mixes.
 //!
-//! Usage: `cargo run --release -p swf-bench --bin fig6 [--quick]`
+//! Usage: `cargo run --release -p swf-bench --bin fig6 [--quick] [--trace] [--trace-out <path>]`
 
-use swf_bench::{cli_config, fig6_report, is_quick};
+use swf_bench::{cli_config, dump_observability, fig6_report, is_quick};
 use swf_core::experiments::{run_fig6, setup_header};
 
 fn main() {
@@ -12,4 +12,7 @@ fn main() {
     let (workflows, tasks, repeats) = if is_quick() { (4, 4, 1) } else { (10, 10, 3) };
     let result = run_fig6(&config, workflows, tasks, repeats);
     println!("{}", fig6_report(&result));
+    let collectors: Vec<(&str, &swf_obs::Obs)> =
+        result.rows.iter().map(|r| (r.label, &r.obs)).collect();
+    dump_observability(&collectors);
 }

@@ -14,9 +14,38 @@ pub fn is_quick() -> bool {
     std::env::args().any(|a| a == "--quick" || a == "-q")
 }
 
+/// Parse the `--trace-out <path>` flag (also `--trace-out=<path>`).
+/// Exits with an error when the flag is present without a path, so the
+/// mistake surfaces before the experiment runs rather than as a silently
+/// untraced run.
+pub fn trace_out() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--trace-out" {
+            match args.get(i + 1) {
+                Some(p) if !p.starts_with('-') => return Some(p.clone()),
+                _ => {
+                    eprintln!("error: --trace-out requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if let Some(p) = a.strip_prefix("--trace-out=") {
+            return Some(p.to_string());
+        }
+    }
+    None
+}
+
+/// True when span collection is requested (`--trace`, or implied by
+/// `--trace-out`).
+pub fn is_traced() -> bool {
+    trace_out().is_some() || std::env::args().any(|a| a == "--trace")
+}
+
 /// The experiment config selected by the CLI flags.
 pub fn cli_config() -> ExperimentConfig {
-    if is_quick() {
+    let mut c = if is_quick() {
         let mut c = ExperimentConfig::quick();
         // Quick harness runs still use paper-shaped timing but small
         // matrices, so real compute stays cheap.
@@ -24,6 +53,67 @@ pub fn cli_config() -> ExperimentConfig {
         c
     } else {
         ExperimentConfig::paper()
+    };
+    c.trace = is_traced();
+    c
+}
+
+/// Merge labelled span collectors into one Chrome-trace JSON array
+/// (Perfetto / `chrome://tracing` loadable) and write it to `path`. Each
+/// label becomes a process-name prefix so several runs coexist in one view.
+pub fn write_chrome_trace(path: &str, collectors: &[(&str, &swf_obs::Obs)]) -> std::io::Result<()> {
+    let mut events = Vec::new();
+    for (label, obs) in collectors {
+        let spans = obs.spans();
+        if spans.is_empty() {
+            continue;
+        }
+        match swf_obs::chrome_trace(&spans, label) {
+            serde_json::Value::Array(evs) => events.extend(evs),
+            other => events.push(other),
+        }
+    }
+    std::fs::write(path, serde_json::Value::Array(events).to_string())
+}
+
+/// Render the metrics registries of labelled collectors as one JSON object.
+pub fn metrics_json(collectors: &[(&str, &swf_obs::Obs)]) -> serde_json::Value {
+    let mut map = serde_json::Map::new();
+    for (label, obs) in collectors {
+        map.insert(label.to_string(), obs.metrics_json());
+    }
+    serde_json::Value::Object(map)
+}
+
+/// Install a process-wide span collector driven by the tracing CLI flags:
+/// enabled when `--trace`/`--trace-out` is present, a disabled handle
+/// otherwise. Keep the returned guard alive for the duration of the run.
+pub fn install_cli_obs() -> (swf_obs::Obs, swf_obs::InstallGuard) {
+    let obs = if is_traced() {
+        swf_obs::Obs::enabled()
+    } else {
+        swf_obs::Obs::disabled()
+    };
+    let guard = swf_obs::install(obs.clone());
+    (obs, guard)
+}
+
+/// Honour the tracing CLI flags for a finished run: print the metrics
+/// registry as JSON and write the Chrome-trace file when `--trace-out` was
+/// given. No-op when tracing was not requested.
+pub fn dump_observability(collectors: &[(&str, &swf_obs::Obs)]) {
+    if !is_traced() {
+        return;
+    }
+    println!("\nmetrics: {}", metrics_json(collectors));
+    if let Some(path) = trace_out() {
+        match write_chrome_trace(&path, collectors) {
+            Ok(()) => println!("chrome trace written to {path}"),
+            Err(e) => {
+                eprintln!("error: failed to write chrome trace to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -90,7 +180,14 @@ pub fn fig2_report(r: &Fig2Result) -> String {
 pub fn fig5_report(r: &Fig5Result) -> String {
     let mut t = Table::new(
         "Fig. 5 — performance–isolation trade-off over the mix simplex",
-        &["native", "serverless", "container", "x", "y", "slowest_makespan_s"],
+        &[
+            "native",
+            "serverless",
+            "container",
+            "x",
+            "y",
+            "slowest_makespan_s",
+        ],
     );
     for row in &r.rows {
         let (x, y) = row.mix.to_cartesian();
@@ -114,6 +211,23 @@ pub fn fig5_report(r: &Fig5Result) -> String {
         "worst mix: native={:.2} serverless={:.2} container={:.2} at {:.1}s\n",
         worst.mix.native, worst.mix.serverless, worst.mix.container, worst.makespan
     ));
+    let traced: Vec<_> = r
+        .rows
+        .iter()
+        .zip(&r.breakdowns)
+        .filter_map(|(row, b)| b.as_ref().map(|cp| (row.mix, cp)))
+        .collect();
+    if !traced.is_empty() {
+        s.push_str("\nWhere the time goes (critical path of the slowest workflow, rep 0):\n");
+        for (mix, cp) in traced {
+            let label = format!(
+                "native={:.2} serverless={:.2} container={:.2}",
+                mix.native, mix.serverless, mix.container
+            );
+            s.push('\n');
+            s.push_str(&swf_core::render_mix_breakdown(&label, cp));
+        }
+    }
     s
 }
 
@@ -139,7 +253,20 @@ pub fn fig6_report(r: &Fig6Result) -> String {
             paper_hint(row.label).to_string(),
         ]);
     }
-    t.render()
+    let mut s = t.render();
+    let traced: Vec<_> = r
+        .rows
+        .iter()
+        .filter_map(|row| row.breakdown.as_ref().map(|cp| (row.label, cp)))
+        .collect();
+    if !traced.is_empty() {
+        s.push_str("\nWhere the time goes (critical path of the slowest workflow, rep 0):\n");
+        for (label, cp) in traced {
+            s.push('\n');
+            s.push_str(&swf_core::render_mix_breakdown(label, cp));
+        }
+    }
+    s
 }
 
 #[cfg(test)]
@@ -158,8 +285,16 @@ mod tests {
                 docker_exec: 0.458,
                 knative_exec: 0.458,
             }],
-            docker_fit: Line { slope: 0.625, intercept: 0.0, r_squared: 1.0 },
-            knative_fit: Line { slope: 0.478, intercept: 1.48, r_squared: 1.0 },
+            docker_fit: Line {
+                slope: 0.625,
+                intercept: 0.0,
+                r_squared: 1.0,
+            },
+            knative_fit: Line {
+                slope: 0.478,
+                intercept: 1.48,
+                r_squared: 1.0,
+            },
             slope_reduction: 0.235,
             cold_start: 1.48,
         };
@@ -186,6 +321,8 @@ mod tests {
                     mix: MixPoint::new(1.0, 0.0, 0.0),
                     makespan: m,
                     vs_native: v,
+                    breakdown: None,
+                    obs: swf_obs::Obs::disabled(),
                 })
                 .collect(),
         };

@@ -114,11 +114,7 @@ impl Cluster {
 
     /// Read `path` from the shared FS as seen from `from`: charges the
     /// submit-node disk plus a network hop for the payload.
-    pub async fn shared_read_from(
-        &self,
-        from: NodeId,
-        path: &str,
-    ) -> Result<Bytes, ClusterError> {
+    pub async fn shared_read_from(&self, from: NodeId, path: &str) -> Result<Bytes, ClusterError> {
         let data = self.shared_fs.read(path).await?;
         self.network
             .transfer(self.submit_node().id(), from, data.len() as u64)

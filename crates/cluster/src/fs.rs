@@ -94,8 +94,8 @@ impl SimFs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use swf_simcore::{now, secs, Sim, SimDuration, SimTime};
     use crate::units::Rate;
+    use swf_simcore::{now, secs, Sim, SimDuration, SimTime};
 
     fn fast_fs() -> SimFs {
         SimFs::new(

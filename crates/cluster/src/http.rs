@@ -195,7 +195,9 @@ impl HttpStack {
         })?;
         let response = resp_rx.await.map_err(|_| ClusterError::ConnectionReset)?;
         // Charge the response payload on the wire back.
-        self.network.transfer(to, from, response.wire_size()).await?;
+        self.network
+            .transfer(to, from, response.wire_size())
+            .await?;
         *self.requests.borrow_mut() += 1;
         Ok(response)
     }
@@ -234,8 +236,12 @@ mod tests {
         let mut rx = stack.listen(node, port);
         spawn(async move {
             while let Some(incoming) = rx.recv().await {
-                let doubled: Vec<u8> =
-                    incoming.request.body.iter().map(|b| b.wrapping_mul(2)).collect();
+                let doubled: Vec<u8> = incoming
+                    .request
+                    .body
+                    .iter()
+                    .map(|b| b.wrapping_mul(2))
+                    .collect();
                 incoming.respond(Response::ok(Bytes::from(doubled)));
             }
         });
@@ -248,7 +254,12 @@ mod tests {
             let st = stack(2);
             spawn_echo(&st, NodeId(1), 8080);
             let resp = st
-                .request(NodeId(0), NodeId(1), 8080, Request::post("/", Bytes::from(vec![1, 2, 3])))
+                .request(
+                    NodeId(0),
+                    NodeId(1),
+                    8080,
+                    Request::post("/", Bytes::from(vec![1, 2, 3])),
+                )
                 .await
                 .unwrap();
             assert!(resp.is_success());

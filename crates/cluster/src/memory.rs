@@ -30,7 +30,9 @@ pub struct MemoryLease {
 
 impl std::fmt::Debug for MemoryLease {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MemoryLease").field("bytes", &self.bytes).finish()
+        f.debug_struct("MemoryLease")
+            .field("bytes", &self.bytes)
+            .finish()
     }
 }
 

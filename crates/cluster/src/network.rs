@@ -172,7 +172,10 @@ mod tests {
         let sim = Sim::new();
         sim.block_on(async {
             let net = testnet(2);
-            let t = net.transfer(NodeId(0), NodeId(1), 100_000_000).await.unwrap();
+            let t = net
+                .transfer(NodeId(0), NodeId(1), 100_000_000)
+                .await
+                .unwrap();
             assert_eq!(t, secs(1.0) + SimDuration::from_millis(1));
         });
     }
@@ -182,7 +185,10 @@ mod tests {
         let sim = Sim::new();
         sim.block_on(async {
             let net = testnet(1);
-            let t = net.transfer(NodeId(0), NodeId(0), 1_000_000_000).await.unwrap();
+            let t = net
+                .transfer(NodeId(0), NodeId(0), 1_000_000_000)
+                .await
+                .unwrap();
             assert_eq!(t, SimDuration::from_micros(10));
         });
     }

@@ -106,7 +106,13 @@ mod tests {
     fn cores_limit_parallelism() {
         let sim = Sim::new();
         sim.block_on(async {
-            let node = Node::new(NodeId(0), NodeSpec { cores: 2, memory: gib(1) });
+            let node = Node::new(
+                NodeId(0),
+                NodeSpec {
+                    cores: 2,
+                    memory: gib(1),
+                },
+            );
             let handles: Vec<_> = (0..4)
                 .map(|_| {
                     let node = node.clone();

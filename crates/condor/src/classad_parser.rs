@@ -205,10 +205,7 @@ impl Parser {
     }
 
     fn at(&self) -> usize {
-        self.toks
-            .get(self.pos)
-            .map(|(a, _)| *a)
-            .unwrap_or(self.len)
+        self.toks.get(self.pos).map(|(a, _)| *a).unwrap_or(self.len)
     }
 
     fn bump(&mut self) -> Option<Tok> {

@@ -31,12 +31,37 @@ pub struct DagSpec {
     children: Vec<Vec<usize>>,
     /// Number of parents per node.
     parents: Vec<usize>,
+    /// Workflow name, used as the trace root span label.
+    name: String,
 }
 
 impl DagSpec {
     /// Empty DAG.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty DAG carrying a workflow name (trace root label).
+    pub fn named(name: impl Into<String>) -> Self {
+        DagSpec {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Set the workflow name (builder style).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The workflow name ("dag" when unset).
+    pub fn name(&self) -> &str {
+        if self.name.is_empty() {
+            "dag"
+        } else {
+            &self.name
+        }
     }
 
     /// Add a node; returns its index.
@@ -147,6 +172,8 @@ pub struct DagReport {
     pub finished: SimTime,
     /// Total condor jobs submitted (includes retries).
     pub jobs_submitted: u32,
+    /// Root span of the workflow trace (`NONE` when tracing is disabled).
+    pub root_span: swf_obs::SpanContext,
 }
 
 impl DagReport {
@@ -172,6 +199,17 @@ pub async fn run_dag(
 ) -> Result<DagReport, CondorError> {
     dag.validate()?;
     let started = now();
+    let obs = swf_obs::current();
+    let root = obs.start_span(
+        swf_obs::SpanContext::NONE,
+        "condor/dagman",
+        format!("workflow:{}", dag.name()),
+        swf_obs::Category::Other,
+    );
+    // Node spans open at submission and close when DAGMan's poll observes
+    // completion, so DAGMan reaction latency is attributed to the node.
+    let mut node_spans: Vec<swf_obs::SpanContext> =
+        vec![swf_obs::SpanContext::NONE; dag.nodes.len()];
     let mut poll_rng = swf_simcore::DetRng::new(started.as_nanos(), "dagman-poll");
     let mut states: Vec<NodeState> = dag
         .parents
@@ -195,7 +233,13 @@ pub async fn run_dag(
             if matches!(states[i], NodeState::Ready)
                 && (config.max_jobs == 0 || in_flight < config.max_jobs)
             {
-                let id = condor.submit(dag.nodes[i].job.clone());
+                node_spans[i] = obs.start_span(
+                    root,
+                    "condor/dagman",
+                    format!("node:{}", dag.nodes[i].name),
+                    swf_obs::Category::Queue,
+                );
+                let id = condor.submit(dag.nodes[i].job.clone().with_span(node_spans[i]));
                 jobs_submitted += 1;
                 in_flight += 1;
                 states[i] = NodeState::Submitted { id, attempt: 0 };
@@ -216,6 +260,7 @@ pub async fn run_dag(
             };
             match condor.status(id)? {
                 JobStatus::Completed(result) if result.success => {
+                    obs.end(node_spans[i]);
                     results.insert(dag.nodes[i].name.clone(), result);
                     states[i] = NodeState::Done;
                     done += 1;
@@ -231,13 +276,15 @@ pub async fn run_dag(
                 }
                 JobStatus::Completed(result) => {
                     if attempt < dag.nodes[i].retries {
-                        let id = condor.submit(dag.nodes[i].job.clone());
+                        let id = condor.submit(dag.nodes[i].job.clone().with_span(node_spans[i]));
                         jobs_submitted += 1;
                         states[i] = NodeState::Submitted {
                             id,
                             attempt: attempt + 1,
                         };
                     } else {
+                        obs.end(node_spans[i]);
+                        obs.end(root);
                         return Err(CondorError::DagNodeFailed {
                             node: dag.nodes[i].name.clone(),
                             attempts: attempt + 1,
@@ -250,11 +297,13 @@ pub async fn run_dag(
         }
     }
 
+    obs.end(root);
     Ok(DagReport {
         node_results: results,
         started,
         finished: now(),
         jobs_submitted,
+        root_span: root,
     })
 }
 
@@ -318,7 +367,9 @@ mod tests {
                 }
                 prev = Some(idx);
             }
-            let report = run_dag(&condor, &dag, DagmanConfig::default()).await.unwrap();
+            let report = run_dag(&condor, &dag, DagmanConfig::default())
+                .await
+                .unwrap();
             assert_eq!(*order.borrow(), vec![0, 1, 2, 3]);
             assert_eq!(report.node_results.len(), 4);
             assert_eq!(report.jobs_submitted, 4);
@@ -340,7 +391,9 @@ mod tests {
             dag.add_edge(a, c).unwrap();
             dag.add_edge(b, d).unwrap();
             dag.add_edge(c, d).unwrap();
-            let report = run_dag(&condor, &dag, DagmanConfig::default()).await.unwrap();
+            let report = run_dag(&condor, &dag, DagmanConfig::default())
+                .await
+                .unwrap();
             let rb = &report.node_results["b"];
             let rc = &report.node_results["c"];
             let rd = &report.node_results["d"];
@@ -359,7 +412,9 @@ mod tests {
             let b = dag.add_node("b", compute_job(0.1));
             dag.add_edge(a, b).unwrap();
             dag.add_edge(b, a).unwrap();
-            let err = run_dag(&condor, &dag, DagmanConfig::default()).await.unwrap_err();
+            let err = run_dag(&condor, &dag, DagmanConfig::default())
+                .await
+                .unwrap_err();
             assert!(matches!(err, CondorError::InvalidDag(_)));
             assert!(dag.add_edge(0, 9).is_err());
             assert!(dag.add_edge(0, 0).is_err());
@@ -387,7 +442,9 @@ mod tests {
             });
             let mut dag = DagSpec::new();
             dag.add_node_with_retries("flaky", flaky, 3);
-            let report = run_dag(&condor, &dag, DagmanConfig::default()).await.unwrap();
+            let report = run_dag(&condor, &dag, DagmanConfig::default())
+                .await
+                .unwrap();
             assert_eq!(*attempts.borrow(), 3);
             assert_eq!(report.jobs_submitted, 3);
         });
@@ -404,11 +461,11 @@ mod tests {
                 JobSpec::new(|_ctx| Box::pin(async { Err("always fails".to_string()) })),
                 1,
             );
-            let err = run_dag(&condor, &dag, DagmanConfig::default()).await.unwrap_err();
+            let err = run_dag(&condor, &dag, DagmanConfig::default())
+                .await
+                .unwrap_err();
             match err {
-                CondorError::DagNodeFailed {
-                    node, attempts, ..
-                } => {
+                CondorError::DagNodeFailed { node, attempts, .. } => {
                     assert_eq!(node, "doomed");
                     assert_eq!(attempts, 2);
                 }
@@ -451,7 +508,9 @@ mod tests {
             let condor = fast_pool();
             let dag = DagSpec::new();
             assert!(dag.is_empty());
-            let report = run_dag(&condor, &dag, DagmanConfig::default()).await.unwrap();
+            let report = run_dag(&condor, &dag, DagmanConfig::default())
+                .await
+                .unwrap();
             assert_eq!(report.node_results.len(), 0);
             assert_eq!(report.makespan(), SimDuration::ZERO);
         });

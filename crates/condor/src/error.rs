@@ -43,7 +43,10 @@ impl fmt::Display for CondorError {
                 node,
                 attempts,
                 last_error,
-            } => write!(f, "DAG node {node} failed after {attempts} attempts: {last_error}"),
+            } => write!(
+                f,
+                "DAG node {node} failed after {attempts} attempts: {last_error}"
+            ),
         }
     }
 }

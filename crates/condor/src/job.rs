@@ -38,6 +38,9 @@ pub struct JobContext {
     pub cluster: Cluster,
     /// Node-local sandbox path prefix (`sandbox/<job>/`).
     pub sandbox: String,
+    /// Tracing context of the startd's execute span — job programs parent
+    /// their own spans (and outgoing HTTP headers) under it.
+    pub span: swf_obs::SpanContext,
 }
 
 impl JobContext {
@@ -77,6 +80,10 @@ pub struct JobSpec {
     pub priority: i32,
     /// Extra job-ad attributes.
     pub ad: ClassAd,
+    /// Tracing parent for every span of this job's lifecycle (queue,
+    /// negotiate, activation, transfer, execute). DAGMan sets it to the
+    /// workflow node's span; `NONE` leaves the job spans as roots.
+    pub span: swf_obs::SpanContext,
 }
 
 impl JobSpec {
@@ -93,7 +100,14 @@ impl JobSpec {
             output_files: Vec::new(),
             priority: 0,
             ad: ClassAd::new(),
+            span: swf_obs::SpanContext::NONE,
         }
+    }
+
+    /// Set the tracing parent (builder style).
+    pub fn with_span(mut self, span: swf_obs::SpanContext) -> Self {
+        self.span = span;
+        self
     }
 
     /// Set requirements (builder style).

@@ -104,6 +104,7 @@ impl Negotiator {
     /// One negotiation cycle. Returns the jobs matched.
     pub async fn cycle(&self) -> Vec<JobId> {
         let mut matched = Vec::new();
+        swf_obs::current().gauge_set("condor.idle_jobs", self.schedd.idle_jobs().len() as f64);
         // Track slots reserved within this cycle so one cycle cannot
         // overcommit a startd before the claims land.
         let mut reserved: Vec<usize> = self.startds.iter().map(|_| 0).collect();
@@ -134,7 +135,31 @@ impl Negotiator {
             }
             if let Some((_, idx)) = best {
                 reserved[idx] += want;
+                let obs = swf_obs::current();
+                let t_match = swf_simcore::now();
                 sleep(self.config.match_latency).await;
+                // The time the job sat idle in the queue, known only now
+                // that it matched, plus the matchmaking work itself.
+                if let Ok(submitted) = self.schedd.submitted_at(job_id) {
+                    obs.record_span(
+                        spec.span,
+                        "condor/schedd",
+                        format!("queue:{job_id}"),
+                        swf_obs::Category::Queue,
+                        submitted,
+                        t_match,
+                    );
+                    obs.observe("condor.queue_wait_s", (t_match - submitted).as_secs_f64());
+                }
+                obs.counter_add("condor.matches", 1);
+                obs.record_span(
+                    spec.span,
+                    "condor/negotiator",
+                    format!("negotiate:{job_id}"),
+                    swf_obs::Category::Negotiate,
+                    t_match,
+                    swf_simcore::now(),
+                );
                 // Hand the job to the startd; it claims slots and reports
                 // Running/Completed itself.
                 let startd = self.startds[idx].clone();
@@ -146,7 +171,14 @@ impl Negotiator {
                 let activation = self.sample_activation();
                 swf_simcore::spawn(async move {
                     if !activation.is_zero() {
+                        let act = obs.span(
+                            spec.span,
+                            "condor/negotiator",
+                            format!("claim-activation:{job_id}"),
+                            swf_obs::Category::Activation,
+                        );
                         sleep(activation).await;
+                        drop(act);
                     }
                     startd.execute(job_id, spec, schedd).await;
                 });
@@ -201,7 +233,7 @@ mod tests {
             let config = NegotiatorConfig {
                 cycle_interval: secs(10.0),
                 match_latency: SimDuration::ZERO,
-                    ..NegotiatorConfig::default()
+                ..NegotiatorConfig::default()
             };
             swf_simcore::spawn(Negotiator::new(schedd.clone(), startds, config).run());
             // First cycle fires at t=0 with an empty queue.
@@ -255,9 +287,8 @@ mod tests {
                 },
             );
             // Impossible requirement: never matched.
-            let id = schedd.submit(
-                quick_job(0.1).with_requirements(Expr::target_ge("Cpus", 1000i64)),
-            );
+            let id =
+                schedd.submit(quick_job(0.1).with_requirements(Expr::target_ge("Cpus", 1000i64)));
             let matched = negotiator.cycle().await;
             assert!(matched.is_empty());
             assert_eq!(schedd.status(id).unwrap(), crate::job::JobStatus::Idle);

@@ -110,7 +110,7 @@ mod tests {
     use crate::job::JobContext;
     use bytes::Bytes;
     use swf_cluster::ClusterConfig;
-    use swf_simcore::{secs, SimDuration, Sim};
+    use swf_simcore::{secs, Sim, SimDuration};
 
     #[test]
     fn pool_boots_and_runs_a_job() {
@@ -123,7 +123,7 @@ mod tests {
                     negotiator: NegotiatorConfig {
                         cycle_interval: secs(2.0),
                         match_latency: SimDuration::ZERO,
-                    ..NegotiatorConfig::default()
+                        ..NegotiatorConfig::default()
                     },
                     ..CondorConfig::default()
                 },

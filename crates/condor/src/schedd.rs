@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use swf_simcore::sync::Notify;
+use swf_simcore::SimTime;
 
 use crate::error::CondorError;
 use crate::job::{JobId, JobResult, JobSpec, JobStatus};
@@ -12,6 +13,7 @@ use crate::job::{JobId, JobResult, JobSpec, JobStatus};
 struct JobRecord {
     spec: JobSpec,
     status: JobStatus,
+    submitted: SimTime,
 }
 
 struct State {
@@ -73,6 +75,12 @@ impl Schedd {
 
     /// Submit a job; returns its id.
     pub fn submit(&self, spec: JobSpec) -> JobId {
+        // Some unit tests submit outside a simulation; clamp to t=0 there.
+        let submitted = if swf_simcore::try_current().is_some() {
+            swf_simcore::now()
+        } else {
+            SimTime::ZERO
+        };
         let mut s = self.state.borrow_mut();
         let id = JobId(s.next_id);
         s.next_id += 1;
@@ -82,11 +90,22 @@ impl Schedd {
             JobRecord {
                 spec,
                 status: JobStatus::Idle,
+                submitted,
             },
         );
         drop(s);
         self.bump();
         id
+    }
+
+    /// When a job entered the queue (for queue-time spans).
+    pub fn submitted_at(&self, id: JobId) -> Result<SimTime, CondorError> {
+        self.state
+            .borrow()
+            .jobs
+            .get(&id)
+            .map(|r| r.submitted)
+            .ok_or(CondorError::NoSuchJob(id))
     }
 
     /// Current status of a job.

@@ -92,7 +92,10 @@ impl Startd {
             .set("Machine", self.node.name())
             .set("Cpus", self.total_slots() as i64)
             .set("FreeSlots", self.free_slots() as i64)
-            .set("Memory", (self.node.memory().capacity() / (1024 * 1024)) as i64)
+            .set(
+                "Memory",
+                (self.node.memory().capacity() / (1024 * 1024)) as i64,
+            )
             .set("Arch", "X86_64")
             .set("HasDocker", true)
     }
@@ -106,7 +109,16 @@ impl Startd {
             .await;
         schedd.set_status(id, JobStatus::Running(self.node.id()));
         let started = now();
+        let obs = swf_obs::current();
+        let component = format!("{}/startd", self.node.name());
+        let boot = obs.span(
+            spec.span,
+            &component,
+            format!("job-start:{id}"),
+            swf_obs::Category::Activation,
+        );
         sleep(self.config.job_start_overhead).await;
+        drop(boot);
 
         let sandbox = format!("sandbox/{id}/");
         let outcome = self.run_in_sandbox(id, &spec, &sandbox).await;
@@ -133,22 +145,41 @@ impl Startd {
         spec: &JobSpec,
         sandbox: &str,
     ) -> Result<bytes::Bytes, CondorError> {
+        let obs = swf_obs::current();
+        let component = format!("{}/startd", self.node.name());
         // Stage in: submit node shared fs → node-local sandbox.
-        for f in &spec.input_files {
-            let data = self
-                .cluster
-                .shared_read_from(self.node.id(), f)
-                .await
-                .map_err(|_| CondorError::MissingInput(f.clone()))?;
-            self.node.fs().write(format!("{sandbox}{f}"), data).await;
+        if !spec.input_files.is_empty() {
+            let stage = obs.span(
+                spec.span,
+                &component,
+                format!("stage-in:{id}"),
+                swf_obs::Category::Transfer,
+            );
+            for f in &spec.input_files {
+                let data = self
+                    .cluster
+                    .shared_read_from(self.node.id(), f)
+                    .await
+                    .map_err(|_| CondorError::MissingInput(f.clone()))?;
+                self.node.fs().write(format!("{sandbox}{f}"), data).await;
+            }
+            drop(stage);
         }
+        let exec = obs.span(
+            spec.span,
+            &component,
+            format!("execute:{id}"),
+            swf_obs::Category::Compute,
+        );
         let ctx = JobContext {
             job: id,
             node: self.node.clone(),
             cluster: self.cluster.clone(),
             sandbox: sandbox.to_string(),
+            span: exec.ctx(),
         };
         let result = (spec.program)(ctx).await;
+        drop(exec);
         let bytes = match result {
             Ok(b) => b,
             Err(e) => {
@@ -161,18 +192,27 @@ impl Startd {
             }
         };
         // Stage out: sandbox → submit node shared fs.
-        for f in &spec.output_files {
-            let path = format!("{sandbox}{f}");
-            let data = self
-                .node
-                .fs()
-                .read(&path)
-                .await
-                .map_err(|_| CondorError::MissingOutput(f.clone()))?;
-            self.cluster
-                .shared_write_from(self.node.id(), f.clone(), data)
-                .await
-                .map_err(|e| CondorError::MissingOutput(format!("{f}: {e}")))?;
+        if !spec.output_files.is_empty() {
+            let stage = obs.span(
+                spec.span,
+                &component,
+                format!("stage-out:{id}"),
+                swf_obs::Category::Transfer,
+            );
+            for f in &spec.output_files {
+                let path = format!("{sandbox}{f}");
+                let data = self
+                    .node
+                    .fs()
+                    .read(&path)
+                    .await
+                    .map_err(|_| CondorError::MissingOutput(f.clone()))?;
+                self.cluster
+                    .shared_write_from(self.node.id(), f.clone(), data)
+                    .await
+                    .map_err(|e| CondorError::MissingOutput(format!("{f}: {e}")))?;
+            }
+            drop(stage);
         }
         self.cleanup_sandbox(sandbox);
         Ok(bytes)
@@ -218,7 +258,9 @@ mod tests {
         let sim = Sim::new();
         sim.block_on(async {
             let (cluster, startd, schedd) = rig();
-            cluster.shared_fs().stage("in.mat", Bytes::from(vec![7u8; 1024]));
+            cluster
+                .shared_fs()
+                .stage("in.mat", Bytes::from(vec![7u8; 1024]));
             let spec = JobSpec::new(|ctx: JobContext| {
                 Box::pin(async move {
                     let data = ctx
@@ -317,8 +359,7 @@ mod tests {
         let sim = Sim::new();
         sim.block_on(async {
             let (_cluster, startd, schedd) = rig();
-            let spec =
-                JobSpec::new(|_ctx| Box::pin(async { Err("segfault in task".to_string()) }));
+            let spec = JobSpec::new(|_ctx| Box::pin(async { Err("segfault in task".to_string()) }));
             let id = schedd.submit(spec.clone());
             startd.execute(id, spec, schedd.clone()).await;
             let r = schedd.wait(id).await.unwrap();

@@ -67,6 +67,23 @@ impl DockerCli {
         workload: Workload,
         pull: PullPolicy,
     ) -> Result<DockerRunReport, ContainerError> {
+        self.run_with_span(swf_obs::SpanContext::NONE, image, limits, workload, pull)
+            .await
+    }
+
+    /// [`DockerCli::run`] with lifecycle phases traced as child spans of
+    /// `parent` (pull / create / exec / destroy).
+    pub async fn run_with_span(
+        &self,
+        parent: swf_obs::SpanContext,
+        image: &ImageRef,
+        limits: ResourceLimits,
+        workload: Workload,
+        pull: PullPolicy,
+    ) -> Result<DockerRunReport, ContainerError> {
+        let obs = swf_obs::current();
+        obs.counter_add("docker.runs", 1);
+        let component = format!("{}/docker", self.runtime.node().name());
         let t0 = now();
         let (pull_stats, pull_time) = match pull {
             PullPolicy::Never => {
@@ -90,27 +107,65 @@ impl DockerCli {
                     (None, SimDuration::ZERO)
                 } else {
                     let s = now();
-                    let stats = self.runtime.registry().pull(self.runtime.node().id(), image).await?;
+                    let span = obs.span(
+                        parent,
+                        &component,
+                        format!("pull:{image}"),
+                        swf_obs::Category::Pull,
+                    );
+                    let stats = self
+                        .runtime
+                        .registry()
+                        .pull(self.runtime.node().id(), image)
+                        .await?;
+                    drop(span);
                     (Some(stats), now() - s)
                 }
             }
             PullPolicy::Always => {
                 let s = now();
-                let stats = self.runtime.registry().pull(self.runtime.node().id(), image).await?;
+                let span = obs.span(
+                    parent,
+                    &component,
+                    format!("pull:{image}"),
+                    swf_obs::Category::Pull,
+                );
+                let stats = self
+                    .runtime
+                    .registry()
+                    .pull(self.runtime.node().id(), image)
+                    .await?;
+                drop(span);
                 (Some(stats), now() - s)
             }
         };
 
         let t_create = now();
+        let span = obs.span(
+            parent,
+            &component,
+            format!("create:{image}"),
+            swf_obs::Category::Create,
+        );
         let id = self.runtime.create(image, limits).await?;
         self.runtime.start(id).await?;
+        drop(span);
         let startup_time = now() - t_create;
 
+        let span = obs.span(parent, &component, "exec", swf_obs::Category::Compute);
         let exec = self.runtime.exec(id, workload).await?;
+        drop(span);
 
         let t_stop = now();
+        let span = obs.span(
+            parent,
+            &component,
+            format!("destroy:{image}"),
+            swf_obs::Category::Destroy,
+        );
         self.runtime.stop(id).await?;
         self.runtime.remove(id).await?;
+        drop(span);
         let teardown_time = now() - t_stop;
 
         Ok(DockerRunReport {

@@ -43,11 +43,13 @@ impl std::error::Error for ContainerError {}
 impl From<swf_cluster::ClusterError> for ContainerError {
     fn from(e: swf_cluster::ClusterError) -> Self {
         match e {
-            swf_cluster::ClusterError::OutOfMemory { node, requested, available } => {
-                ContainerError::OutOfMemory(format!(
-                    "{node}: requested {requested}B, available {available}B"
-                ))
-            }
+            swf_cluster::ClusterError::OutOfMemory {
+                node,
+                requested,
+                available,
+            } => ContainerError::OutOfMemory(format!(
+                "{node}: requested {requested}B, available {available}B"
+            )),
             other => ContainerError::TaskFailed(other.to_string()),
         }
     }

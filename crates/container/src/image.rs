@@ -110,8 +110,14 @@ mod tests {
 
     #[test]
     fn parse_with_and_without_tag() {
-        assert_eq!(ImageRef::parse("hpc/matmul:1.2"), ImageRef::new("hpc/matmul", "1.2"));
-        assert_eq!(ImageRef::parse("busybox"), ImageRef::new("busybox", "latest"));
+        assert_eq!(
+            ImageRef::parse("hpc/matmul:1.2"),
+            ImageRef::new("hpc/matmul", "1.2")
+        );
+        assert_eq!(
+            ImageRef::parse("busybox"),
+            ImageRef::new("busybox", "latest")
+        );
         assert_eq!(format!("{}", ImageRef::parse("a:b")), "a:b");
     }
 

@@ -210,7 +210,10 @@ mod tests {
         let sim = Sim::new();
         sim.block_on(async {
             let r = registry();
-            let err = r.pull(NodeId(0), &ImageRef::parse("ghost")).await.unwrap_err();
+            let err = r
+                .pull(NodeId(0), &ImageRef::parse("ghost"))
+                .await
+                .unwrap_err();
             assert!(matches!(err, ContainerError::ImageNotFound(_)));
         });
     }

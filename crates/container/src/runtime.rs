@@ -203,7 +203,11 @@ impl ContainerRuntime {
     }
 
     /// Execute a workload inside a running container.
-    pub async fn exec(&self, id: ContainerId, workload: Workload) -> Result<ExecResult, ContainerError> {
+    pub async fn exec(
+        &self,
+        id: ContainerId,
+        workload: Workload,
+    ) -> Result<ExecResult, ContainerError> {
         let limits = {
             let s = self.state.borrow();
             let ctr = s
@@ -366,7 +370,13 @@ mod tests {
     use swf_simcore::{secs, Sim, SimTime};
 
     fn setup() -> (ContainerRuntime, ImageRef) {
-        let node = Node::new(NodeId(1), NodeSpec { cores: 2, memory: mib(4096) });
+        let node = Node::new(
+            NodeId(1),
+            NodeSpec {
+                cores: 2,
+                memory: mib(4096),
+            },
+        );
         let registry = Registry::new(RegistryConfig::default());
         let image = ImageRef::parse("hpc/matmul:1.0");
         registry.push(Image::single_layer(image.clone(), 1, mib(100)));
@@ -403,7 +413,10 @@ mod tests {
         let sim = Sim::new();
         sim.block_on(async {
             let (rt, image) = setup();
-            let err = rt.create(&image, ResourceLimits::default()).await.unwrap_err();
+            let err = rt
+                .create(&image, ResourceLimits::default())
+                .await
+                .unwrap_err();
             assert!(matches!(err, ContainerError::ImageNotFound(_)));
         });
     }
@@ -427,8 +440,14 @@ mod tests {
             let (rt, image) = setup();
             rt.ensure_image(&image).await.unwrap();
             let id = rt.create(&image, ResourceLimits::default()).await.unwrap();
-            let err = rt.exec(id, Workload::synthetic(secs(1.0))).await.unwrap_err();
-            assert!(matches!(err, ContainerError::InvalidState { op: "exec", .. }));
+            let err = rt
+                .exec(id, Workload::synthetic(secs(1.0)))
+                .await
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                ContainerError::InvalidState { op: "exec", .. }
+            ));
         });
     }
 
@@ -441,7 +460,10 @@ mod tests {
             let id = rt.create(&image, ResourceLimits::default()).await.unwrap();
             rt.start(id).await.unwrap();
             let err = rt.remove(id).await.unwrap_err();
-            assert!(matches!(err, ContainerError::InvalidState { op: "remove", .. }));
+            assert!(matches!(
+                err,
+                ContainerError::InvalidState { op: "remove", .. }
+            ));
         });
     }
 
@@ -471,7 +493,10 @@ mod tests {
             let id = rt
                 .create(
                     &image,
-                    ResourceLimits { cpu_millis: 500, memory: mib(128) },
+                    ResourceLimits {
+                        cpu_millis: 500,
+                        memory: mib(128),
+                    },
                 )
                 .await
                 .unwrap();
@@ -502,18 +527,36 @@ mod tests {
     fn memory_limit_enforced_on_create() {
         let sim = Sim::new();
         sim.block_on(async {
-            let node = Node::new(NodeId(0), NodeSpec { cores: 1, memory: mib(256) });
+            let node = Node::new(
+                NodeId(0),
+                NodeSpec {
+                    cores: 1,
+                    memory: mib(256),
+                },
+            );
             let registry = Registry::new(RegistryConfig::default());
             let image = ImageRef::parse("m");
             registry.push(Image::single_layer(image.clone(), 1, mib(1)));
             let rt = ContainerRuntime::new(node, registry, OverheadModel::zero(), 1);
             rt.ensure_image(&image).await.unwrap();
             let _a = rt
-                .create(&image, ResourceLimits { cpu_millis: 1000, memory: mib(200) })
+                .create(
+                    &image,
+                    ResourceLimits {
+                        cpu_millis: 1000,
+                        memory: mib(200),
+                    },
+                )
                 .await
                 .unwrap();
             let err = rt
-                .create(&image, ResourceLimits { cpu_millis: 1000, memory: mib(100) })
+                .create(
+                    &image,
+                    ResourceLimits {
+                        cpu_millis: 1000,
+                        memory: mib(100),
+                    },
+                )
                 .await
                 .unwrap_err();
             assert!(matches!(err, ContainerError::OutOfMemory(_)));
@@ -529,7 +572,13 @@ mod tests {
             let mut ids = Vec::new();
             for _ in 0..3 {
                 let id = rt
-                    .create(&image, ResourceLimits { cpu_millis: 1000, memory: mib(64) })
+                    .create(
+                        &image,
+                        ResourceLimits {
+                            cpu_millis: 1000,
+                            memory: mib(64),
+                        },
+                    )
                     .await
                     .unwrap();
                 rt.start(id).await.unwrap();
@@ -547,7 +596,13 @@ mod tests {
                 .collect();
             let results = swf_simcore::join_all(handles).await;
             assert_eq!(now() - t0, secs(2.0)); // 3 tasks, 2 cores
-            assert_eq!(results.iter().filter(|r| r.core_wait > SimDuration::ZERO).count(), 1);
+            assert_eq!(
+                results
+                    .iter()
+                    .filter(|r| r.core_wait > SimDuration::ZERO)
+                    .count(),
+                1
+            );
         });
     }
 
@@ -564,7 +619,10 @@ mod tests {
             rt.ensure_image(&image).await.unwrap();
             let id = rt.create(&image, ResourceLimits::default()).await.unwrap();
             rt.start(id).await.unwrap();
-            let r = rt.exec(id, Workload::synthetic(SimDuration::ZERO)).await.unwrap();
+            let r = rt
+                .exec(id, Workload::synthetic(SimDuration::ZERO))
+                .await
+                .unwrap();
             assert_eq!(r.busy, SimDuration::ZERO);
         });
     }

@@ -5,9 +5,7 @@
 //! filesystem and registers them in the replica catalog.
 
 use swf_cluster::Cluster;
-use swf_pegasus::{
-    AbstractJob, AbstractWorkflow, ReplicaCatalog, ReplicaLocation, Transformation,
-};
+use swf_pegasus::{AbstractJob, AbstractWorkflow, ReplicaCatalog, ReplicaLocation, Transformation};
 use swf_simcore::DetRng;
 use swf_workloads::{encode, ChainWorkflow, Kernel, Matrix};
 
@@ -79,7 +77,11 @@ mod tests {
                 assert!(replicas.contains(f));
             }
             // Matrices are real: decode and check the dimension.
-            let data = cluster.shared_fs().read(&chain.seed_files[0]).await.unwrap();
+            let data = cluster
+                .shared_fs()
+                .read(&chain.seed_files[0])
+                .await
+                .unwrap();
             let m = swf_workloads::decode(data).unwrap();
             assert_eq!(m.rows(), config.matrix_dim);
             // Dependencies chain correctly.
@@ -99,6 +101,9 @@ mod tests {
         let product = swf_workloads::decode(outs[0].clone()).unwrap();
         assert_eq!(product, swf_workloads::matmul(&a, &b, Kernel::Blocked));
         assert!((t.logic)(vec![encode(&a)]).is_err());
-        assert_eq!(t.container_image.as_deref(), Some(ExperimentConfig::image_name()));
+        assert_eq!(
+            t.container_image.as_deref(),
+            Some(ExperimentConfig::image_name())
+        );
     }
 }

@@ -78,6 +78,11 @@ pub struct ExperimentConfig {
     pub serialization_rate: f64,
     /// Root RNG seed.
     pub seed: u64,
+    /// Collect distributed-tracing spans and metrics during runs. Spans are
+    /// pure annotation (no virtual-time cost), so enabling this does not
+    /// change any timing; it is off by default to keep pre-existing outputs
+    /// bit-identical.
+    pub trace: bool,
 }
 
 impl ExperimentConfig {
@@ -136,6 +141,7 @@ impl ExperimentConfig {
             min_scale: 3,
             serialization_rate: 4.0e6,
             seed: 0x5EED_CAFE,
+            trace: false,
         }
     }
 

@@ -45,7 +45,11 @@ pub fn run(config: &ExperimentConfig) -> ColdStartResult {
 
         let t0 = now();
         bed.knative
-            .invoke(NodeId(0), "matmul", Request::post("/invoke", payload.clone()))
+            .invoke(
+                NodeId(0),
+                "matmul",
+                Request::post("/invoke", payload.clone()),
+            )
             .await
             .unwrap();
         let first_request = (now() - t0).as_secs_f64();

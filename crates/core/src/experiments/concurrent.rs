@@ -28,6 +28,9 @@ pub struct ConcurrentOutcome {
     pub mean: f64,
     /// Total tasks executed.
     pub tasks: usize,
+    /// Span collector for this run — enabled (and populated) only when
+    /// `config.trace` is set; a disabled handle otherwise.
+    pub obs: swf_obs::Obs,
 }
 
 /// Parameters of a concurrent run.
@@ -66,10 +69,22 @@ impl ConcurrentParams {
 
 /// Run one repetition in a fresh simulation; `rep` perturbs the RNG streams
 /// (the paper redraws the random environment assignment per instance).
-pub fn run_once(config: &ExperimentConfig, params: ConcurrentParams, rep: u64) -> ConcurrentOutcome {
+pub fn run_once(
+    config: &ExperimentConfig,
+    params: ConcurrentParams,
+    rep: u64,
+) -> ConcurrentOutcome {
     let sim = Sim::new();
     let config = config.clone();
+    let obs = if config.trace {
+        swf_obs::Obs::enabled()
+    } else {
+        swf_obs::Obs::disabled()
+    };
+    let obs2 = obs.clone();
     sim.block_on(async move {
+        let obs = obs2;
+        let _obs_guard = swf_obs::install(obs.clone());
         let bed = TestBed::boot(&config);
         let tarball = bed.stage_image_tarball();
         register_matmul(&bed.knative, &config);
@@ -130,13 +145,13 @@ pub fn run_once(config: &ExperimentConfig, params: ConcurrentParams, rep: u64) -
         }
         let workflow_makespans = swf_simcore::join_all(handles).await;
         let slowest = workflow_makespans.iter().copied().fold(0.0, f64::max);
-        let mean =
-            workflow_makespans.iter().sum::<f64>() / workflow_makespans.len().max(1) as f64;
+        let mean = workflow_makespans.iter().sum::<f64>() / workflow_makespans.len().max(1) as f64;
         ConcurrentOutcome {
             slowest,
             mean,
             tasks: params.workflows * params.tasks_per_workflow,
             workflow_makespans,
+            obs,
         }
     })
 }

@@ -5,7 +5,6 @@
 //! ≈ 100 s (Docker) vs ≈ 78 s (Knative) at 160 tasks and a regression-slope
 //! reduction of "up to 30%".
 
-
 use swf_cluster::{NodeId, Request};
 use swf_container::{DockerCli, PullPolicy, ResourceLimits, Workload};
 use swf_metrics::{fit, Line};
@@ -52,11 +51,7 @@ fn docker_arm(config: &ExperimentConfig, n: usize) -> (f64, f64) {
     sim.block_on(async move {
         let bed = TestBed::boot(&config);
         let node = bed.cluster.worker_nodes()[0].clone();
-        let runtime = bed
-            .k8s
-            .runtime(node.id())
-            .cloned()
-            .expect("worker runtime");
+        let runtime = bed.k8s.runtime(node.id()).cloned().expect("worker runtime");
         // Image present before the measured loop (as in the paper's setup).
         runtime.ensure_image(&bed.image).await.unwrap();
         let cli = DockerCli::new(runtime);
@@ -119,11 +114,8 @@ fn knative_arm(config: &ExperimentConfig, n: usize) -> (f64, f64, f64) {
             "matmul",
             config.compute.for_dim(config.matrix_dim),
             move |_inputs| {
-                let product = swf_workloads::multiply_encoded(
-                    ea.clone(),
-                    eb.clone(),
-                    Kernel::Blocked,
-                )?;
+                let product =
+                    swf_workloads::multiply_encoded(ea.clone(), eb.clone(), Kernel::Blocked)?;
                 Ok(vec![product])
             },
         );
@@ -175,18 +167,14 @@ pub fn run(config: &ExperimentConfig, counts: &[usize]) -> Fig1Result {
             knative_exec,
         });
     }
-    let docker_fit = fit(
-        &rows
-            .iter()
-            .map(|r| (r.tasks as f64, r.docker_total))
-            .collect::<Vec<_>>(),
-    );
-    let knative_fit = fit(
-        &rows
-            .iter()
-            .map(|r| (r.tasks as f64, r.knative_total))
-            .collect::<Vec<_>>(),
-    );
+    let docker_fit = fit(&rows
+        .iter()
+        .map(|r| (r.tasks as f64, r.docker_total))
+        .collect::<Vec<_>>());
+    let knative_fit = fit(&rows
+        .iter()
+        .map(|r| (r.tasks as f64, r.knative_total))
+        .collect::<Vec<_>>());
     Fig1Result {
         slope_reduction: knative_fit.slope_reduction_vs(&docker_fit),
         rows,

@@ -6,7 +6,6 @@
 //! containers are shared and scaled automatically, while the container path
 //! pays per-job image staging.
 
-
 use swf_condor::JobSpec;
 use swf_metrics::{fit, Line};
 use swf_pegasus::PlannedTask;
@@ -97,10 +96,26 @@ fn arm(config: &ExperimentConfig, env: ExecEnv, k: usize) -> f64 {
         .with_serialization_rate(config.serialization_rate);
         // Stage the shared input matrices (real data) on the submit node.
         let mut rng = swf_simcore::DetRng::new(config.seed, "fig2-inputs");
-        let a = swf_workloads::Matrix::random(config.matrix_dim, config.matrix_dim, &mut rng, -100, 100);
-        let b = swf_workloads::Matrix::random(config.matrix_dim, config.matrix_dim, &mut rng, -100, 100);
-        bed.cluster.shared_fs().stage("fig2_in_a.mat", swf_workloads::encode(&a));
-        bed.cluster.shared_fs().stage("fig2_in_b.mat", swf_workloads::encode(&b));
+        let a = swf_workloads::Matrix::random(
+            config.matrix_dim,
+            config.matrix_dim,
+            &mut rng,
+            -100,
+            100,
+        );
+        let b = swf_workloads::Matrix::random(
+            config.matrix_dim,
+            config.matrix_dim,
+            &mut rng,
+            -100,
+            100,
+        );
+        bed.cluster
+            .shared_fs()
+            .stage("fig2_in_a.mat", swf_workloads::encode(&a));
+        bed.cluster
+            .shared_fs()
+            .stage("fig2_in_b.mat", swf_workloads::encode(&b));
         let t0 = now();
         let mut ids = Vec::with_capacity(k);
         for i in 0..k {
@@ -117,6 +132,7 @@ fn arm(config: &ExperimentConfig, env: ExecEnv, k: usize) -> f64 {
                 output_files: Vec::new(),
                 priority: 0,
                 ad: swf_condor::ClassAd::new(),
+                span: swf_obs::SpanContext::NONE,
             };
             ids.push(bed.condor.submit(spec));
         }

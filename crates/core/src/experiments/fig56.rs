@@ -26,6 +26,13 @@ pub struct Fig5Row {
 pub struct Fig5Result {
     /// Samples over the simplex grid.
     pub rows: Vec<Fig5Row>,
+    /// Critical-path breakdown per row (same order), from the slowest
+    /// traced workflow of each point's first repetition; `None` entries
+    /// when tracing is disabled.
+    pub breakdowns: Vec<Option<swf_obs::CriticalPath>>,
+    /// Span collector per row (same order; disabled handles when tracing
+    /// is off) — feeds `--trace-out` export.
+    pub collectors: Vec<swf_obs::Obs>,
 }
 
 impl Fig5Result {
@@ -63,20 +70,27 @@ pub fn run_fig5(
     tasks_per_workflow: usize,
     repeats: u64,
 ) -> Fig5Result {
-    let rows = simplex_grid(steps)
-        .into_iter()
-        .map(|mix| {
-            let params = ConcurrentParams {
-                workflows,
-                tasks_per_workflow,
-                mix: mix_of(mix),
-                ..ConcurrentParams::default()
-            };
-            let (makespan, _) = average_slowest(config, params, repeats);
-            Fig5Row { mix, makespan }
-        })
-        .collect();
-    Fig5Result { rows }
+    let mut rows = Vec::new();
+    let mut breakdowns = Vec::new();
+    let mut collectors = Vec::new();
+    for mix in simplex_grid(steps) {
+        let params = ConcurrentParams {
+            workflows,
+            tasks_per_workflow,
+            mix: mix_of(mix),
+            ..ConcurrentParams::default()
+        };
+        let (makespan, outcomes) = average_slowest(config, params, repeats);
+        let obs = outcomes.first().map(|o| o.obs.clone()).unwrap_or_default();
+        breakdowns.push(crate::breakdown::slowest_workflow_breakdown(&obs));
+        collectors.push(obs);
+        rows.push(Fig5Row { mix, makespan });
+    }
+    Fig5Result {
+        rows,
+        breakdowns,
+        collectors,
+    }
 }
 
 /// One Fig. 6 bar.
@@ -90,6 +104,12 @@ pub struct Fig6Row {
     pub makespan: f64,
     /// Ratio to the all-native bar.
     pub vs_native: f64,
+    /// Critical-path breakdown of the slowest traced workflow in the first
+    /// repetition (`None` when tracing is disabled).
+    pub breakdown: Option<swf_obs::CriticalPath>,
+    /// Span collector of the first repetition (a disabled handle when
+    /// tracing is off) — feeds `--trace-out` Chrome-trace export.
+    pub obs: swf_obs::Obs,
 }
 
 /// Full Fig. 6 result.
@@ -124,12 +144,16 @@ pub fn run_fig6(
             mix: mix_of(mix),
             ..ConcurrentParams::default()
         };
-        let (makespan, _) = average_slowest(config, params, repeats);
+        let (makespan, outcomes) = average_slowest(config, params, repeats);
+        let obs = outcomes.first().map(|o| o.obs.clone()).unwrap_or_default();
+        let breakdown = crate::breakdown::slowest_workflow_breakdown(&obs);
         rows.push(Fig6Row {
             label,
             mix,
             makespan,
             vs_native: 0.0,
+            breakdown,
+            obs,
         });
     }
     let native = rows[0].makespan;
@@ -154,8 +178,14 @@ mod tests {
         let all_ctr = result.bar("all-container").makespan;
         // Core orderings the paper reports: native fastest, all-container
         // slowest, serverless between.
-        assert!(native <= half_srv * 1.05, "native {native} vs half-srv {half_srv}");
-        assert!(all_srv >= native, "all-serverless {all_srv} vs native {native}");
+        assert!(
+            native <= half_srv * 1.05,
+            "native {native} vs half-srv {half_srv}"
+        );
+        assert!(
+            all_srv >= native,
+            "all-serverless {all_srv} vs native {native}"
+        );
         assert!(
             all_ctr > all_srv,
             "all-container {all_ctr} should exceed all-serverless {all_srv}"

@@ -99,25 +99,45 @@ impl IntegratedFactory {
                         .map_err(|e| e.to_string())?;
                     inputs.push(data);
                 }
+                let obs = swf_obs::current();
+                let wrapper = format!("{}/wrapper", ctx.node.name());
                 let payload = encode_payload(&inputs);
                 // Client-side serialization of the pass-by-value request
                 // (the paper's Python wrapper JSON-encodes the matrices).
                 if ser_rate > 0.0 {
+                    let ser = obs.span(
+                        ctx.span,
+                        &wrapper,
+                        "serialize:request",
+                        swf_obs::Category::Serialize,
+                    );
                     swf_simcore::sleep(swf_simcore::SimDuration::from_secs_f64(
                         payload.len() as f64 / ser_rate,
                     ))
                     .await;
+                    drop(ser);
+                }
+                let mut request = Request::post("/invoke", payload);
+                if !ctx.span.is_none() {
+                    request = request.with_header(swf_obs::TRACE_HEADER, ctx.span.to_header());
                 }
                 let response = knative
-                    .invoke(ctx.node_id(), &service, Request::post("/invoke", payload))
+                    .invoke(ctx.node_id(), &service, request)
                     .await
                     .map_err(|e| e.to_string())?;
                 // Client-side deserialization of the response.
                 if ser_rate > 0.0 {
+                    let ser = obs.span(
+                        ctx.span,
+                        &wrapper,
+                        "serialize:response",
+                        swf_obs::Category::Serialize,
+                    );
                     swf_simcore::sleep(swf_simcore::SimDuration::from_secs_f64(
                         response.body.len() as f64 / ser_rate,
                     ))
                     .await;
+                    drop(ser);
                 }
                 let outputs = decode_outputs(response.body)?;
                 if outputs.len() != task.outputs.len() {
@@ -151,11 +171,18 @@ impl IntegratedFactory {
                     .runtime(ctx.node_id())
                     .cloned()
                     .ok_or_else(|| format!("no container runtime on {}", ctx.node_id()))?;
+                let obs = swf_obs::current();
                 match staging {
                     ContainerStaging::PerJob => {
                         // The tarball arrived via Condor file transfer; a
                         // `docker load` reads it off the local disk and
                         // registers the layers.
+                        let load = obs.span(
+                            ctx.span,
+                            &format!("{}/docker", ctx.node.name()),
+                            "docker-load",
+                            swf_obs::Category::Pull,
+                        );
                         let tar = tarball.as_deref().expect("tarball staged");
                         ctx.node
                             .fs()
@@ -166,9 +193,20 @@ impl IntegratedFactory {
                             .registry()
                             .mark_cached(ctx.node_id(), &image)
                             .map_err(|e| e.to_string())?;
+                        drop(load);
                     }
                     ContainerStaging::PullIfMissing => {
-                        runtime.ensure_image(&image).await.map_err(|e| e.to_string())?;
+                        let pull = obs.span(
+                            ctx.span,
+                            &format!("{}/docker", ctx.node.name()),
+                            "ensure-image",
+                            swf_obs::Category::Pull,
+                        );
+                        runtime
+                            .ensure_image(&image)
+                            .await
+                            .map_err(|e| e.to_string())?;
+                        drop(pull);
                     }
                 }
                 // Read inputs, then run the task inside a fresh container.
@@ -189,7 +227,8 @@ impl IntegratedFactory {
                 });
                 let cli = DockerCli::new(runtime);
                 let report = cli
-                    .run(
+                    .run_with_span(
+                        ctx.span,
                         &image,
                         ResourceLimits::one_core(512),
                         workload,
@@ -256,7 +295,10 @@ mod tests {
             let tarball = bed.stage_image_tarball();
             crate::function::register_matmul(&bed.knative, &config);
             if config.provisioning == Provisioning::PreStage {
-                bed.knative.wait_ready("matmul", 1, secs(600.0)).await.unwrap();
+                bed.knative
+                    .wait_ready("matmul", 1, secs(600.0))
+                    .await
+                    .unwrap();
             }
             let pegasus = Pegasus::new(bed.condor.clone()).with_dagman(config.dagman);
             pegasus

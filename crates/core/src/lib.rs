@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod breakdown;
 pub mod builder;
 pub mod config;
 pub mod experiments;
@@ -41,6 +42,9 @@ pub mod factory;
 pub mod function;
 pub mod testbed;
 
+pub use breakdown::{
+    compute_share, container_lifecycle_share, render_mix_breakdown, slowest_workflow_breakdown,
+};
 pub use builder::{matmul_transformation, stage_chain_workflow};
 pub use config::{ContainerStaging, ExperimentConfig, Provisioning};
 pub use factory::IntegratedFactory;

@@ -210,7 +210,10 @@ mod tests {
     use swf_simcore::{now, Sim, SimTime};
 
     fn pod(name: &str) -> Pod {
-        Pod::new(ObjectMeta::named(name), PodSpec::new(ImageRef::parse("img")))
+        Pod::new(
+            ObjectMeta::named(name),
+            PodSpec::new(ImageRef::parse("img")),
+        )
     }
 
     #[test]

@@ -52,8 +52,12 @@ impl K8s {
                 .node(node_id)
                 .expect("schedulable node exists")
                 .clone();
-            let runtime =
-                ContainerRuntime::new(node, registry.clone(), config.overheads, seed ^ node_id.0 as u64);
+            let runtime = ContainerRuntime::new(
+                node,
+                registry.clone(),
+                config.overheads,
+                seed ^ node_id.0 as u64,
+            );
             runtimes.insert(node_id, runtime.clone());
             let kubelet = Kubelet::new(api.clone(), runtime, KubeletConfig::default());
             spawn(kubelet.run());
@@ -72,14 +76,10 @@ impl K8s {
             .collect();
         // Register node objects (all ready at boot).
         for &id in &schedulable {
-            api.nodes().put(
-                id.to_string(),
-                crate::nodes::NodeStatus { id, ready: true },
-            );
+            api.nodes()
+                .put(id.to_string(), crate::nodes::NodeStatus { id, ready: true });
         }
-        spawn(
-            Scheduler::new(api.clone(), registry.clone(), capacities, config.scheduler).run(),
-        );
+        spawn(Scheduler::new(api.clone(), registry.clone(), capacities, config.scheduler).run());
         spawn(crate::controllers::DeploymentController::new(api.clone()).run());
         spawn(crate::controllers::ReplicaSetController::new(api.clone()).run());
         spawn(crate::controllers::EndpointsController::new(api.clone()).run());
@@ -179,7 +179,9 @@ impl K8s {
     /// its pods; ReplicaSets replace them on healthy nodes; the scheduler
     /// stops binding there.
     pub fn fail_node(&self, id: NodeId) {
-        self.api.nodes().update(&id.to_string(), |n| n.ready = false);
+        self.api
+            .nodes()
+            .update(&id.to_string(), |n| n.ready = false);
     }
 
     /// Bring a failed node back: the scheduler may bind to it again.

@@ -142,9 +142,7 @@ impl ReplicaSetController {
             let ready = self
                 .api
                 .pods()
-                .filter(|p| {
-                    p.meta.owner.as_deref() == Some(rs_name.as_str()) && p.is_routable()
-                })
+                .filter(|p| p.meta.owner.as_deref() == Some(rs_name.as_str()) && p.is_routable())
                 .len() as u32;
             if rs.ready_replicas != ready {
                 self.api
@@ -324,7 +322,8 @@ mod tests {
             api.create_deployment(deployment(2)).await.unwrap();
             sleep(secs(1.0)).await;
             let victim = api.pods().entries()[0].0.clone();
-            api.pods().update(&victim, |p| p.status.phase = PodPhase::Failed);
+            api.pods()
+                .update(&victim, |p| p.status.phase = PodPhase::Failed);
             sleep(secs(1.0)).await;
             let live = api
                 .pods()

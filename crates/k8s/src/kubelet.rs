@@ -67,10 +67,7 @@ impl Kubelet {
     /// One reconcile pass (non-blocking: work is spawned).
     pub fn reconcile(&self) {
         let my_node = self.runtime.node().id();
-        let mine: Vec<Pod> = self
-            .api
-            .pods()
-            .filter(|p| p.status.node == Some(my_node));
+        let mine: Vec<Pod> = self.api.pods().filter(|p| p.status.node == Some(my_node));
         for pod in mine {
             let name = pod.meta.name.clone();
             if self.inflight.borrow().contains(&name) {
@@ -83,9 +80,7 @@ impl Kubelet {
                     this.teardown(&name).await;
                     this.inflight.borrow_mut().remove(&name);
                 });
-            } else if pod.status.phase == PodPhase::Scheduled
-                && self.api.node_ready(my_node)
-            {
+            } else if pod.status.phase == PodPhase::Scheduled && self.api.node_ready(my_node) {
                 self.inflight.borrow_mut().insert(name.clone());
                 let this = self.clone();
                 spawn(async move {
@@ -100,11 +95,35 @@ impl Kubelet {
         let Some(pod) = self.api.pods().get(name) else {
             return;
         };
+        let obs = swf_obs::current();
+        let component = format!("{}/kubelet", self.runtime.node().name());
+        // Root span for the pod's cold start; the activator links its
+        // cold-wait span to it via the `pod/<name>` anchor.
+        let boot = obs.span(
+            swf_obs::SpanContext::NONE,
+            &component,
+            format!("pod-start:{name}"),
+            swf_obs::Category::ColdStart,
+        );
+        obs.set_anchor(&format!("pod/{name}"), boot.ctx());
         let image = pod.spec.image.clone();
+        let pull = obs.span(
+            boot.ctx(),
+            &component,
+            format!("pull:{image}"),
+            swf_obs::Category::Pull,
+        );
         if let Err(e) = self.runtime.ensure_image(&image).await {
             self.fail(name, &format!("image pull failed: {e}"));
             return;
         }
+        drop(pull);
+        let create = obs.span(
+            boot.ctx(),
+            &component,
+            format!("create:{name}"),
+            swf_obs::Category::Create,
+        );
         let container = match self.runtime.create(&image, pod.spec.resources).await {
             Ok(c) => c,
             Err(e) => {
@@ -116,6 +135,7 @@ impl Kubelet {
             self.fail(name, &format!("start failed: {e}"));
             return;
         }
+        drop(create);
         // Application boot before readiness.
         if !pod.spec.readiness_delay.is_zero() {
             sleep(pod.spec.readiness_delay).await;
@@ -149,6 +169,7 @@ impl Kubelet {
             self.next_port.set(p.wrapping_add(1).max(1024));
             p
         };
+        obs.counter_add("k8s.pods_started", 1);
         self.api.pods().update(name, |p| {
             p.status.phase = PodPhase::Running;
             p.status.ready = true;

@@ -3,8 +3,7 @@
 use std::collections::BTreeMap;
 
 /// Unique id assigned by the API server.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
 pub struct Uid(pub u64);
 
 /// Metadata common to every API object.
@@ -23,7 +22,6 @@ pub struct ObjectMeta {
     /// Set when deletion has been requested; object is torn down async.
     pub deletion_requested: bool,
 }
-
 
 impl ObjectMeta {
     /// Metadata with just a name.

@@ -56,7 +56,9 @@ impl NodeController {
             return;
         }
         for (name, pod) in self.api.pods().entries() {
-            let Some(node) = pod.status.node else { continue };
+            let Some(node) = pod.status.node else {
+                continue;
+            };
             if !down.contains(&node) {
                 continue;
             }
@@ -133,7 +135,8 @@ mod tests {
             let mut pod = Pod::new(ObjectMeta::named("p"), PodSpec::new(ImageRef::parse("i")));
             pod.spec.node_name = Some(NodeId(1));
             api.create_pod(pod).await.unwrap();
-            api.pods().update("p", |p| p.status.phase = PodPhase::Running);
+            api.pods()
+                .update("p", |p| p.status.phase = PodPhase::Running);
             sleep(secs(0.1)).await;
             assert_eq!(api.pods().get("p").unwrap().status.phase, PodPhase::Running);
         });

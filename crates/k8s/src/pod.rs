@@ -115,9 +115,7 @@ impl Pod {
 
     /// Routable: running, ready, not being deleted.
     pub fn is_routable(&self) -> bool {
-        self.status.phase == PodPhase::Running
-            && self.status.ready
-            && !self.meta.deletion_requested
+        self.status.phase == PodPhase::Running && self.status.ready && !self.meta.deletion_requested
     }
 }
 
@@ -128,14 +126,20 @@ mod tests {
 
     #[test]
     fn new_pod_is_pending_and_unroutable() {
-        let p = Pod::new(ObjectMeta::named("p1"), PodSpec::new(ImageRef::parse("img")));
+        let p = Pod::new(
+            ObjectMeta::named("p1"),
+            PodSpec::new(ImageRef::parse("img")),
+        );
         assert_eq!(p.status.phase, PodPhase::Pending);
         assert!(!p.is_routable());
     }
 
     #[test]
     fn routable_requires_ready_running_and_live() {
-        let mut p = Pod::new(ObjectMeta::named("p1"), PodSpec::new(ImageRef::parse("img")));
+        let mut p = Pod::new(
+            ObjectMeta::named("p1"),
+            PodSpec::new(ImageRef::parse("img")),
+        );
         p.status.phase = PodPhase::Running;
         assert!(!p.is_routable());
         p.status.ready = true;

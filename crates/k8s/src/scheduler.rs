@@ -97,9 +97,7 @@ impl Scheduler {
                         .api
                         .pods()
                         .get(&pod.meta.name)
-                        .map(|p| {
-                            p.status.phase == PodPhase::Pending && !p.meta.deletion_requested
-                        })
+                        .map(|p| p.status.phase == PodPhase::Pending && !p.meta.deletion_requested)
                         .unwrap_or(false);
                     if still_pending {
                         self.api.pods().update(&pod.meta.name, |p| {
@@ -201,7 +199,11 @@ mod tests {
     fn setup(nodes: usize) -> (ApiServer, Registry, Scheduler) {
         let api = ApiServer::default();
         let registry = Registry::new(RegistryConfig::default());
-        registry.push(Image::single_layer(ImageRef::parse("img"), 1, swf_cluster::mib(10)));
+        registry.push(Image::single_layer(
+            ImageRef::parse("img"),
+            1,
+            swf_cluster::mib(10),
+        ));
         let sched = Scheduler::new(
             api.clone(),
             registry.clone(),
@@ -274,7 +276,9 @@ mod tests {
             spawn(sched.run());
             // 5 pods of 4000m over 2×8000m nodes: only 4 fit.
             for i in 0..5 {
-                api.create_pod(mk_pod(&format!("p{i}"), 4000)).await.unwrap();
+                api.create_pod(mk_pod(&format!("p{i}"), 4000))
+                    .await
+                    .unwrap();
             }
             swf_simcore::sleep(swf_simcore::millis(100)).await;
             let pods = api.pods().list();

@@ -75,8 +75,6 @@ mod tests {
             },
         );
         assert_eq!(d.replicas, 2);
-        assert!(d
-            .selector
-            .matches(&d.template.meta.labels));
+        assert!(d.selector.matches(&d.template.meta.labels));
     }
 }

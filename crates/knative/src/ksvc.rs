@@ -104,7 +104,10 @@ pub struct Revision {
 impl Revision {
     /// Derive the revision from a KService, applying annotation defaults.
     pub fn from_service(ksvc: &KService, default_target: f64) -> Self {
-        let min_scale = ksvc.meta.annotation::<u32>(MIN_SCALE_ANNOTATION).unwrap_or(0);
+        let min_scale = ksvc
+            .meta
+            .annotation::<u32>(MIN_SCALE_ANNOTATION)
+            .unwrap_or(0);
         // Knative defaults initial-scale to 1 (a revision starts one pod
         // unless explicitly deferred to 0).
         let initial_scale = ksvc
@@ -116,10 +119,12 @@ impl Revision {
             .meta
             .annotation::<f64>(TARGET_ANNOTATION)
             .unwrap_or(default_target);
-        let max_scale = ksvc.meta.annotation::<u32>(MAX_SCALE_ANNOTATION).unwrap_or(0);
+        let max_scale = ksvc
+            .meta
+            .annotation::<u32>(MAX_SCALE_ANNOTATION)
+            .unwrap_or(0);
         Revision {
-            meta: ObjectMeta::named(format!("{}-00001", ksvc.meta.name))
-                .owned_by(&ksvc.meta.name),
+            meta: ObjectMeta::named(format!("{}-00001", ksvc.meta.name)).owned_by(&ksvc.meta.name),
             service: ksvc.meta.name.clone(),
             image: ksvc.image.clone(),
             container_concurrency: ksvc.container_concurrency,

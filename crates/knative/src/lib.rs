@@ -19,8 +19,8 @@ pub mod error;
 pub mod handlers;
 pub mod ksvc;
 pub mod metrics;
-pub mod pod_server;
 pub mod platform;
+pub mod pod_server;
 pub mod router;
 pub mod serving;
 
@@ -33,7 +33,7 @@ pub use error::KnativeError;
 pub use handlers::{Handler, HandlerRegistry};
 pub use ksvc::{KService, Revision};
 pub use metrics::MetricHub;
-pub use pod_server::PodServers;
 pub use platform::Knative;
+pub use pod_server::PodServers;
 pub use router::{Router, RouterConfig, RoutingPolicy};
 pub use serving::ServingController;

@@ -57,7 +57,9 @@ impl MetricHub {
         let c = (m.in_flight + m.buffered) as f64;
         m.samples.push_back((now(), c));
         // Bound memory: keep ~10 minutes of samples.
-        let horizon = now().since(SimTime::ZERO).saturating_sub(SimDuration::from_secs(600));
+        let horizon = now()
+            .since(SimTime::ZERO)
+            .saturating_sub(SimDuration::from_secs(600));
         while m
             .samples
             .front()

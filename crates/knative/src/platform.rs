@@ -34,9 +34,7 @@ impl Knative {
         let revisions: Store<Revision> = Store::new();
         let handlers = HandlerRegistry::new();
         let hub = MetricHub::new();
-        spawn(
-            ServingController::new(ksvcs.clone(), revisions.clone(), k8s.clone(), config).run(),
-        );
+        spawn(ServingController::new(ksvcs.clone(), revisions.clone(), k8s.clone(), config).run());
         spawn(
             Autoscaler::new(
                 revisions.clone(),
@@ -219,7 +217,11 @@ mod tests {
             assert_eq!(kn.ready_pods("matmul"), 0);
             let t0 = now();
             let resp = kn
-                .invoke(NodeId(0), "matmul", Request::post("/", Bytes::from_static(b"x")))
+                .invoke(
+                    NodeId(0),
+                    "matmul",
+                    Request::post("/", Bytes::from_static(b"x")),
+                )
                 .await
                 .unwrap();
             assert!(resp.is_success());
@@ -248,7 +250,11 @@ mod tests {
             let t0 = now();
             for i in 0..10u8 {
                 let resp = kn
-                    .invoke(NodeId(0), "matmul", Request::post("/", Bytes::from(vec![i])))
+                    .invoke(
+                        NodeId(0),
+                        "matmul",
+                        Request::post("/", Bytes::from(vec![i])),
+                    )
                     .await
                     .unwrap();
                 assert_eq!(&resp.body[..], &[i]);
@@ -311,9 +317,13 @@ mod tests {
                 .map(|i| {
                     let kn = kn.clone();
                     swf_simcore::spawn(async move {
-                        kn.invoke(NodeId(0), "matmul", Request::post("/", Bytes::from(vec![i])))
-                            .await
-                            .unwrap()
+                        kn.invoke(
+                            NodeId(0),
+                            "matmul",
+                            Request::post("/", Bytes::from(vec![i])),
+                        )
+                        .await
+                        .unwrap()
                     })
                 })
                 .collect();
@@ -344,7 +354,9 @@ mod tests {
                 },
             );
             kn.register_fn(
-                KService::new("fn", image).with_min_scale(2).with_max_scale(2),
+                KService::new("fn", image)
+                    .with_min_scale(2)
+                    .with_max_scale(2),
                 |req| {
                     let b = req.body.clone();
                     Workload::new(secs(0.2), move || Ok(b))
@@ -353,7 +365,11 @@ mod tests {
             kn.wait_ready("fn", 2, secs(600.0)).await.unwrap();
             let eps = {
                 let rev = kn.revisions().get("fn-00001").unwrap();
-                kn.k8s().api().endpoints().get(&rev.k8s_service_name()).unwrap()
+                kn.k8s()
+                    .api()
+                    .endpoints()
+                    .get(&rev.k8s_service_name())
+                    .unwrap()
             };
             assert_eq!(eps.ready.len(), 2);
             let (busy_node, idle_node) = (eps.ready[0].node, eps.ready[1].node);

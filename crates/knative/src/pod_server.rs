@@ -63,9 +63,11 @@ impl PodServers {
     }
 
     fn attach_new(self: &Rc<Self>) {
-        let candidates: Vec<Pod> = self.k8s.api().pods().filter(|p| {
-            p.is_routable() && p.meta.labels.contains_key(Revision::pod_label())
-        });
+        let candidates: Vec<Pod> = self
+            .k8s
+            .api()
+            .pods()
+            .filter(|p| p.is_routable() && p.meta.labels.contains_key(Revision::pod_label()));
         for pod in candidates {
             let name = pod.meta.name.clone();
             if self.serving.borrow().contains(&name) {
@@ -114,10 +116,7 @@ impl PodServers {
                 .api()
                 .pods()
                 .get(&pod_name)
-                .map(|p| {
-                    p.meta.deletion_requested
-                        || p.status.phase == swf_k8s::PodPhase::Failed
-                })
+                .map(|p| p.meta.deletion_requested || p.status.phase == swf_k8s::PodPhase::Failed)
                 .unwrap_or(true);
             if gone {
                 break;
@@ -134,12 +133,30 @@ impl PodServers {
                         // Demand is reported at proxy ingress — queued
                         // requests count toward autoscaler concurrency,
                         // as in Knative's queue-proxy breaker.
+                        let obs = swf_obs::current();
+                        let parent = incoming
+                            .request
+                            .headers
+                            .get(swf_obs::TRACE_HEADER)
+                            .map(|h| swf_obs::SpanContext::from_header(h))
+                            .unwrap_or(swf_obs::SpanContext::NONE);
+                        let component = format!("{rev_name}/queue-proxy");
+                        let queued =
+                            obs.span(parent, &component, "queue-proxy", swf_obs::Category::Queue);
                         let guard = this.hub.start_request(&rev_name);
                         let _slot = gate.acquire().await;
                         sleep(this.config.queue_proxy_overhead).await;
+                        drop(queued);
+                        let exec = obs.span(
+                            parent,
+                            &component,
+                            format!("exec:{service}"),
+                            swf_obs::Category::Compute,
+                        );
                         let response =
                             Self::serve_one(&runtime, container, handler, &service, &incoming)
                                 .await;
+                        drop(exec);
                         incoming.respond(response);
                         drop(guard);
                     });
@@ -231,11 +248,7 @@ mod tests {
             k8s.wait_endpoints("echo-00001-private", 1, secs(120.0))
                 .await
                 .unwrap();
-            *out2.borrow_mut() = Some(Env {
-                cluster,
-                k8s,
-                hub,
-            });
+            *out2.borrow_mut() = Some(Env { cluster, k8s, hub });
         });
         (sim, out)
     }

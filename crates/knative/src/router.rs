@@ -96,20 +96,41 @@ impl Router {
         &self,
         from: NodeId,
         service: &str,
-        request: Request,
+        mut request: Request,
     ) -> Result<Response, KnativeError> {
+        let obs = swf_obs::current();
+        let parent = request
+            .headers
+            .get(swf_obs::TRACE_HEADER)
+            .map(|h| swf_obs::SpanContext::from_header(h))
+            .unwrap_or(swf_obs::SpanContext::NONE);
+        let span = obs.span(
+            parent,
+            "knative/router",
+            format!("invoke:{service}"),
+            swf_obs::Category::Transfer,
+        );
+        if !span.ctx().is_none() {
+            request
+                .headers
+                .insert(swf_obs::TRACE_HEADER.to_string(), span.ctx().to_header());
+        }
+        obs.counter_add("knative.invocations", 1);
         let revision = self.active_revision(service)?;
         let eps_name = revision.k8s_service_name();
         let mut attempts = 0;
         loop {
             let endpoint = {
-                let eps = self.k8s.api().endpoints().get(&eps_name).unwrap_or_default();
+                let eps = self
+                    .k8s
+                    .api()
+                    .endpoints()
+                    .get(&eps_name)
+                    .unwrap_or_default();
                 match self.config.policy {
                     RoutingPolicy::RoundRobin => {
                         let mut balancers = self.balancers.borrow_mut();
-                        let rr = balancers
-                            .entry(revision.meta.name.clone())
-                            .or_default();
+                        let rr = balancers.entry(revision.meta.name.clone()).or_default();
                         rr.pick(&eps)
                     }
                     RoutingPolicy::LeastLoaded => self.pick_least_loaded(&eps),
@@ -117,7 +138,11 @@ impl Router {
             };
             match endpoint {
                 Some(ep) => {
-                    match self.http.request(from, ep.node, ep.port, request.clone()).await {
+                    match self
+                        .http
+                        .request(from, ep.node, ep.port, request.clone())
+                        .await
+                    {
                         Ok(resp) if resp.status == 500 => {
                             return Err(KnativeError::FunctionFailed(
                                 String::from_utf8_lossy(&resp.body).to_string(),
@@ -140,7 +165,7 @@ impl Router {
                 }
                 None => {
                     // Cold start: buffer at the activator until ready.
-                    self.activate(&revision).await?;
+                    self.activate(&revision, span.ctx()).await?;
                 }
             }
         }
@@ -150,20 +175,30 @@ impl Router {
     /// has the most free cores, falling back to round-robin order on ties
     /// (sorted endpoint lists keep this deterministic).
     fn pick_least_loaded(&self, eps: &swf_k8s::Endpoints) -> Option<swf_k8s::Endpoint> {
-        eps.ready
-            .iter()
-            .copied()
-            .max_by_key(|ep| {
-                self.k8s
-                    .runtime(ep.node)
-                    .map(|rt| rt.node().cores().available())
-                    .unwrap_or(0)
-            })
+        eps.ready.iter().copied().max_by_key(|ep| {
+            self.k8s
+                .runtime(ep.node)
+                .map(|rt| rt.node().cores().available())
+                .unwrap_or(0)
+        })
     }
 
     /// The activator path: register buffered demand, poke the deployment,
     /// wait for at least one ready endpoint.
-    async fn activate(&self, revision: &Revision) -> Result<(), KnativeError> {
+    async fn activate(
+        &self,
+        revision: &Revision,
+        parent: swf_obs::SpanContext,
+    ) -> Result<(), KnativeError> {
+        let obs = swf_obs::current();
+        let cold = obs.span(
+            parent,
+            "knative/activator",
+            format!("cold-wait:{}", revision.meta.name),
+            swf_obs::Category::ColdStart,
+        );
+        obs.counter_add("knative.cold_starts", 1);
+        let t_cold = swf_simcore::now();
         let _buffered = self.hub.buffer_request(&revision.meta.name);
         sleep(self.data_plane.activator_latency).await;
         // Poke: ensure the deployment wants at least one replica without
@@ -176,9 +211,30 @@ impl Router {
             let _ = self.k8s.api().scale_deployment(&dep, floor).await;
         }
         let eps_name = revision.k8s_service_name();
-        let wait = self.k8s.wait_endpoints(&eps_name, 1, self.config.cold_start_deadline);
+        let wait = self
+            .k8s
+            .wait_endpoints(&eps_name, 1, self.config.cold_start_deadline);
         match timeout(self.config.cold_start_deadline, wait).await {
-            Ok(Ok(())) => Ok(()),
+            Ok(Ok(())) => {
+                obs.observe(
+                    "knative.cold_wait_s",
+                    (swf_simcore::now() - t_cold).as_secs_f64(),
+                );
+                // Causally link the wait to the pod boot(s) it waited on.
+                if !cold.ctx().is_none() {
+                    let rev_name = revision.meta.name.clone();
+                    for pod in self
+                        .k8s
+                        .api()
+                        .pods()
+                        .filter(|p| p.meta.labels.get(Revision::pod_label()) == Some(&rev_name))
+                    {
+                        let anchor = obs.anchor(&format!("pod/{}", pod.meta.name));
+                        obs.link_from(cold.ctx(), anchor);
+                    }
+                }
+                Ok(())
+            }
             Ok(Err(e)) => Err(KnativeError::K8s(e.to_string())),
             Err(Elapsed) => Err(KnativeError::ColdStartTimeout(revision.service.clone())),
         }

@@ -54,7 +54,11 @@ impl ServingController {
         // Tear down revisions whose KService is gone.
         for (rev_name, rev) in self.revisions.entries() {
             if !self.ksvcs.contains(&rev.service) {
-                let _ = self.k8s.api().delete_deployment(&rev.deployment_name()).await;
+                let _ = self
+                    .k8s
+                    .api()
+                    .delete_deployment(&rev.deployment_name())
+                    .await;
                 self.revisions.delete(&rev_name);
             }
         }
@@ -129,7 +133,11 @@ mod tests {
             ksvcs.put("matmul", ksvc);
             sleep(secs(1.0)).await;
             assert!(revisions.contains("matmul-00001"));
-            let dep = k8s.api().deployments().get("matmul-00001-deployment").unwrap();
+            let dep = k8s
+                .api()
+                .deployments()
+                .get("matmul-00001-deployment")
+                .unwrap();
             assert_eq!(dep.replicas, 2);
             assert!(k8s.api().services().contains("matmul-00001-private"));
             // Pods eventually become ready with the app-boot readiness delay.

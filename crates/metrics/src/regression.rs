@@ -3,7 +3,7 @@
 //! 0.28 / 0.30 / 0.96 s-per-task slopes).
 
 /// Fitted line `y = slope·x + intercept`.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Line {
     /// Slope.
     pub slope: f64,
@@ -120,6 +120,13 @@ mod tests {
         };
         let red = knative.slope_reduction_vs(&docker);
         assert!(red > 0.2 && red < 0.3, "reduction {red}");
-        assert_eq!(knative.slope_reduction_vs(&Line { slope: 0.0, intercept: 0.0, r_squared: 0.0 }), 0.0);
+        assert_eq!(
+            knative.slope_reduction_vs(&Line {
+                slope: 0.0,
+                intercept: 0.0,
+                r_squared: 0.0
+            }),
+            0.0
+        );
     }
 }

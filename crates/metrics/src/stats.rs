@@ -1,7 +1,7 @@
 //! Summary statistics.
 
 /// Summary of a sample.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Summary {
     /// Sample size.
     pub n: usize,

@@ -5,7 +5,7 @@
 //! of barycentric mix points and converts them to 2-D plot coordinates.
 
 /// A point on the mix simplex; fractions sum to 1.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MixPoint {
     /// Fraction of native tasks.
     pub native: f64,
@@ -19,10 +19,7 @@ impl MixPoint {
     /// Build, asserting the fractions are a distribution.
     pub fn new(native: f64, serverless: f64, container: f64) -> MixPoint {
         let sum = native + serverless + container;
-        assert!(
-            (sum - 1.0).abs() < 1e-9,
-            "mix must sum to 1 (got {sum})"
-        );
+        assert!((sum - 1.0).abs() < 1e-9, "mix must sum to 1 (got {sum})");
         MixPoint {
             native,
             serverless,

@@ -1,0 +1,37 @@
+//! `swf-obs` — observability for the simulated serverless HPC stack.
+//!
+//! The paper's results (Figs. 1/2/5/6) are *overhead decompositions*:
+//! how much of a workflow's makespan is queueing vs. claim activation
+//! vs. image pulls vs. cold starts vs. payload serialization vs. real
+//! compute. This crate turns the simulation from "the number matches"
+//! into "the number matches for the right reason":
+//!
+//! - **Hierarchical spans** over virtual time ([`Span`], [`SpanContext`]),
+//!   with parent links and cross-component causal links, carried through
+//!   HTTP headers, condor job ads, and k8s pod anchors.
+//! - A **critical-path analyzer** ([`critical_path`]) returning the
+//!   longest causal chain through a finished span tree and a
+//!   per-category time breakdown of the makespan.
+//! - A **metrics registry** (counters, gauges, virtual-time histograms
+//!   with p50/p95/p99) dumped as JSON.
+//! - **Chrome-trace / Perfetto export** ([`chrome_trace`]): one trace
+//!   "process" per simulated node, one "thread" per component.
+//!
+//! Instrumentation is *zero-cost when disabled*: the default ambient
+//! collector is [`Obs::disabled`], and every recording method is a
+//! single `Option` branch away from a no-op, so a run with tracing off
+//! is bit-identical to an uninstrumented build. Tracing itself never
+//! advances virtual time, so even an *enabled* run keeps identical
+//! timings — the spans are a pure annotation layer.
+
+mod chrome;
+mod collector;
+mod critpath;
+mod metrics;
+mod span;
+
+pub use chrome::{chrome_trace, chrome_trace_to_string};
+pub use collector::{current, install, InstallGuard, Obs, ObsTraceSink, SpanGuard};
+pub use critpath::{critical_path, roots, CritStep, CriticalPath};
+pub use metrics::{HistogramSummary, MetricsSnapshot};
+pub use span::{Category, Span, SpanContext, SpanId, TRACE_HEADER};

@@ -1,0 +1,209 @@
+//! The metrics registry: counters, gauges, and virtual-time histograms
+//! with nearest-rank quantiles, dumped as JSON.
+
+use std::collections::BTreeMap;
+
+/// Raw registry storage (inside the collector).
+#[derive(Default)]
+pub(crate) struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Vec<f64>>,
+}
+
+impl Metrics {
+    pub(crate) fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    pub(crate) fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    pub(crate) fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .push(value);
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), HistogramSummary::of(v)))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time view of the registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+/// Summary statistics of one histogram.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+}
+
+impl HistogramSummary {
+    fn of(values: &[f64]) -> HistogramSummary {
+        if values.is_empty() {
+            return HistogramSummary::default();
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let q = |p: f64| {
+            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        HistogramSummary {
+            count: values.len() as u64,
+            mean: values.iter().sum::<f64>() / values.len() as f64,
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            p50: q(0.50),
+            p95: q(0.95),
+            p99: q(0.99),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// A counter's value, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// A gauge's value, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A histogram's summary, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.get(name)
+    }
+
+    /// Render as a JSON tree:
+    /// `{"counters": {..}, "gauges": {..}, "histograms": {name: {count, mean, min, max, p50, p95, p99}}}`.
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut counters = serde_json::Map::new();
+        for (k, v) in &self.counters {
+            counters.insert(k.clone(), serde_json::Value::from(*v));
+        }
+        let mut gauges = serde_json::Map::new();
+        for (k, v) in &self.gauges {
+            gauges.insert(k.clone(), serde_json::Value::from(*v));
+        }
+        let mut histograms = serde_json::Map::new();
+        for (k, h) in &self.histograms {
+            let mut obj = serde_json::Map::new();
+            obj.insert("count".to_string(), serde_json::Value::from(h.count));
+            obj.insert("mean".to_string(), serde_json::Value::from(h.mean));
+            obj.insert("min".to_string(), serde_json::Value::from(h.min));
+            obj.insert("max".to_string(), serde_json::Value::from(h.max));
+            obj.insert("p50".to_string(), serde_json::Value::from(h.p50));
+            obj.insert("p95".to_string(), serde_json::Value::from(h.p95));
+            obj.insert("p99".to_string(), serde_json::Value::from(h.p99));
+            histograms.insert(k.clone(), serde_json::Value::Object(obj));
+        }
+        let mut root = serde_json::Map::new();
+        root.insert("counters".to_string(), serde_json::Value::Object(counters));
+        root.insert("gauges".to_string(), serde_json::Value::Object(gauges));
+        root.insert(
+            "histograms".to_string(),
+            serde_json::Value::Object(histograms),
+        );
+        serde_json::Value::Object(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut m = Metrics::default();
+        for v in 1..=100 {
+            m.observe("lat", f64::from(v));
+        }
+        let snap = m.snapshot();
+        let h = snap.histogram("lat").unwrap();
+        assert_eq!(h.count, 100);
+        assert_eq!(h.p50, 50.0);
+        assert_eq!(h.p95, 95.0);
+        assert_eq!(h.p99, 99.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 100.0);
+        assert!((h.mean - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut m = Metrics::default();
+        m.counter_add("jobs", 2);
+        m.counter_add("jobs", 3);
+        m.gauge_set("depth", 4.0);
+        m.gauge_set("depth", 2.0);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("jobs"), Some(5));
+        assert_eq!(snap.gauge("depth"), Some(2.0));
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut m = Metrics::default();
+        m.counter_add("invocations", 7);
+        m.observe("cold_start_s", 1.5);
+        let json = m.snapshot().to_json();
+        assert_eq!(json["counters"]["invocations"].as_u64(), Some(7));
+        assert_eq!(
+            json["histograms"]["cold_start_s"]["count"].as_u64(),
+            Some(1)
+        );
+        let text = json.to_string();
+        let back = serde_json::from_str(&text).unwrap();
+        assert_eq!(back["counters"]["invocations"].as_u64(), Some(7));
+    }
+
+    #[test]
+    fn single_observation_quantiles() {
+        let mut m = Metrics::default();
+        m.observe("x", 42.0);
+        let snap = m.snapshot();
+        let h = *snap.histogram("x").unwrap();
+        assert_eq!((h.p50, h.p95, h.p99), (42.0, 42.0, 42.0));
+    }
+}

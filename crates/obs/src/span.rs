@@ -1,0 +1,208 @@
+//! Span types: identities, contexts, categories and the span record.
+
+use swf_simcore::SimTime;
+
+/// Identity of one span inside a run's collector (1-based; 0 = none).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The null id.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// True for the null id.
+    pub fn is_none(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// A propagatable reference to a span — small enough to copy through
+/// job ads, HTTP headers and async task boundaries.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SpanContext {
+    /// The referenced span (NONE when tracing is disabled).
+    pub id: SpanId,
+}
+
+impl SpanContext {
+    /// The empty context (what disabled tracing propagates).
+    pub const NONE: SpanContext = SpanContext { id: SpanId::NONE };
+
+    /// True when there is no referenced span.
+    pub fn is_none(&self) -> bool {
+        self.id.is_none()
+    }
+
+    /// Encode for an HTTP header (W3C-traceparent-like, but local).
+    pub fn to_header(self) -> String {
+        format!("swf-{:016x}", self.id.0)
+    }
+
+    /// Decode a header produced by [`SpanContext::to_header`].
+    pub fn from_header(value: &str) -> SpanContext {
+        value
+            .strip_prefix("swf-")
+            .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+            .map(|id| SpanContext { id: SpanId(id) })
+            .unwrap_or(SpanContext::NONE)
+    }
+}
+
+/// The header key used to carry a [`SpanContext`] over the simulated
+/// HTTP fabric.
+pub const TRACE_HEADER: &str = "swf-traceparent";
+
+/// What kind of time a span accounts for — the paper's overhead taxonomy.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Category {
+    /// Waiting in a scheduler queue (schedd idle, DAGMan polling).
+    Queue,
+    /// Matchmaking work in the negotiator.
+    Negotiate,
+    /// Claim activation: matched but waiting for the startd to begin.
+    Activation,
+    /// File/data movement (sandbox stage-in/out, payload transfer).
+    Transfer,
+    /// Container image pulls / docker load.
+    Pull,
+    /// Cold start: waiting for a pod/endpoint to become ready.
+    ColdStart,
+    /// Container create/start overhead.
+    Create,
+    /// Container stop/remove overhead.
+    Destroy,
+    /// Payload (de)serialization for pass-by-value invocation.
+    Serialize,
+    /// Real kernel compute.
+    Compute,
+    /// Anything else (structural/bookkeeping spans).
+    Other,
+}
+
+impl Category {
+    /// Every category, in display order.
+    pub const ALL: [Category; 11] = [
+        Category::Queue,
+        Category::Negotiate,
+        Category::Activation,
+        Category::Transfer,
+        Category::Pull,
+        Category::ColdStart,
+        Category::Create,
+        Category::Destroy,
+        Category::Serialize,
+        Category::Compute,
+        Category::Other,
+    ];
+
+    /// Stable lowercase label (used in tables and trace exports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Category::Queue => "queue",
+            Category::Negotiate => "negotiate",
+            Category::Activation => "claim-activation",
+            Category::Transfer => "transfer",
+            Category::Pull => "pull",
+            Category::ColdStart => "cold-start",
+            Category::Create => "create",
+            Category::Destroy => "destroy",
+            Category::Serialize => "serialize",
+            Category::Compute => "compute",
+            Category::Other => "other",
+        }
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One recorded span: a named interval of virtual time attributed to a
+/// component, with a parent and optional causal links.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    /// This span's id (its 1-based index in the collector).
+    pub id: SpanId,
+    /// Enclosing span (NONE for roots).
+    pub parent: SpanId,
+    /// `process/thread` location, e.g. `node-2/kubelet` or
+    /// `condor/negotiator`.
+    pub component: String,
+    /// Human-readable operation name.
+    pub name: String,
+    /// Time category for breakdown attribution.
+    pub category: Category,
+    /// Begin (virtual time).
+    pub start: SimTime,
+    /// End (virtual time); `None` while open.
+    pub end: Option<SimTime>,
+    /// Upstream spans that causally feed this one from *other* subtrees
+    /// (e.g. the pod-start span an activator wait depended on).
+    pub links: Vec<SpanId>,
+}
+
+impl Span {
+    /// End time, treating still-open spans as zero-length.
+    pub fn end_or_start(&self) -> SimTime {
+        self.end.unwrap_or(self.start)
+    }
+
+    /// Duration in seconds (zero while open).
+    pub fn duration_secs(&self) -> f64 {
+        (self.end_or_start() - self.start).as_secs_f64()
+    }
+
+    /// The `process` half of the component path.
+    pub fn process(&self) -> &str {
+        self.component.split('/').next().unwrap_or(&self.component)
+    }
+
+    /// The `thread` half of the component path (process itself if flat).
+    pub fn thread(&self) -> &str {
+        match self.component.split_once('/') {
+            Some((_, t)) => t,
+            None => &self.component,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let ctx = SpanContext { id: SpanId(0xBEEF) };
+        assert_eq!(SpanContext::from_header(&ctx.to_header()), ctx);
+        assert_eq!(SpanContext::from_header("garbage"), SpanContext::NONE);
+        assert_eq!(SpanContext::from_header("swf-zz"), SpanContext::NONE);
+        assert!(SpanContext::NONE.is_none());
+    }
+
+    #[test]
+    fn component_split() {
+        let s = Span {
+            id: SpanId(1),
+            parent: SpanId::NONE,
+            component: "node-2/kubelet".into(),
+            name: "pod-start".into(),
+            category: Category::ColdStart,
+            start: SimTime::ZERO,
+            end: None,
+            links: vec![],
+        };
+        assert_eq!(s.process(), "node-2");
+        assert_eq!(s.thread(), "kubelet");
+        assert_eq!(s.duration_secs(), 0.0);
+    }
+
+    #[test]
+    fn category_labels_are_unique() {
+        let mut labels: Vec<_> = Category::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Category::ALL.len());
+    }
+}

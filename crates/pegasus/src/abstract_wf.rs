@@ -132,8 +132,7 @@ impl AbstractWorkflow {
 
     /// Files consumed but produced by no job (must be staged beforehand).
     pub fn external_inputs(&self) -> Vec<String> {
-        let produced: BTreeSet<&String> =
-            self.jobs.iter().flat_map(|j| j.outputs.iter()).collect();
+        let produced: BTreeSet<&String> = self.jobs.iter().flat_map(|j| j.outputs.iter()).collect();
         let mut ext: BTreeSet<String> = BTreeSet::new();
         for j in &self.jobs {
             for i in &j.inputs {

@@ -1,6 +1,6 @@
 //! The Pegasus facade: plan, submit to DAGMan, collect statistics.
 
-use swf_condor::{run_dag, Condor, DagmanConfig, DagReport};
+use swf_condor::{run_dag, Condor, DagReport, DagmanConfig};
 use swf_simcore::{SimDuration, SimTime};
 
 use crate::abstract_wf::AbstractWorkflow;
@@ -248,11 +248,11 @@ mod tests {
                 max_jobs: 0,
                 ..DagmanConfig::default()
             });
-            pegasus.transformations().register(Transformation::new(
-                "explode",
-                secs(0.1),
-                |_| Err("kaboom".to_string()),
-            ));
+            pegasus
+                .transformations()
+                .register(Transformation::new("explode", secs(0.1), |_| {
+                    Err("kaboom".to_string())
+                }));
             cluster.shared_fs().stage("seed", Bytes::from_static(b"x"));
             pegasus
                 .replicas()

@@ -116,12 +116,15 @@ impl std::fmt::Debug for ExecutableWorkflow {
             .field("nodes", &self.dag.len())
             .field(
                 "tasks",
-                &self.tasks.iter().map(|t| t.name.as_str()).collect::<Vec<_>>(),
+                &self
+                    .tasks
+                    .iter()
+                    .map(|t| t.name.as_str())
+                    .collect::<Vec<_>>(),
             )
             .finish()
     }
 }
-
 
 /// Plan an abstract workflow into an executable one.
 pub fn plan(
@@ -164,7 +167,7 @@ pub fn plan(
     };
 
     // Emit the Condor DAG.
-    let mut dag = DagSpec::new();
+    let mut dag = DagSpec::named(wf.name.clone());
     for task in &tasks {
         let program = factory.build(task);
         let mut input_files = task.inputs.clone();
@@ -178,6 +181,7 @@ pub fn plan(
             output_files: task.outputs.clone(),
             priority: 0,
             ad: swf_condor::ClassAd::new(),
+            span: swf_obs::SpanContext::NONE,
         };
         dag.add_node_with_retries(task.name.clone(), spec, options.retries);
     }
@@ -301,7 +305,11 @@ fn cluster_chains(
             let mut outs = first_logic(first_in)?;
             for (logic, extra) in &composed_stages[1..] {
                 let mut ins = Vec::with_capacity(extra + 1);
-                ins.push(outs.first().cloned().ok_or("cluster stage produced no output")?);
+                ins.push(
+                    outs.first()
+                        .cloned()
+                        .ok_or("cluster stage produced no output")?,
+                );
                 ins.extend(iter.by_ref().take(*extra));
                 outs = logic(ins)?;
             }
@@ -392,7 +400,10 @@ mod tests {
         Ok(vec![Bytes::from(all)])
     }
 
-    fn chain_workflow(n: usize, env: ExecEnv) -> (AbstractWorkflow, TransformationCatalog, ReplicaCatalog) {
+    fn chain_workflow(
+        n: usize,
+        env: ExecEnv,
+    ) -> (AbstractWorkflow, TransformationCatalog, ReplicaCatalog) {
         let tcat = TransformationCatalog::new();
         tcat.register(Transformation::new("concat", secs(0.1), concat_logic));
         let rcat = ReplicaCatalog::new();
@@ -490,7 +501,11 @@ mod tests {
         rcat.register("seed", ReplicaLocation::SharedFs("seed".into()));
         let mut wf = AbstractWorkflow::new("mixed");
         for t in 0..4 {
-            let env = if t < 2 { ExecEnv::Native } else { ExecEnv::Serverless };
+            let env = if t < 2 {
+                ExecEnv::Native
+            } else {
+                ExecEnv::Serverless
+            };
             let input_a = if t == 0 {
                 "seed".to_string()
             } else {

@@ -94,9 +94,7 @@ impl<F: Future> Future for Timeout<F> {
 }
 
 /// Await every join handle, collecting results in order.
-pub async fn join_all<T: 'static>(
-    handles: Vec<crate::executor::JoinHandle<T>>,
-) -> Vec<T> {
+pub async fn join_all<T: 'static>(handles: Vec<crate::executor::JoinHandle<T>>) -> Vec<T> {
     let mut out = Vec::with_capacity(handles.len());
     for h in handles {
         out.push(h.await);

@@ -212,7 +212,9 @@ impl Sim {
     {
         let id = TaskId(self.inner.next_task_id.get());
         self.inner.next_task_id.set(id.0 + 1);
-        self.inner.spawned_total.set(self.inner.spawned_total.get() + 1);
+        self.inner
+            .spawned_total
+            .set(self.inner.spawned_total.get() + 1);
 
         let result: Rc<RefCell<JoinState<F::Output>>> =
             Rc::new(RefCell::new(JoinState::Pending(None)));
@@ -233,7 +235,10 @@ impl Sim {
             queue: Arc::clone(&self.inner.wake_queue),
             queued: AtomicBool::new(true), // queued right below
         });
-        self.inner.tasks.borrow_mut().insert(id, (wrapped, Arc::clone(&waker)));
+        self.inner
+            .tasks
+            .borrow_mut()
+            .insert(id, (wrapped, Arc::clone(&waker)));
         self.inner.wake_queue.ready.lock().unwrap().push_back(id);
         JoinHandle { state: result, id }
     }

@@ -57,4 +57,4 @@ pub use executor::{
 pub use resource::{Claim, Resource};
 pub use rng::DetRng;
 pub use time::{micros, millis, secs, SimDuration, SimTime};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{Trace, TraceEvent, TraceSink};

@@ -131,8 +131,8 @@ impl Resource {
         if horizon <= 0.0 {
             return 0.0;
         }
-        let busy = st.busy_time.as_secs_f64()
-            + (at - st.last_change).as_secs_f64() * st.in_service as f64;
+        let busy =
+            st.busy_time.as_secs_f64() + (at - st.last_change).as_secs_f64() * st.in_service as f64;
         (busy / horizon).clamp(0.0, 1.0)
     }
 }
@@ -159,8 +159,8 @@ impl Drop for Claim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::executor::{spawn, Sim};
     use crate::combinators::join_all;
+    use crate::executor::{spawn, Sim};
     use crate::time::secs;
 
     #[test]

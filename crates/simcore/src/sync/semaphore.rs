@@ -361,10 +361,7 @@ mod tests {
     struct PollOnce<F: Future + Unpin>(F);
     impl<F: Future + Unpin> Future for PollOnce<F> {
         type Output = ();
-        fn poll(
-            mut self: Pin<&mut Self>,
-            cx: &mut std::task::Context<'_>,
-        ) -> std::task::Poll<()> {
+        fn poll(mut self: Pin<&mut Self>, cx: &mut std::task::Context<'_>) -> std::task::Poll<()> {
             let _ = Pin::new(&mut self.0).poll(cx);
             std::task::Poll::Ready(())
         }

@@ -33,10 +33,21 @@ impl fmt::Display for TraceEvent {
     }
 }
 
+/// A pluggable downstream sink for trace events. The observability layer
+/// implements this to mirror the flat event ring into its span
+/// collector, so one sink sees both views of a run.
+pub trait TraceSink {
+    /// Receive one event (called for every emit while enabled, even
+    /// after the ring's limit is reached).
+    fn event(&self, at: SimTime, component: &str, event: &str, detail: &str);
+}
+
 struct Inner {
     enabled: bool,
     events: Vec<TraceEvent>,
     limit: usize,
+    dropped: u64,
+    sink: Option<Rc<dyn TraceSink>>,
 }
 
 /// Shared trace sink; clone freely.
@@ -52,13 +63,15 @@ impl Default for Trace {
 }
 
 impl Trace {
-    /// A trace that records events (up to `limit`, then drops).
+    /// A trace that records events (up to `limit`, then counts drops).
     pub fn enabled(limit: usize) -> Self {
         Trace {
             inner: Rc::new(RefCell::new(Inner {
                 enabled: true,
                 events: Vec::new(),
                 limit,
+                dropped: 0,
+                sink: None,
             })),
         }
     }
@@ -70,8 +83,21 @@ impl Trace {
                 enabled: false,
                 events: Vec::new(),
                 limit: 0,
+                dropped: 0,
+                sink: None,
             })),
         }
+    }
+
+    /// Attach a downstream sink receiving every event (regardless of the
+    /// ring's limit). Replaces any previous sink.
+    pub fn set_sink(&self, sink: Rc<dyn TraceSink>) {
+        self.inner.borrow_mut().sink = Some(sink);
+    }
+
+    /// Detach the downstream sink, if any.
+    pub fn clear_sink(&self) {
+        self.inner.borrow_mut().sink = None;
     }
 
     /// True if recording.
@@ -79,7 +105,10 @@ impl Trace {
         self.inner.borrow().enabled
     }
 
-    /// Record an event at virtual time `at`.
+    /// Record an event at virtual time `at`. Once the ring's limit is
+    /// reached further events are counted as dropped (see
+    /// [`dropped`](Trace::dropped)) instead of vanishing silently; an
+    /// attached sink still receives them.
     pub fn emit(
         &self,
         at: SimTime,
@@ -87,17 +116,34 @@ impl Trace {
         event: impl Into<String>,
         detail: impl fmt::Display,
     ) {
-        let mut inner = self.inner.borrow_mut();
-        if !inner.enabled || inner.events.len() >= inner.limit {
-            return;
-        }
+        let sink = {
+            let inner = self.inner.borrow();
+            if !inner.enabled {
+                return;
+            }
+            inner.sink.clone()
+        };
         let ev = TraceEvent {
             at,
             component: component.into(),
             event: event.into(),
             detail: detail.to_string(),
         };
+        // Forward outside the borrow: a sink may re-enter this trace.
+        if let Some(sink) = sink {
+            sink.event(at, &ev.component, &ev.event, &ev.detail);
+        }
+        let mut inner = self.inner.borrow_mut();
+        if inner.events.len() >= inner.limit {
+            inner.dropped += 1;
+            return;
+        }
         inner.events.push(ev);
+    }
+
+    /// Events dropped after the ring filled up.
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped
     }
 
     /// Number of recorded events.
@@ -136,13 +182,20 @@ impl Trace {
             .count()
     }
 
-    /// Render the whole trace, one event per line.
+    /// Render the whole trace, one event per line, with a footer when
+    /// events were dropped at the ring's limit.
     pub fn render(&self) -> String {
         let inner = self.inner.borrow();
         let mut s = String::new();
         for e in &inner.events {
             s.push_str(&e.to_string());
             s.push('\n');
+        }
+        if inner.dropped > 0 {
+            s.push_str(&format!(
+                "... {} event(s) dropped at limit {}\n",
+                inner.dropped, inner.limit
+            ));
         }
         s
     }
@@ -164,8 +217,18 @@ mod tests {
     #[test]
     fn enabled_trace_records_and_filters() {
         let t = Trace::enabled(100);
-        t.emit(SimTime::ZERO + secs(1.0), "kubelet/n1", "pod-started", "p-1");
-        t.emit(SimTime::ZERO + secs(2.0), "kubelet/n2", "pod-started", "p-2");
+        t.emit(
+            SimTime::ZERO + secs(1.0),
+            "kubelet/n1",
+            "pod-started",
+            "p-1",
+        );
+        t.emit(
+            SimTime::ZERO + secs(2.0),
+            "kubelet/n2",
+            "pod-started",
+            "p-2",
+        );
         t.emit(SimTime::ZERO + secs(3.0), "scheduler", "bound", "p-1->n1");
         assert_eq!(t.len(), 3);
         assert_eq!(t.count("pod-started"), 2);
@@ -174,11 +237,37 @@ mod tests {
     }
 
     #[test]
-    fn limit_caps_recording() {
+    fn limit_caps_recording_and_counts_drops() {
         let t = Trace::enabled(2);
         for i in 0..5 {
             t.emit(SimTime::ZERO, "c", "e", i);
         }
         assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert!(t.render().contains("3 event(s) dropped at limit 2"));
+    }
+
+    #[test]
+    fn sink_sees_everything_even_past_the_limit() {
+        use std::cell::RefCell;
+
+        struct CountSink(RefCell<Vec<String>>);
+        impl TraceSink for CountSink {
+            fn event(&self, _at: SimTime, _component: &str, event: &str, _detail: &str) {
+                self.0.borrow_mut().push(event.to_string());
+            }
+        }
+
+        let t = Trace::enabled(1);
+        let sink = Rc::new(CountSink(RefCell::new(Vec::new())));
+        t.set_sink(sink.clone());
+        t.emit(SimTime::ZERO, "c", "first", "");
+        t.emit(SimTime::ZERO, "c", "second", "");
+        assert_eq!(t.len(), 1, "ring kept its limit");
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(*sink.0.borrow(), vec!["first", "second"]);
+        t.clear_sink();
+        t.emit(SimTime::ZERO, "c", "third", "");
+        assert_eq!(sink.0.borrow().len(), 2, "cleared sink sees nothing");
     }
 }

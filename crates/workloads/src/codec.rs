@@ -30,7 +30,10 @@ impl std::fmt::Display for CodecError {
         match self {
             CodecError::BadHeader => write!(f, "bad matrix header"),
             CodecError::Truncated { expected, actual } => {
-                write!(f, "truncated matrix payload: expected {expected}B, got {actual}B")
+                write!(
+                    f,
+                    "truncated matrix payload: expected {expected}B, got {actual}B"
+                )
             }
         }
     }
@@ -131,7 +134,10 @@ mod tests {
 
     #[test]
     fn bad_inputs_are_rejected() {
-        assert_eq!(decode(Bytes::from_static(b"XX")), Err(CodecError::BadHeader));
+        assert_eq!(
+            decode(Bytes::from_static(b"XX")),
+            Err(CodecError::BadHeader)
+        );
         assert_eq!(
             decode(Bytes::from_static(b"NOPE12345678")),
             Err(CodecError::BadHeader)

@@ -182,7 +182,10 @@ mod tests {
             container: 0.3,
         }
         .assign(10, &mut rng);
-        assert_eq!(envs.iter().filter(|e| **e == ExecEnv::Serverless).count(), 5);
+        assert_eq!(
+            envs.iter().filter(|e| **e == ExecEnv::Serverless).count(),
+            5
+        );
         assert_eq!(envs.iter().filter(|e| **e == ExecEnv::Container).count(), 3);
         assert_eq!(envs.iter().filter(|e| **e == ExecEnv::Native).count(), 2);
     }

@@ -125,9 +125,12 @@ mod tests {
 
     #[test]
     fn garbage_input_is_an_error() {
-        let err =
-            multiply_encoded(Bytes::from_static(b"junk"), Bytes::from_static(b"junk"), Kernel::Naive)
-                .unwrap_err();
+        let err = multiply_encoded(
+            Bytes::from_static(b"junk"),
+            Bytes::from_static(b"junk"),
+            Kernel::Naive,
+        )
+        .unwrap_err();
         assert!(err.contains("input A"));
     }
 

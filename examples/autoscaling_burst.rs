@@ -27,7 +27,10 @@ fn main() {
                 Workload::new(secs(1.0), move || Ok(body))
             },
         );
-        bed.knative.wait_ready("burst", 1, secs(600.0)).await.unwrap();
+        bed.knative
+            .wait_ready("burst", 1, secs(600.0))
+            .await
+            .unwrap();
         println!("[{}] warm pods: {}", now(), bed.knative.ready_pods("burst"));
 
         // Fire 16 concurrent requests at one cc=1 pod.
@@ -61,7 +64,11 @@ fn main() {
         };
 
         join_all(handles).await;
-        println!("[{}] burst of 16 drained in {:.1}s", now(), (now() - t0).as_secs_f64());
+        println!(
+            "[{}] burst of 16 drained in {:.1}s",
+            now(),
+            (now() - t0).as_secs_f64()
+        );
         let peak = sampler.await;
         println!("peak ready pods during burst: {peak}");
         assert!(peak > 1, "autoscaler must have scaled out");
@@ -69,7 +76,10 @@ fn main() {
         // Let the scale-to-zero grace pass; min-scale floors at 1.
         sleep(secs(60.0)).await;
         let settled = bed.knative.ready_pods("burst");
-        println!("[{}] settled pods after grace: {settled} (min-scale floor)", now());
+        println!(
+            "[{}] settled pods after grace: {settled} (min-scale floor)",
+            now()
+        );
         assert_eq!(settled, 1);
     });
 }

@@ -12,12 +12,21 @@ fn main() {
     let config = ExperimentConfig::quick();
     let mixes = [
         ("all-native", EnvMix::ALL_NATIVE),
-        ("one-third each", EnvMix { serverless: 0.34, container: 0.33 }),
+        (
+            "one-third each",
+            EnvMix {
+                serverless: 0.34,
+                container: 0.33,
+            },
+        ),
         ("all-serverless", EnvMix::ALL_SERVERLESS),
         ("all-container", EnvMix::ALL_CONTAINER),
     ];
     println!("4 concurrent workflows x 5 tasks, random env assignment per mix:\n");
-    println!("{:<16} {:>10} {:>10} {:>8}", "mix", "slowest_s", "mean_s", "tasks");
+    println!(
+        "{:<16} {:>10} {:>10} {:>8}",
+        "mix", "slowest_s", "mean_s", "tasks"
+    );
     for (label, mix) in mixes {
         let outcome = run_once(
             &config,
@@ -40,7 +49,10 @@ fn main() {
         ConcurrentParams {
             workflows: 4,
             tasks_per_workflow: 5,
-            mix: EnvMix { serverless: 0.34, container: 0.33 },
+            mix: EnvMix {
+                serverless: 0.34,
+                container: 0.33,
+            },
             ..ConcurrentParams::default()
         },
         0,

@@ -19,7 +19,11 @@ fn main() {
         //    Knative, an image registry with the matmul image pushed.
         let config = ExperimentConfig::quick();
         let bed = TestBed::boot(&config);
-        println!("booted: {} nodes, {} condor slots", bed.cluster.nodes().len(), bed.condor.total_slots());
+        println!(
+            "booted: {} nodes, {} condor slots",
+            bed.cluster.nodes().len(),
+            bed.condor.total_slots()
+        );
 
         // 2. Register a function BEFORE any workflow runs (the paper's
         //    manual pre-registration step). This one echoes a matrix
@@ -56,7 +60,10 @@ fn main() {
             .invoke(NodeId(0), "square", Request::post("/invoke", body.clone()))
             .await
             .expect("cold invocation");
-        println!("cold invocation: {:.3}s (paper cold start: 1.48s + compute)", (now() - t0).as_secs_f64());
+        println!(
+            "cold invocation: {:.3}s (paper cold start: 1.48s + compute)",
+            (now() - t0).as_secs_f64()
+        );
         let product = decode(resp.body).expect("valid matrix");
         assert_eq!(product, matmul(&m, &m, Kernel::Blocked));
 

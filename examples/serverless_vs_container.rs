@@ -28,7 +28,9 @@ fn run_venue(label: &str, mix: EnvMix) -> (f64, u64) {
             .expect("function pods ready");
 
         let pegasus = Pegasus::new(bed.condor.clone()).with_dagman(config.dagman);
-        pegasus.transformations().register(matmul_transformation(&config));
+        pegasus
+            .transformations()
+            .register(matmul_transformation(&config));
         pegasus
             .replicas()
             .register(&tarball, ReplicaLocation::SharedFs(tarball.clone()));

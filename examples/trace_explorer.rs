@@ -1,0 +1,58 @@
+//! Span-level tour of the observability stack: run a small mixed-environment
+//! workflow batch with tracing on, print the critical path of the slowest
+//! workflow with per-category percentages, and write a Chrome-trace JSON file
+//! that loads directly in Perfetto (https://ui.perfetto.dev) or
+//! `chrome://tracing`.
+//!
+//! Run with: `cargo run --release --example trace_explorer`
+
+use swf_core::experiments::{run_once, ConcurrentParams};
+use swf_core::{render_mix_breakdown, slowest_workflow_breakdown, ExperimentConfig};
+use swf_obs::{chrome_trace_to_string, critical_path, roots};
+use swf_workloads::EnvMix;
+
+fn main() {
+    let mut config = ExperimentConfig::quick();
+    config.trace = true;
+    let outcome = run_once(
+        &config,
+        ConcurrentParams {
+            workflows: 3,
+            tasks_per_workflow: 4,
+            mix: EnvMix {
+                serverless: 0.4,
+                container: 0.3,
+            },
+            ..ConcurrentParams::default()
+        },
+        0,
+    );
+    let obs = &outcome.obs;
+    println!(
+        "3 workflows x 4 tasks (native/serverless/container mix), {} spans recorded\n",
+        obs.span_count()
+    );
+
+    // Every workflow root, so the slowest one can be seen in context.
+    let spans = obs.spans();
+    println!("workflow makespans:");
+    for root in roots(&spans) {
+        let cp = critical_path(&spans, root.id);
+        println!("  {:<16} {:>7.1} s", cp.root_name, cp.makespan_s);
+    }
+
+    // Full breakdown of the slowest workflow's critical path.
+    let cp = slowest_workflow_breakdown(obs).expect("tracing is on");
+    println!("\n{}", render_mix_breakdown("slowest workflow", &cp));
+    println!("\ncritical-path chain (component, span, category, seconds):");
+    println!("{}", cp.render_chain());
+
+    // Metrics registry snapshot.
+    println!("metrics: {}", obs.metrics_json());
+
+    // Perfetto-loadable export: one "process" per node, one "thread" per
+    // component on that node.
+    let path = "trace.json";
+    std::fs::write(path, chrome_trace_to_string(&spans, "trace_explorer")).unwrap();
+    println!("\nwrote {path} — load it at https://ui.perfetto.dev or chrome://tracing");
+}

@@ -98,7 +98,10 @@ fn node_failure_fails_over_function_pods_and_service_recovers() {
                 Workload::new(secs(0.1), move || Ok(b))
             },
         );
-        bed.knative.wait_ready("resilient", 2, secs(600.0)).await.unwrap();
+        bed.knative
+            .wait_ready("resilient", 2, secs(600.0))
+            .await
+            .unwrap();
         // Find a node hosting one of the function pods and kill it.
         let victim_node = bed
             .k8s
@@ -119,7 +122,10 @@ fn node_failure_fails_over_function_pods_and_service_recovers() {
         // Let the node controller fail the stranded pods, then wait for the
         // ReplicaSet to replace them on healthy nodes.
         swf_simcore::sleep(secs(1.0)).await;
-        bed.knative.wait_ready("resilient", 2, secs(600.0)).await.unwrap();
+        bed.knative
+            .wait_ready("resilient", 2, secs(600.0))
+            .await
+            .unwrap();
         let endpoints_nodes: Vec<_> = {
             let rev = bed.knative.revisions().get("resilient-00001").unwrap();
             bed.k8s
@@ -140,7 +146,11 @@ fn node_failure_fails_over_function_pods_and_service_recovers() {
         for i in 0..4u8 {
             let resp = bed
                 .knative
-                .invoke(NodeId(0), "resilient", Request::post("/", Bytes::from(vec![i])))
+                .invoke(
+                    NodeId(0),
+                    "resilient",
+                    Request::post("/", Bytes::from(vec![i])),
+                )
                 .await
                 .expect("service survives node loss");
             assert_eq!(&resp.body[..], &[i]);
@@ -207,7 +217,10 @@ fn function_error_fails_the_workflow_task_not_the_platform() {
             KService::new("faulty", bed.image.clone()).with_min_scale(1),
             |_req| Workload::new(secs(0.05), || Err("simulated numerical failure".into())),
         );
-        bed.knative.wait_ready("faulty", 1, secs(600.0)).await.unwrap();
+        bed.knative
+            .wait_ready("faulty", 1, secs(600.0))
+            .await
+            .unwrap();
         let err = bed
             .knative
             .invoke(NodeId(0), "faulty", Request::get("/"))
@@ -222,10 +235,17 @@ fn function_error_fails_the_workflow_task_not_the_platform() {
                 Workload::new(secs(0.05), move || Ok(b))
             },
         );
-        bed.knative.wait_ready("good", 1, secs(600.0)).await.unwrap();
+        bed.knative
+            .wait_ready("good", 1, secs(600.0))
+            .await
+            .unwrap();
         let resp = bed
             .knative
-            .invoke(NodeId(0), "good", Request::post("/", Bytes::from_static(b"ok")))
+            .invoke(
+                NodeId(0),
+                "good",
+                Request::post("/", Bytes::from_static(b"ok")),
+            )
             .await
             .unwrap();
         assert_eq!(&resp.body[..], b"ok");

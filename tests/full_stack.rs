@@ -37,7 +37,9 @@ fn run_chain(
                 .with_dagman(config.dagman)
                 .with_plan_options(plan_options),
         );
-        pegasus.transformations().register(matmul_transformation(&config));
+        pegasus
+            .transformations()
+            .register(matmul_transformation(&config));
         pegasus
             .replicas()
             .register(&tarball, ReplicaLocation::SharedFs(tarball.clone()));

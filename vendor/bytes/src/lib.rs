@@ -1,0 +1,386 @@
+//! Offline shim of the `bytes` crate: cheaply cloneable shared byte
+//! buffers with the exact API subset this workspace uses.
+//!
+//! The build environment has no crates.io registry access, so the
+//! workspace pins `bytes` to this local path crate. [`Bytes`] is an
+//! `Arc<[u8]>` window (clone/slice/split are O(1) refcount bumps, no
+//! copying), [`BytesMut`] is a growable buffer that freezes into one,
+//! and [`Buf`]/[`BufMut`] provide the little-endian cursor helpers the
+//! codecs rely on.
+
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable, contiguous slice of memory.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation shared beyond a static empty arc).
+    pub fn new() -> Self {
+        Bytes::from_static(b"")
+    }
+
+    /// Wrap a static slice (copied once into shared storage).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            data: Arc::from(bytes),
+            start: 0,
+            end: bytes.len(),
+        }
+    }
+
+    /// Copy an arbitrary slice into a new shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            end: data.len(),
+            data: Arc::from(data),
+            start: 0,
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// O(1) sub-window sharing the same storage.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Split off and return the first `at` bytes; `self` keeps the rest.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = self.slice(..at);
+        self.start += at;
+        head
+    }
+
+    /// Split off and return the bytes from `at` on; `self` keeps the head.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_off out of bounds");
+        let tail = self.slice(at..);
+        self.end = self.start + at;
+        tail
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            end: v.len(),
+            data: Arc::from(v),
+            start: 0,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes(len={})", self.len())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self[..] == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &self[..] == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self[..].cmp(&other[..])
+    }
+}
+
+/// A growable byte buffer that freezes into an immutable [`Bytes`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// An empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+
+    /// Reserve room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Convert into an immutable shared buffer.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+/// Read-cursor over a byte source (little-endian helpers included).
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+    /// Consume `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Consume a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(b)
+    }
+
+    /// Consume a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(b)
+    }
+
+    /// Consume a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        self.get_u64_le() as i64
+    }
+
+    /// Consume `dst.len()` bytes into `dst`.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.start += cnt;
+    }
+}
+
+/// Write-cursor over a growable byte sink (little-endian helpers included).
+pub trait BufMut {
+    /// Append a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_little_endian() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32_le(7);
+        b.put_u64_le(u64::MAX - 3);
+        b.put_slice(b"xy");
+        let mut frozen = b.freeze();
+        assert_eq!(frozen.len(), 14);
+        assert_eq!(frozen.get_u32_le(), 7);
+        assert_eq!(frozen.get_u64_le(), u64::MAX - 3);
+        assert_eq!(&frozen[..], b"xy");
+    }
+
+    #[test]
+    fn slice_and_split_share_storage() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let mid = b.slice(2..5);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        let mut rest = b.clone();
+        let head = rest.split_to(2);
+        assert_eq!(&head[..], &[0, 1]);
+        assert_eq!(&rest[..], &[2, 3, 4, 5]);
+        let mut front = b.clone();
+        let tail = front.split_off(4);
+        assert_eq!(&front[..], &[0, 1, 2, 3]);
+        assert_eq!(&tail[..], &[4, 5]);
+    }
+
+    #[test]
+    fn equality_and_ordering() {
+        let a = Bytes::from_static(b"abc");
+        let b = Bytes::copy_from_slice(b"abc");
+        assert_eq!(a, b);
+        assert_eq!(a, b"abc"[..]);
+        assert!(a < Bytes::from_static(b"abd"));
+        assert!(Bytes::new().is_empty());
+    }
+}

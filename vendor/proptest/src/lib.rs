@@ -1,0 +1,381 @@
+//! Offline shim of the `proptest` crate: deterministic property testing
+//! with the exact API subset this workspace uses.
+//!
+//! The build environment has no crates.io registry access, so the
+//! workspace pins `proptest` to this local path crate. Each `proptest!`
+//! test runs its body for `ProptestConfig::cases` generated inputs from
+//! a generator seeded by the test's own name — fully deterministic
+//! across runs and platforms. There is no shrinking: a failing case
+//! reports its case index and the assertion message.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration (only the knob this workspace uses).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property assertion (carried out of the test body).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    /// Human-readable failure description.
+    pub message: String,
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic value generator (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Generator seeded by `seed`.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x6A09_E667_F3BC_C909,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a hash used to derive a stable per-test seed from its name.
+pub fn fnv(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Something that can generate values of `Self::Value`.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty strategy range");
+                let width = (self.end as u128).wrapping_sub(self.start as u128);
+                let draw = (rng.next_u64() as u128) % width;
+                (self.start as u128).wrapping_add(draw) as $ty
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let width = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                let draw = (rng.next_u64() as u128) % width;
+                (lo as u128).wrapping_add(draw) as $ty
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical whole-domain strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+    /// The whole-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            type Strategy = RangeInclusive<$ty>;
+            fn arbitrary() -> Self::Strategy {
+                <$ty>::MIN..=<$ty>::MAX
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Allowed collection sizes: `[min, max]` inclusive.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Strategy generating `Vec`s of an element strategy's values.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` strategy with sizes drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.max - self.size.min) as u64 + 1;
+            let len = self.size.min + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `proptest!` test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError, TestRng,
+    };
+
+    /// Alias namespace mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError {
+                message: format!($($fmt)*),
+            });
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Define deterministic property tests.
+///
+/// Supports the classic form used across this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn my_property(x in 0u64..100, v in proptest::collection::vec(0u8..4, 1..9)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::new($crate::fnv(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            )));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("proptest case {case} failed: {e}");
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges honor their bounds, vec sizes honor theirs.
+        #[test]
+        fn bounds_hold(
+            x in 5u64..10,
+            y in 0u32..=3,
+            v in crate::collection::vec(any::<u8>(), 2..5),
+            (a, b) in (0usize..4, -2i64..2),
+        ) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(y <= 3);
+            prop_assert!((2..5).contains(&v.len()), "len {}", v.len());
+            prop_assert!(a < 4);
+            prop_assert!((-2..2).contains(&b));
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(x, 99);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = crate::collection::vec(0u64..1000, 1..30);
+        let mut r1 = TestRng::new(fnv("seed"));
+        let mut r2 = TestRng::new(fnv("seed"));
+        use crate::fnv;
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+}

@@ -1,0 +1,56 @@
+//! Offline shim of the `rayon` crate: the parallel-slice entry points
+//! this workspace uses, backed by sequential `std` iterators.
+//!
+//! The build environment has no crates.io registry access, so the
+//! workspace pins `rayon` to this local path crate. The "parallel"
+//! iterators are the ordinary sequential ones — `std::slice::ChunksMut`
+//! already supports the `enumerate().for_each(...)` chains the matmul
+//! kernel drives, and a sequential fallback keeps results byte-identical
+//! to the parallel kernel by construction.
+
+/// Prelude mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+/// Chunked traversal of shared slices.
+pub trait ParallelSlice<T> {
+    /// "Parallel" chunks — a sequential `Chunks` iterator here.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// Chunked traversal of mutable slices.
+pub trait ParallelSliceMut<T> {
+    /// "Parallel" mutable chunks — a sequential `ChunksMut` iterator here.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunked_iteration_matches_std() {
+        let mut data = vec![0u64; 12];
+        data.par_chunks_mut(4).enumerate().for_each(|(i, row)| {
+            for cell in row.iter_mut() {
+                *cell = i as u64;
+            }
+        });
+        assert_eq!(data, [0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+        let sums: Vec<u64> = data.par_chunks(4).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, [0, 4, 8]);
+    }
+}
