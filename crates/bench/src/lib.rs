@@ -5,6 +5,8 @@
 //! header, the reproduced rows, the fitted slopes, and the paper-reported
 //! values side by side.
 
+#![warn(missing_docs)]
+
 use swf_core::experiments::{Fig1Result, Fig2Result, Fig5Result, Fig6Result};
 use swf_core::ExperimentConfig;
 use swf_metrics::Table;

@@ -7,7 +7,7 @@
 //! invocation as part of the invocation network request").
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -124,7 +124,7 @@ impl Incoming {
     }
 }
 
-type ListenerMap = HashMap<(NodeId, u16), mpsc::Sender<Incoming>>;
+type ListenerMap = BTreeMap<(NodeId, u16), mpsc::Sender<Incoming>>;
 
 /// The cluster-wide HTTP fabric.
 #[derive(Clone)]
@@ -139,7 +139,7 @@ impl HttpStack {
     pub fn new(network: Network) -> Self {
         HttpStack {
             network,
-            listeners: Rc::new(RefCell::new(HashMap::new())),
+            listeners: Rc::new(RefCell::new(BTreeMap::new())),
             requests: Rc::new(RefCell::new(0)),
         }
     }

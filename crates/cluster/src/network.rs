@@ -8,7 +8,7 @@
 //! Loopback transfers only pay a small kernel cost.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use swf_simcore::{secs, Resource, SimDuration};
@@ -53,7 +53,7 @@ struct Nic {
 }
 
 struct State {
-    nics: HashMap<NodeId, Nic>,
+    nics: BTreeMap<NodeId, Nic>,
     transfers: u64,
     bytes_moved: u64,
 }
@@ -68,7 +68,7 @@ pub struct Network {
 impl Network {
     /// Fabric over `node_count` nodes.
     pub fn new(config: NetworkConfig, node_count: usize) -> Self {
-        let mut nics = HashMap::new();
+        let mut nics = BTreeMap::new();
         for i in 0..node_count {
             nics.insert(
                 NodeId(i),

@@ -6,7 +6,7 @@
 //! expensive in the Fig. 2 HTCondor-container path.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use swf_simcore::{secs, Resource, SimDuration};
@@ -49,8 +49,8 @@ pub struct PullStats {
 }
 
 struct State {
-    images: HashMap<ImageRef, Image>,
-    node_caches: HashMap<NodeId, HashSet<LayerId>>,
+    images: BTreeMap<ImageRef, Image>,
+    node_caches: BTreeMap<NodeId, BTreeSet<LayerId>>,
     pulls: u64,
     bytes_served: u64,
 }
@@ -70,8 +70,8 @@ impl Registry {
             egress: Resource::new("registry-egress", config.concurrent_streams),
             config,
             state: Rc::new(RefCell::new(State {
-                images: HashMap::new(),
-                node_caches: HashMap::new(),
+                images: BTreeMap::new(),
+                node_caches: BTreeMap::new(),
                 pulls: 0,
                 bytes_served: 0,
             })),

@@ -7,7 +7,7 @@
 //! [`Registry`]), matching containerd's contract.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -99,7 +99,7 @@ struct Ctr {
 }
 
 struct RtState {
-    containers: HashMap<u64, Ctr>,
+    containers: BTreeMap<u64, Ctr>,
     next_id: u64,
     created_total: u64,
     removed_total: u64,
@@ -126,7 +126,7 @@ impl ContainerRuntime {
             overheads,
             rng: Rc::new(RefCell::new(DetRng::new(seed, &stream))),
             state: Rc::new(RefCell::new(RtState {
-                containers: HashMap::new(),
+                containers: BTreeMap::new(),
                 next_id: 0,
                 created_total: 0,
                 removed_total: 0,

@@ -183,7 +183,9 @@ impl IntegratedFactory {
                             "docker-load",
                             swf_obs::Category::Pull,
                         );
-                        let tar = tarball.as_deref().expect("tarball staged");
+                        let tar = tarball
+                            .as_deref()
+                            .ok_or_else(|| "image tarball was not staged".to_string())?;
                         ctx.node
                             .fs()
                             .read(&ctx.sandbox_path(tar))
@@ -270,7 +272,9 @@ impl JobFactory for IntegratedFactory {
 
     fn extra_inputs(&self, task: &PlannedTask) -> Vec<String> {
         if task.env == ExecEnv::Container && self.staging == ContainerStaging::PerJob {
-            vec![self.image_tarball.clone().expect("tarball staged")]
+            // A missing tarball surfaces later as a typed MissingInput error
+            // on the job rather than a panic here.
+            self.image_tarball.clone().into_iter().collect()
         } else {
             Vec::new()
         }

@@ -1,7 +1,7 @@
 //! Control-plane assembly: wires API server, scheduler, controllers and one
 //! kubelet per schedulable node over a [`swf_cluster::Cluster`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use swf_cluster::{Cluster, NodeId};
@@ -32,7 +32,7 @@ pub struct K8sConfig {
 pub struct K8s {
     api: ApiServer,
     registry: Registry,
-    runtimes: Rc<HashMap<NodeId, ContainerRuntime>>,
+    runtimes: Rc<BTreeMap<NodeId, ContainerRuntime>>,
 }
 
 impl K8s {
@@ -41,41 +41,39 @@ impl K8s {
     /// node. Returns a handle for API access.
     pub fn start(cluster: &Cluster, registry: Registry, config: K8sConfig, seed: u64) -> K8s {
         let api = ApiServer::new(config.api);
-        let schedulable: Vec<NodeId> = config
+        // Resolve the schedulable set once; node ids in the config that
+        // don't exist in the cluster are ignored rather than panicking.
+        let schedulable: Vec<_> = config
             .schedulable_nodes
             .clone()
-            .unwrap_or_else(|| cluster.worker_nodes().iter().map(|n| n.id()).collect());
+            .unwrap_or_else(|| cluster.worker_nodes().iter().map(|n| n.id()).collect())
+            .into_iter()
+            .filter_map(|id| cluster.node(id).ok().map(|n| (id, n.clone())))
+            .collect();
 
-        let mut runtimes = HashMap::new();
-        for &node_id in &schedulable {
-            let node = cluster
-                .node(node_id)
-                .expect("schedulable node exists")
-                .clone();
+        let mut runtimes = BTreeMap::new();
+        for (node_id, node) in &schedulable {
             let runtime = ContainerRuntime::new(
-                node,
+                node.clone(),
                 registry.clone(),
                 config.overheads,
                 seed ^ node_id.0 as u64,
             );
-            runtimes.insert(node_id, runtime.clone());
+            runtimes.insert(*node_id, runtime.clone());
             let kubelet = Kubelet::new(api.clone(), runtime, KubeletConfig::default());
             spawn(kubelet.run());
         }
 
         let capacities: Vec<NodeCapacity> = schedulable
             .iter()
-            .map(|&id| {
-                let node = cluster.node(id).expect("node");
-                NodeCapacity {
-                    node: id,
-                    cpu_millis: node.cores().capacity() as u64 * 1000,
-                    memory: node.memory().capacity(),
-                }
+            .map(|(id, node)| NodeCapacity {
+                node: *id,
+                cpu_millis: node.cores().capacity() as u64 * 1000,
+                memory: node.memory().capacity(),
             })
             .collect();
         // Register node objects (all ready at boot).
-        for &id in &schedulable {
+        for &(id, _) in &schedulable {
             api.nodes()
                 .put(id.to_string(), crate::nodes::NodeStatus { id, ready: true });
         }
@@ -108,11 +106,10 @@ impl K8s {
         self.runtimes.get(&node)
     }
 
-    /// Nodes with kubelets.
+    /// Nodes with kubelets, in ascending node-id order (`BTreeMap` keys
+    /// iterate sorted, so no explicit sort is needed).
     pub fn schedulable_nodes(&self) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.runtimes.keys().copied().collect();
-        v.sort();
-        v
+        self.runtimes.keys().copied().collect()
     }
 
     /// Wait until `pod` is Running and Ready (polls the watch stream).

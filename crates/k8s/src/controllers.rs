@@ -77,7 +77,7 @@ impl DeploymentController {
 /// ReplicaSet → Pods reconciliation.
 pub struct ReplicaSetController {
     api: ApiServer,
-    counters: std::cell::RefCell<std::collections::HashMap<String, u64>>,
+    counters: std::cell::RefCell<std::collections::BTreeMap<String, u64>>,
 }
 
 impl ReplicaSetController {
@@ -85,7 +85,7 @@ impl ReplicaSetController {
     pub fn new(api: ApiServer) -> Self {
         ReplicaSetController {
             api,
-            counters: std::cell::RefCell::new(std::collections::HashMap::new()),
+            counters: std::cell::RefCell::new(std::collections::BTreeMap::new()),
         }
     }
 
@@ -211,9 +211,13 @@ impl EndpointsController {
                 .pods()
                 .filter(|p| p.is_routable() && svc.selector.matches(&p.meta.labels))
                 .into_iter()
-                .map(|p| Endpoint {
-                    node: p.status.node.expect("routable pod has node"),
-                    port: p.status.port,
+                .filter_map(|p| {
+                    // `is_routable` implies a node assignment; a pod without
+                    // one simply isn't an endpoint yet.
+                    p.status.node.map(|node| Endpoint {
+                        node,
+                        port: p.status.port,
+                    })
                 })
                 .collect();
             ready.sort_by_key(|e| (e.node, e.port));

@@ -7,7 +7,7 @@
 //! pull never blocks other pods on the node.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::rc::Rc;
 
 use swf_simcore::{sleep, spawn};
@@ -36,7 +36,7 @@ pub struct Kubelet {
     api: ApiServer,
     runtime: ContainerRuntime,
     next_port: Rc<Cell<u16>>,
-    inflight: Rc<RefCell<HashSet<String>>>,
+    inflight: Rc<RefCell<BTreeSet<String>>>,
 }
 
 impl Kubelet {
@@ -46,7 +46,7 @@ impl Kubelet {
             api,
             runtime,
             next_port: Rc::new(Cell::new(config.port_base)),
-            inflight: Rc::new(RefCell::new(HashSet::new())),
+            inflight: Rc::new(RefCell::new(BTreeSet::new())),
         }
     }
 

@@ -6,7 +6,7 @@
 //! tiebreak, the least-allocated node. Binding is watch-driven: any pod
 //! store change reruns the scheduling pass.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use swf_cluster::NodeId;
 use swf_container::Registry;
@@ -122,9 +122,12 @@ impl Scheduler {
         }
     }
 
-    /// Millicores and memory already committed per node.
-    fn committed(&self) -> HashMap<NodeId, (u64, u64)> {
-        let mut used: HashMap<NodeId, (u64, u64)> = HashMap::new();
+    /// Millicores and memory already committed per node. Keyed by node id
+    /// in a `BTreeMap` so any future iteration is ordered (D2 of the
+    /// determinism contract): the scheduler's scoring must never depend on
+    /// hasher state.
+    fn committed(&self) -> BTreeMap<NodeId, (u64, u64)> {
+        let mut used: BTreeMap<NodeId, (u64, u64)> = BTreeMap::new();
         for p in self.api.pods().list() {
             if let Some(n) = p.status.node {
                 if p.status.phase != PodPhase::Succeeded && p.status.phase != PodPhase::Failed {
@@ -282,7 +285,7 @@ mod tests {
             }
             swf_simcore::sleep(swf_simcore::millis(100)).await;
             let pods = api.pods().list();
-            let mut per_node: HashMap<NodeId, u64> = HashMap::new();
+            let mut per_node: BTreeMap<NodeId, u64> = BTreeMap::new();
             let mut pending = 0;
             for p in &pods {
                 match p.status.node {

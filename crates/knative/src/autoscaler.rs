@@ -7,7 +7,7 @@
 //! and a grace period before scale-to-zero.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use swf_k8s::Store;
@@ -37,7 +37,7 @@ pub struct Autoscaler {
     hub: MetricHub,
     config: AutoscalerConfig,
     /// Last instant each revision had nonzero demand.
-    last_active: Rc<RefCell<HashMap<String, SimTime>>>,
+    last_active: Rc<RefCell<BTreeMap<String, SimTime>>>,
 }
 
 impl Autoscaler {
@@ -53,7 +53,7 @@ impl Autoscaler {
             k8s,
             hub,
             config,
-            last_active: Rc::new(RefCell::new(HashMap::new())),
+            last_active: Rc::new(RefCell::new(BTreeMap::new())),
         }
     }
 

@@ -6,7 +6,7 @@
 //! the paper's manual pre-registration step.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use swf_cluster::Request;
@@ -18,7 +18,7 @@ pub type Handler = Rc<dyn Fn(&Request) -> Workload>;
 /// Registry mapping KService name → handler.
 #[derive(Clone, Default)]
 pub struct HandlerRegistry {
-    map: Rc<RefCell<HashMap<String, Handler>>>,
+    map: Rc<RefCell<BTreeMap<String, Handler>>>,
 }
 
 impl HandlerRegistry {

@@ -6,7 +6,7 @@
 //! in-process collector).
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 use swf_simcore::{now, SimDuration, SimTime};
@@ -26,7 +26,7 @@ struct RevisionMetric {
 /// Shared metric collector.
 #[derive(Clone, Default)]
 pub struct MetricHub {
-    revisions: Rc<RefCell<HashMap<String, RevisionMetric>>>,
+    revisions: Rc<RefCell<BTreeMap<String, RevisionMetric>>>,
 }
 
 /// RAII guard for one in-flight request.

@@ -7,7 +7,7 @@
 //! container serves many requests without being recreated.
 
 use std::cell::RefCell;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::rc::Rc;
 
 use swf_cluster::{HttpStack, Incoming, Response};
@@ -28,7 +28,7 @@ pub struct PodServers {
     handlers: HandlerRegistry,
     hub: MetricHub,
     config: DataPlaneConfig,
-    serving: Rc<RefCell<HashSet<String>>>,
+    serving: Rc<RefCell<BTreeSet<String>>>,
 }
 
 impl PodServers {
@@ -48,7 +48,7 @@ impl PodServers {
             handlers,
             hub,
             config,
-            serving: Rc::new(RefCell::new(HashSet::new())),
+            serving: Rc::new(RefCell::new(BTreeSet::new())),
         }
     }
 
@@ -90,7 +90,9 @@ impl PodServers {
         let Some(revision) = self.revisions.get(&rev_name) else {
             return;
         };
-        let node = pod.status.node.expect("routable pod has node");
+        let Some(node) = pod.status.node else {
+            return;
+        };
         let port = pod.status.port;
         let Some(container) = pod.status.container else {
             return;

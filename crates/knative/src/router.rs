@@ -7,7 +7,7 @@
 //! This is the 1.48 s cold start measured in the paper's §III-B.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use swf_cluster::{ClusterError, HttpStack, NodeId, Request, Response};
@@ -60,7 +60,7 @@ pub struct Router {
     hub: MetricHub,
     data_plane: DataPlaneConfig,
     config: RouterConfig,
-    balancers: Rc<RefCell<HashMap<String, RoundRobin>>>,
+    balancers: Rc<RefCell<BTreeMap<String, RoundRobin>>>,
 }
 
 impl Router {
@@ -80,7 +80,7 @@ impl Router {
             hub,
             data_plane,
             config,
-            balancers: Rc::new(RefCell::new(HashMap::new())),
+            balancers: Rc::new(RefCell::new(BTreeMap::new())),
         }
     }
 

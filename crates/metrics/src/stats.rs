@@ -46,7 +46,7 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let p = p.clamp(0.0, 100.0) / 100.0;
     let idx = p * (sorted.len() - 1) as f64;
     let lo = idx.floor() as usize;

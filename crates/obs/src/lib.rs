@@ -24,6 +24,8 @@
 //! advances virtual time, so even an *enabled* run keeps identical
 //! timings — the spans are a pure annotation layer.
 
+#![warn(missing_docs)]
+
 mod chrome;
 mod collector;
 mod critpath;

@@ -64,6 +64,8 @@ pub enum PlanError {
     UnknownTransformation(String),
     /// An external input has no replica registered.
     UnstagedInput(String),
+    /// The emitted Condor DAG was rejected (bad edge, cycle).
+    Dag(swf_condor::CondorError),
 }
 
 impl std::fmt::Display for PlanError {
@@ -72,6 +74,7 @@ impl std::fmt::Display for PlanError {
             PlanError::Workflow(e) => write!(f, "invalid workflow: {e}"),
             PlanError::UnknownTransformation(t) => write!(f, "unknown transformation: {t}"),
             PlanError::UnstagedInput(p) => write!(f, "external input not in replica catalog: {p}"),
+            PlanError::Dag(e) => write!(f, "invalid DAG: {e}"),
         }
     }
 }
@@ -186,7 +189,7 @@ pub fn plan(
         dag.add_node_with_retries(task.name.clone(), spec, options.retries);
     }
     for (p, c) in edges {
-        dag.add_edge(p, c).expect("planner edges are in range");
+        dag.add_edge(p, c).map_err(PlanError::Dag)?;
     }
     Ok(ExecutableWorkflow { dag, tasks })
 }

@@ -9,11 +9,14 @@
 
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
+// `Waker` must be `Send + Sync`, so the ready queue lives behind a real
+// mutex even though the simulation is single-threaded (see `WakeQueue`).
+// tidy: allow(real-sync) — required by the Waker contract; never contended
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 
@@ -82,7 +85,7 @@ impl Ord for TimerEntry {
 
 struct Inner {
     clock: Cell<SimTime>,
-    tasks: RefCell<HashMap<TaskId, (LocalFuture, Arc<TaskWaker>)>>,
+    tasks: RefCell<BTreeMap<TaskId, (LocalFuture, Arc<TaskWaker>)>>,
     wake_queue: Arc<WakeQueue>,
     timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
     next_task_id: Cell<u64>,
@@ -164,7 +167,7 @@ impl Sim {
         Sim {
             inner: Rc::new(Inner {
                 clock: Cell::new(SimTime::ZERO),
-                tasks: RefCell::new(HashMap::new()),
+                tasks: RefCell::new(BTreeMap::new()),
                 wake_queue: Arc::new(WakeQueue {
                     ready: Mutex::new(VecDeque::new()),
                 }),

@@ -124,14 +124,12 @@ fn grant_waiters(state: &Rc<RefCell<State>>) {
             while matches!(s.queue.front(), Some(w) if w.borrow().abandoned) {
                 s.queue.pop_front();
             }
-            match s.queue.front() {
-                Some(w) if w.borrow().want <= s.available => {
-                    let w = s.queue.pop_front().unwrap();
-                    s.available -= w.borrow().want;
-                    w
-                }
-                _ => return,
+            if !matches!(s.queue.front(), Some(w) if w.borrow().want <= s.available) {
+                return;
             }
+            let Some(w) = s.queue.pop_front() else { return };
+            s.available -= w.borrow().want;
+            w
         };
         let waker = {
             let mut w = waiter.borrow_mut();

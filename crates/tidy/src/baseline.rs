@@ -1,0 +1,107 @@
+//! The R1 unwrap baseline: a checked-in, counted debt ledger.
+//!
+//! Rather than waiving hundreds of pre-existing `unwrap()` sites line by
+//! line, the baseline records one count per file. A file may never exceed
+//! its recorded count (new panic sites are errors), and when a burn-down
+//! shrinks a file's count the baseline must be re-blessed so the debt can
+//! only ratchet downward — the same mechanism rustc's `tidy` uses for its
+//! self-imposed limits.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Parsed baseline: workspace-relative path → allowed panic-family sites.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Allowed counts per file.
+    pub counts: BTreeMap<String, usize>,
+}
+
+const HEADER: &str = "\
+# swf-tidy R1 baseline — counted `unwrap()`/`expect()`/`panic!`-family sites
+# per simulation-crate file (test code excluded). A file may never exceed
+# its count; shrinking a count requires re-blessing so the debt only
+# ratchets down. Regenerate with:
+#
+#   cargo run -p swf-tidy -- check --bless
+#
+";
+
+impl Baseline {
+    /// Parse the baseline file format: `<count> <path>` lines, `#`
+    /// comments and blank lines ignored. Returns `Err` with a message for
+    /// malformed lines (a corrupt baseline must fail loudly, not silently
+    /// allow everything).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut counts = BTreeMap::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((count, path)) = line.split_once(' ') else {
+                return Err(format!(
+                    "baseline line {}: expected `<count> <path>`",
+                    i + 1
+                ));
+            };
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count `{count}`", i + 1))?;
+            if counts.insert(path.trim().to_string(), count).is_some() {
+                return Err(format!("baseline line {}: duplicate path `{path}`", i + 1));
+            }
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Load from disk; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(format!("cannot read baseline {}: {e}", path.display())),
+        }
+    }
+
+    /// Render the canonical file content for the given actual counts
+    /// (zero-count files are omitted).
+    pub fn render(actual: &BTreeMap<String, usize>) -> String {
+        let mut out = String::from(HEADER);
+        for (path, count) in actual {
+            if *count > 0 {
+                out.push_str(&format!("{count} {path}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut actual = BTreeMap::new();
+        actual.insert("crates/a/src/lib.rs".to_string(), 3);
+        actual.insert("crates/b/src/x.rs".to_string(), 0);
+        let text = Baseline::render(&actual);
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed.counts.len(), 1);
+        assert_eq!(parsed.counts["crates/a/src/lib.rs"], 3);
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(Baseline::parse("nonsense").is_err());
+        assert!(Baseline::parse("x crates/a.rs").is_err());
+        assert!(Baseline::parse("3 a.rs\n3 a.rs").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let b = Baseline::parse("# header\n\n2 crates/a.rs\n").unwrap();
+        assert_eq!(b.counts["crates/a.rs"], 2);
+    }
+}

@@ -1,0 +1,221 @@
+//! Per-file lint context: `#[cfg(test)]` regions and waiver comments.
+
+use crate::lexer::{Lexed, TokenKind};
+
+/// A `// tidy: allow(<rule>) — <reason>` waiver parsed from a comment.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Rule name inside `allow(...)`.
+    pub rule: String,
+    /// Whether a non-empty reason follows the `allow(...)`.
+    pub has_reason: bool,
+}
+
+/// Line-oriented context for one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileContext {
+    /// Inclusive line ranges that are test-only code (`#[cfg(test)]` /
+    /// `#[test]` items).
+    pub test_ranges: Vec<(u32, u32)>,
+    /// All waivers found in comments.
+    pub waivers: Vec<Waiver>,
+}
+
+impl FileContext {
+    /// Build the context for a lexed file.
+    pub fn build(lexed: &Lexed) -> FileContext {
+        FileContext {
+            test_ranges: test_ranges(lexed),
+            waivers: waivers(lexed),
+        }
+    }
+
+    /// Is this line inside test-only code?
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(lo, hi)| line >= lo && line <= hi)
+    }
+
+    /// Is a violation of `rule` at `line` waived? A waiver covers its own
+    /// line (trailing comment) and up to two following lines (standalone
+    /// comment above the offending code, tolerating one wrapped line).
+    pub fn is_waived(&self, rule: &str, line: u32) -> Option<&Waiver> {
+        self.waivers
+            .iter()
+            .find(|w| w.rule == rule && line >= w.line && line <= w.line + 2)
+    }
+}
+
+/// Find `#[cfg(test)]` / `#[test]` attributed items and return the line
+/// ranges their bodies span. Token-level: after the attribute, skip any
+/// further attributes, then the region extends to the matching close brace
+/// of the first `{` (or the first `;` for brace-less items).
+fn test_ranges(lexed: &Lexed) -> Vec<(u32, u32)> {
+    let toks = &lexed.tokens;
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if lexed.is_punct(i, "#") && lexed.is_punct(i + 1, "[") && is_test_attr(lexed, i + 2) {
+            let start_line = toks[i].line;
+            // Skip to the end of this attribute.
+            let mut j = i + 2;
+            let mut depth = 1; // the '[' we already saw
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            // Skip any further attributes between this one and the item.
+            while lexed.is_punct(j, "#") && lexed.is_punct(j + 1, "[") {
+                let mut d = 1;
+                j += 2;
+                while j < toks.len() && d > 0 {
+                    match toks[j].text.as_str() {
+                        "[" => d += 1,
+                        "]" => d -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            // Find the item body: first `{` at depth 0 (tracking parens for
+            // fn signatures), or a terminating `;`.
+            let mut paren = 0i32;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" | "[" => paren += 1,
+                    ")" | "]" => paren -= 1,
+                    ";" if paren == 0 => {
+                        ranges.push((start_line, toks[j].line));
+                        break;
+                    }
+                    "{" if paren == 0 => {
+                        let mut d = 1;
+                        let mut k = j + 1;
+                        while k < toks.len() && d > 0 {
+                            match toks[k].text.as_str() {
+                                "{" => d += 1,
+                                "}" => d -= 1,
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        let end_line = toks.get(k.saturating_sub(1)).map_or(u32::MAX, |t| t.line);
+                        ranges.push((start_line, end_line));
+                        j = k;
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j.max(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+    ranges
+}
+
+/// Does the attribute content starting at `i` (just past `#[`) mark test
+/// code? Matches `test`, `cfg(test)`, and `cfg(any(test, ...))`-style
+/// forms by looking for a `test` identifier before the closing `]`.
+fn is_test_attr(lexed: &Lexed, i: usize) -> bool {
+    let toks = &lexed.tokens;
+    if lexed.is_ident(i, "test") && lexed.is_punct(i + 1, "]") {
+        return true;
+    }
+    if !lexed.is_ident(i, "cfg") {
+        return false;
+    }
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" => depth -= 1,
+            "]" if depth == 0 => return false,
+            "test" if toks[j].kind == TokenKind::Ident => return true,
+            _ => {}
+        }
+        if depth < 0 {
+            return false;
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Parse `tidy: allow(<rule>)` waivers out of the comment stream.
+fn waivers(lexed: &Lexed) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        let mut rest = c.text.as_str();
+        while let Some(pos) = rest.find("tidy: allow(") {
+            let after = &rest[pos + "tidy: allow(".len()..];
+            let Some(close) = after.find(')') else { break };
+            let rule = after[..close].trim().to_string();
+            let reason = after[close + 1..]
+                .trim_start_matches([' ', '—', '-', ':', '–'])
+                .trim();
+            out.push(Waiver {
+                line: c.line,
+                rule,
+                has_reason: reason.len() >= 3,
+            });
+            rest = &after[close + 1..];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_mod_region_detected() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n fn x() { y(); }\n}\nfn b() {}";
+        let ctx = FileContext::build(&lex(src));
+        assert!(ctx.is_test_line(3));
+        assert!(ctx.is_test_line(4));
+        assert!(!ctx.is_test_line(1));
+        assert!(!ctx.is_test_line(6));
+    }
+
+    #[test]
+    fn test_fn_attr_detected() {
+        let src = "#[test]\nfn works() {\n  body();\n}\nfn not_test() {}";
+        let ctx = FileContext::build(&lex(src));
+        assert!(ctx.is_test_line(2));
+        assert!(ctx.is_test_line(3));
+        assert!(!ctx.is_test_line(5));
+    }
+
+    #[test]
+    fn waiver_parsing_with_and_without_reason() {
+        let src = "// tidy: allow(map-iter) — keys drained into a sorted Vec\nlet x = 1;\n// tidy: allow(unwrap)\n";
+        let ctx = FileContext::build(&lex(src));
+        assert_eq!(ctx.waivers.len(), 2);
+        assert!(ctx.waivers[0].has_reason);
+        assert_eq!(ctx.waivers[0].rule, "map-iter");
+        assert!(!ctx.waivers[1].has_reason);
+        assert!(ctx.is_waived("map-iter", 2).is_some());
+        assert!(ctx.is_waived("map-iter", 5).is_none());
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_covers_only_that_line() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn real() {}";
+        let ctx = FileContext::build(&lex(src));
+        assert!(ctx.is_test_line(2));
+        assert!(!ctx.is_test_line(3));
+    }
+}

@@ -1,0 +1,409 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! Produces just enough structure for token-pattern linting: identifiers,
+//! punctuation, literals and lifetimes with line numbers, plus the comment
+//! stream (needed for `tidy: allow(...)` waivers). It is deliberately not a
+//! full grammar — no `syn`, no proc-macro machinery — in the same spirit as
+//! rustc's self-contained `tidy` tool, so it works offline with zero
+//! dependencies and lexes the whole workspace in milliseconds.
+
+/// What kind of token this is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `for`, `unwrap`, ...).
+    Ident,
+    /// Single punctuation character (`.`, `:`, `{`, ...). Multi-character
+    /// operators arrive as consecutive tokens (`::` is `:`+`:`).
+    Punct,
+    /// String / char / byte / numeric literal (content not interpreted).
+    Literal,
+    /// Lifetime such as `'a` (kept distinct so `'static` never looks like
+    /// an unterminated char literal).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Kind of the token.
+    pub kind: TokenKind,
+    /// Source text of the token (for literals: the raw text).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block), kept out of the token stream.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Full comment text including the `//` / `/*` sigils.
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Is the token at `i` an identifier with exactly this text?
+    pub fn is_ident(&self, i: usize, text: &str) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Ident && t.text == text)
+    }
+
+    /// Is the token at `i` punctuation with exactly this text?
+    pub fn is_punct(&self, i: usize, text: &str) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+    }
+
+    /// Does the token sequence starting at `i` match `pattern`, where each
+    /// element is either an identifier or a punctuation character?
+    pub fn matches(&self, i: usize, pattern: &[&str]) -> bool {
+        pattern.iter().enumerate().all(|(k, p)| {
+            self.tokens
+                .get(i + k)
+                .is_some_and(|t| t.text == *p && t.kind != TokenKind::Literal)
+        })
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Lex `source` into tokens and comments. Unterminated constructs are
+/// tolerated (the remainder of the file becomes one token/comment); a
+/// linter must never panic on weird input.
+pub fn lex(source: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek() {
+        let start = cur.pos;
+        let line = cur.line;
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: source[start..cur.pos].to_string(),
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: source[start..cur.pos].to_string(),
+                });
+            }
+            b'"' => {
+                lex_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: source[start..cur.pos].to_string(),
+                    line,
+                });
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(&cur) => {
+                lex_raw_or_byte_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: source[start..cur.pos].to_string(),
+                    line,
+                });
+            }
+            b'\'' => {
+                // Lifetime vs char literal: `'ident` not followed by a
+                // closing quote is a lifetime.
+                let is_lifetime =
+                    cur.peek_at(1).is_some_and(is_ident_start) && cur.peek_at(2) != Some(b'\'');
+                if is_lifetime {
+                    cur.bump();
+                    while cur.peek().is_some_and(is_ident_continue) {
+                        cur.bump();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: source[start..cur.pos].to_string(),
+                        line,
+                    });
+                } else {
+                    cur.bump();
+                    if cur.peek() == Some(b'\\') {
+                        cur.bump();
+                        cur.bump();
+                    } else {
+                        cur.bump();
+                    }
+                    if cur.peek() == Some(b'\'') {
+                        cur.bump();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: source[start..cur.pos].to_string(),
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                while cur
+                    .peek()
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'.')
+                {
+                    // Stop a float from eating `..` or a method call `.fn`.
+                    if cur.peek() == Some(b'.')
+                        && !cur.peek_at(1).is_some_and(|n| n.is_ascii_digit())
+                    {
+                        break;
+                    }
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: source[start..cur.pos].to_string(),
+                    line,
+                });
+            }
+            c if is_ident_start(c) => {
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: source[start..cur.pos].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                cur.bump();
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: source[start..cur.pos].to_string(),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn starts_raw_or_byte_string(cur: &Cursor<'_>) -> bool {
+    // r"..."  r#"..."#  b"..."  br"..."  br#"..."#  (raw idents r#foo are
+    // handled by the caller falling through to ident lexing: we require a
+    // quote after the hashes).
+    let c = cur.peek();
+    let mut off = 1;
+    if c == Some(b'b') {
+        if cur.peek_at(1) == Some(b'"') {
+            return true;
+        }
+        if cur.peek_at(1) != Some(b'r') {
+            return false;
+        }
+        off = 2;
+    }
+    let mut hashes = 0;
+    while cur.peek_at(off + hashes) == Some(b'#') {
+        hashes += 1;
+    }
+    cur.peek_at(off + hashes) == Some(b'"') && (hashes > 0 || cur.peek_at(off) == Some(b'"'))
+}
+
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.peek() {
+        match c {
+            b'\\' => {
+                cur.bump();
+                cur.bump();
+            }
+            b'"' => {
+                cur.bump();
+                return;
+            }
+            _ => {
+                cur.bump();
+            }
+        }
+    }
+}
+
+fn lex_raw_or_byte_string(cur: &mut Cursor<'_>) {
+    if cur.peek() == Some(b'b') {
+        cur.bump();
+    }
+    if cur.peek() == Some(b'"') {
+        // Plain byte string: escapes apply.
+        lex_string(cur);
+        return;
+    }
+    cur.bump(); // 'r'
+    let mut hashes = 0usize;
+    while cur.peek() == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+                // Raw string: ends at `"` followed by `hashes` hashes; no escapes.
+    while let Some(c) = cur.bump() {
+        if c == b'"' {
+            let mut seen = 0;
+            while seen < hashes && cur.peek() == Some(b'#') {
+                cur.bump();
+                seen += 1;
+            }
+            if seen == hashes {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let l = lex("let x = a.b();\nfoo::bar");
+        assert_eq!(
+            l.tokens.iter().map(|t| t.text.as_str()).collect::<Vec<_>>(),
+            vec!["let", "x", "=", "a", ".", "b", "(", ")", ";", "foo", ":", ":", "bar"]
+        );
+        assert_eq!(l.tokens.last().unwrap().line, 2);
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let l = lex("a // trailing\n/* block\nspanning */ b");
+        assert_eq!(
+            l.tokens.iter().map(|t| t.text.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].text, "// trailing");
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let l = lex(r#"let s = "HashMap.iter() // not a comment"; x"#);
+        assert!(l.comments.is_empty());
+        assert!(l.tokens.iter().any(|t| t.kind == TokenKind::Literal));
+        assert!(!l.tokens.iter().any(|t| t.text == "HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let l = lex(r##"let s = r#"quote " inside"#; y"##);
+        assert_eq!(l.tokens.last().unwrap().text, "y");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* outer /* inner */ still outer */ b");
+        assert_eq!(texts("a /* outer /* inner */ still */ b"), vec!["a", "b"]);
+        assert_eq!(l.tokens.len(), 2);
+    }
+
+    #[test]
+    fn numeric_literals_do_not_eat_method_calls() {
+        let l = lex("1.0f64.sqrt(); 0..10; x.0.iter()");
+        assert!(l.tokens.iter().any(|t| t.text == "sqrt"));
+        assert!(l.tokens.iter().any(|t| t.text == "iter"));
+    }
+}

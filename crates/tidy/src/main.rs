@@ -1,0 +1,123 @@
+//! CLI entry point: `cargo run -p swf-tidy -- check [--json] [--bless]`.
+
+use std::process::ExitCode;
+
+use swf_tidy::{bless, run_check, Config};
+
+const USAGE: &str = "\
+swf-tidy — determinism & robustness linter for the simulated stack
+
+USAGE:
+    cargo run -p swf-tidy -- check [OPTIONS]
+
+OPTIONS:
+    --json          machine-readable JSON report on stdout
+    --bless         regenerate the R1 unwrap baseline from current counts
+    --root <DIR>    workspace root (default: auto-detected)
+    -h, --help      this help
+
+EXIT CODES:
+    0  clean (no non-baselined violations)
+    1  violations found
+    2  usage or I/O error
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut json = false;
+    let mut do_bless = false;
+    let mut root = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" if command.is_none() => command = Some("check"),
+            "--json" => json = true,
+            "--bless" => do_bless = true,
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = Some(std::path::PathBuf::from(dir)),
+                    None => {
+                        eprintln!("error: --root requires a directory argument");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    if command != Some("check") {
+        eprintln!("error: expected the `check` subcommand\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let root = match root.or_else(Config::find_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("error: could not locate the workspace root (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let config = Config::repo(root);
+
+    if do_bless {
+        return match bless(&config) {
+            Ok(content) => {
+                let entries = content
+                    .lines()
+                    .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+                    .count();
+                eprintln!(
+                    "blessed {} → {entries} files carrying R1 debt",
+                    config.baseline
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match run_check(&config) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.to_json());
+            } else if report.ok() {
+                eprintln!(
+                    "tidy: {} files clean ({} baselined panic-family sites)",
+                    report.files_scanned, report.unwrap_total
+                );
+            } else {
+                for v in &report.violations {
+                    eprintln!("{}", v.render());
+                }
+                eprintln!(
+                    "\ntidy: {} violation(s) in {} files scanned — see DESIGN.md \
+                     \"Determinism contract\" for the rules and waiver format",
+                    report.violations.len(),
+                    report.files_scanned
+                );
+            }
+            if report.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: a file the linter should pass without a single finding.
+
+use std::collections::BTreeMap;
+
+fn deterministic_sum(counts: &BTreeMap<String, u64>) -> u64 {
+    counts.values().sum()
+}
+
+fn typed_errors(x: Option<u32>) -> Result<u32, String> {
+    x.ok_or_else(|| "missing".to_string())
+}

@@ -1,0 +1,21 @@
+//! Fixture: every flavour of D1 violation (wall clock, threads, real sync).
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+fn wall_clock() -> f64 {
+    let t0 = Instant::now(); // wall-clock (via the use above and here)
+    let _ = std::time::SystemTime::now(); // wall-clock, fully qualified
+    t0.elapsed().as_secs_f64()
+}
+
+fn real_thread() {
+    std::thread::spawn(|| {}); // real-thread
+    std::thread::sleep(std::time::Duration::from_secs(1)); // real-thread + wall-clock path
+}
+
+fn real_sync() {
+    let m = Arc::new(Mutex::new(0u32)); // real-sync (via the use above)
+    let _ = std::sync::RwLock::new(0u32); // real-sync, fully qualified
+    drop(m);
+}

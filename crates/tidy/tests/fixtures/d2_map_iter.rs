@@ -1,0 +1,39 @@
+//! Fixture: HashMap/HashSet iteration (D2 hits) next to the allowed forms.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+struct State {
+    index: HashMap<String, u64>,
+    seen: HashSet<u64>,
+    ordered: BTreeMap<String, u64>,
+}
+
+impl State {
+    fn bad_for_loop(&self) -> u64 {
+        let mut sum = 0;
+        for (_k, v) in &self.index {
+            sum += v;
+        }
+        sum
+    }
+
+    fn bad_chain(&self) -> Vec<u64> {
+        self.index.values().copied().collect()
+    }
+
+    fn bad_keys(&self) -> Vec<String> {
+        self.index.keys().cloned().collect()
+    }
+
+    fn bad_set_iter(&self) -> u64 {
+        self.seen.iter().sum()
+    }
+
+    fn ok_keyed_lookup(&self) -> Option<u64> {
+        self.index.get("x").copied()
+    }
+
+    fn ok_btree_iteration(&self) -> u64 {
+        self.ordered.values().sum()
+    }
+}

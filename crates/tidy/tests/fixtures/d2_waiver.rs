@@ -1,0 +1,18 @@
+//! Fixture: map-iter waivers — one properly justified, one missing its
+//! reason (which is itself a violation).
+
+use std::collections::HashMap;
+
+fn waived(counts: &HashMap<String, u64>) -> u64 {
+    // tidy: allow(map-iter) — summation is order-independent
+    counts.values().sum()
+}
+
+fn waived_without_reason(counts: &HashMap<String, u64>) -> u64 {
+    // tidy: allow(map-iter)
+    counts.values().sum()
+}
+
+fn not_waived(counts: &HashMap<String, u64>) -> Vec<String> {
+    counts.keys().cloned().collect()
+}

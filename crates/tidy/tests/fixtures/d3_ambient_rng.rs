@@ -1,0 +1,19 @@
+//! Fixture: ambient randomness outside the seeded simulation RNG.
+
+fn bad_thread_rng() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+fn bad_free_random() -> f64 {
+    rand::random::<f64>()
+}
+
+fn bad_random_state() {
+    let _ = std::collections::hash_map::RandomState::new();
+}
+
+fn ok_seeded() -> u64 {
+    let mut rng = swf_simcore::DetRng::new(42, "fixture");
+    rng.next_u64()
+}

@@ -1,0 +1,10 @@
+//! A miniature simulation crate carrying exactly two panic-family sites.
+
+#![warn(missing_docs)]
+
+/// Two counted sites, nothing else.
+pub fn two_sites(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b: Result<u32, ()> = Ok(1);
+    a + b.expect("always ok")
+}

@@ -1,0 +1,6 @@
+// A bench binary that neither wires the tracing CLI nor documents the
+// flags: two bench-trace findings.
+
+fn main() {
+    println!("figx");
+}

@@ -1,0 +1,3 @@
+// No crate-level docs and no docs gate: two crate-docs findings.
+
+pub fn noop() {}

@@ -1,0 +1,34 @@
+//! Fixture: panic-family sites in non-test code (counted) and in test
+//! code (exempt).
+
+fn three_sites(x: Option<u32>, y: Result<u32, String>) -> u32 {
+    let a = x.unwrap();
+    let b = y.expect("y must be set");
+    if a + b == 0 {
+        panic!("zero");
+    }
+    a + b
+}
+
+struct Parser;
+
+impl Parser {
+    fn expect(&self, _tok: u8) -> bool {
+        true
+    }
+
+    fn domain_expect_is_not_counted(&self) -> bool {
+        self.expect(b'(')
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_in_tests_are_free() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let r: Result<u32, ()> = Ok(2);
+        assert_eq!(r.expect("ok"), 2);
+    }
+}

@@ -87,6 +87,9 @@ impl ComputeModel {
         let mut rng = swf_simcore::DetRng::new(0xCA11B, "calibrate");
         let a = crate::matrix::Matrix::random(dim, dim, &mut rng, -100, 100);
         let b = crate::matrix::Matrix::random(dim, dim, &mut rng, -100, 100);
+        // Calibration deliberately measures the real kernel's wall time
+        // once, outside any simulation; the result feeds a fixed constant.
+        // tidy: allow(wall-clock) — real measurement, not simulated time
         let t0 = std::time::Instant::now();
         let c = matmul(&a, &b, kernel);
         let wall = t0.elapsed().as_secs_f64();
