@@ -6,224 +6,26 @@
 //! 4. task clustering levels (the paper's §IX-C task resizing),
 //! 5. routing policy: round-robin vs §IX-D least-loaded redirection.
 //!
-//! Usage: `cargo run --release -p swf-bench --bin ablations [--quick] [--trace] [--trace-out <path>]`
+//! The measurement logic lives in [`swf_bench::ablations`], shared with
+//! the `suite` runner.
+//!
+//! Usage: `cargo run --release -p swf-bench --bin ablations [--quick] [--trace] [--trace-out <path>] [--json <path>]`
 
-use bytes::Bytes;
-
-use swf_cluster::{NodeId, Request};
-use swf_container::Workload;
-use swf_core::experiments::{run_once, ConcurrentParams};
-use swf_core::{ExperimentConfig, Provisioning, TestBed};
-use swf_knative::{KService, RoutingPolicy};
-use swf_metrics::Table;
-use swf_pegasus::PlanOptions;
-use swf_simcore::{now, secs, Sim};
-use swf_workloads::EnvMix;
-
-fn scale() -> (usize, usize) {
-    if swf_bench::is_quick() {
-        (3, 4)
-    } else {
-        (6, 8)
-    }
-}
-
-/// Ablation 1 — container concurrency: shared containers (cc=0) vs
-/// strict one-request-per-container (cc=1) on the all-serverless workload.
-fn ablate_reuse(t: &mut Table, collectors: &mut Vec<(String, swf_obs::Obs)>) {
-    let (workflows, tasks) = scale();
-    for (label, cc) in [
-        ("containerConcurrency=1", 1u32),
-        ("containerConcurrency=0 (shared)", 0),
-    ] {
-        let mut config = ExperimentConfig::quick();
-        config.container_concurrency = cc;
-        config.trace = swf_bench::is_traced();
-        let o = run_once(
-            &config,
-            ConcurrentParams {
-                workflows,
-                tasks_per_workflow: tasks,
-                mix: EnvMix::ALL_SERVERLESS,
-                ..ConcurrentParams::default()
-            },
-            0,
-        );
-        t.row(&[
-            "container concurrency".into(),
-            label.into(),
-            format!("{:.1}", o.slowest),
-        ]);
-        collectors.push((format!("reuse/{label}"), o.obs));
-    }
-}
-
-/// Ablation 2 — provisioning: pre-staged warm pods vs deferred downloads.
-fn ablate_provisioning(t: &mut Table, collectors: &mut Vec<(String, swf_obs::Obs)>) {
-    let (workflows, tasks) = scale();
-    for (label, mode) in [
-        ("min-scale pre-staged", Provisioning::PreStage),
-        ("initial-scale=0 deferred", Provisioning::Deferred),
-    ] {
-        let mut config = ExperimentConfig::quick();
-        config.provisioning = mode;
-        config.trace = swf_bench::is_traced();
-        let o = run_once(
-            &config,
-            ConcurrentParams {
-                workflows,
-                tasks_per_workflow: tasks,
-                mix: EnvMix::ALL_SERVERLESS,
-                ..ConcurrentParams::default()
-            },
-            0,
-        );
-        t.row(&[
-            "provisioning".into(),
-            label.into(),
-            format!("{:.1}", o.slowest),
-        ]);
-        collectors.push((format!("provisioning/{label}"), o.obs));
-    }
-}
-
-/// Ablation 3 — pass-by-value serialization on vs off (node-resident data).
-fn ablate_payload(t: &mut Table, collectors: &mut Vec<(String, swf_obs::Obs)>) {
-    let (workflows, tasks) = scale();
-    for (label, rate) in [
-        ("pass-by-value (4 MB/s ser.)", 4.0e6),
-        ("node-resident data", 0.0),
-    ] {
-        let mut config = ExperimentConfig::quick();
-        config.serialization_rate = rate;
-        config.trace = swf_bench::is_traced();
-        // Use paper-sized matrices so payload costs are visible.
-        config.matrix_dim = if swf_bench::is_quick() { 64 } else { 350 };
-        let o = run_once(
-            &config,
-            ConcurrentParams {
-                workflows,
-                tasks_per_workflow: tasks,
-                mix: EnvMix::ALL_SERVERLESS,
-                ..ConcurrentParams::default()
-            },
-            0,
-        );
-        t.row(&[
-            "file management".into(),
-            label.into(),
-            format!("{:.1}", o.slowest),
-        ]);
-        collectors.push((format!("payload/{label}"), o.obs));
-    }
-}
-
-/// Ablation 4 — task clustering levels (§IX-C task resizing).
-fn ablate_clustering(t: &mut Table, collectors: &mut Vec<(String, swf_obs::Obs)>) {
-    let (workflows, tasks) = scale();
-    for level in [1usize, 2, 4] {
-        let mut config = ExperimentConfig::quick();
-        config.trace = swf_bench::is_traced();
-        let o = run_once(
-            &config,
-            ConcurrentParams {
-                workflows,
-                tasks_per_workflow: tasks,
-                mix: EnvMix::ALL_NATIVE,
-                plan: PlanOptions {
-                    cluster_level: level,
-                    retries: 0,
-                },
-            },
-            0,
-        );
-        t.row(&[
-            "task clustering (§IX-C)".into(),
-            format!("cluster level {level}"),
-            format!("{:.1}", o.slowest),
-        ]);
-        collectors.push((format!("clustering/level-{level}"), o.obs));
-    }
-}
-
-/// Ablation 5 — routing: round-robin vs least-loaded redirection (§IX-D)
-/// under a skewed background load.
-fn ablate_routing(t: &mut Table, collectors: &mut Vec<(String, swf_obs::Obs)>) {
-    for (label, policy) in [
-        ("round-robin", RoutingPolicy::RoundRobin),
-        ("least-loaded (§IX-D)", RoutingPolicy::LeastLoaded),
-    ] {
-        let obs = if swf_bench::is_traced() {
-            swf_obs::Obs::enabled()
-        } else {
-            swf_obs::Obs::disabled()
-        };
-        let obs2 = obs.clone();
-        let sim = Sim::new();
-        let mean_latency = sim.block_on(async move {
-            let _obs_guard = swf_obs::install(obs2);
-            let mut config = ExperimentConfig::quick();
-            config.knative.routing = policy;
-            let bed = TestBed::boot(&config);
-            bed.knative.register_fn(
-                KService::new("fn", bed.image.clone())
-                    .with_min_scale(2)
-                    .with_max_scale(2),
-                |req| {
-                    let b = req.body.clone();
-                    Workload::new(secs(0.458), move || Ok(b))
-                },
-            );
-            bed.knative.wait_ready("fn", 2, secs(600.0)).await.unwrap();
-            // Saturate the first pod's node with foreign compute.
-            let rev = bed.knative.revisions().get("fn-00001").unwrap();
-            let eps = bed
-                .k8s
-                .api()
-                .endpoints()
-                .get(&rev.k8s_service_name())
-                .unwrap();
-            let busy = bed.k8s.runtime(eps.ready[0].node).unwrap().node().clone();
-            for _ in 0..busy.cores().capacity() {
-                let busy = busy.clone();
-                swf_simcore::spawn(async move {
-                    busy.run_on_core(secs(10_000.0)).await;
-                });
-            }
-            swf_simcore::sleep(secs(0.5)).await;
-            let t0 = now();
-            let n = 12;
-            for i in 0..n {
-                bed.knative
-                    .invoke(NodeId(0), "fn", Request::post("/", Bytes::from(vec![i])))
-                    .await
-                    .unwrap();
-            }
-            (now() - t0).as_secs_f64() / f64::from(n)
-        });
-        t.row(&[
-            "task redirection (§IX-D)".into(),
-            label.into(),
-            format!("{mean_latency:.2}"),
-        ]);
-        collectors.push((format!("routing/{label}"), obs));
-    }
-}
+use swf_bench::ablations::{run_ablations, AblationsResult};
 
 fn main() {
-    let mut t = Table::new(
-        "Ablations over the paper's design choices (seconds; lower is better)",
-        &["ablation", "variant", "metric_s"],
-    );
-    let mut collectors: Vec<(String, swf_obs::Obs)> = Vec::new();
-    ablate_reuse(&mut t, &mut collectors);
-    ablate_provisioning(&mut t, &mut collectors);
-    ablate_payload(&mut t, &mut collectors);
-    ablate_clustering(&mut t, &mut collectors);
-    ablate_routing(&mut t, &mut collectors);
-    println!("{}", t.render());
-    println!("metric: rows 1-8 = slowest-workflow makespan; rows 9-10 = mean request latency");
+    let meter = swf_bench::ScenarioMeter::start();
+    let r = run_ablations(swf_bench::is_quick(), swf_bench::is_traced());
+    println!("{}", r.table().render());
+    println!("{}", AblationsResult::METRIC_NOTE);
     let refs: Vec<(&str, &swf_obs::Obs)> =
-        collectors.iter().map(|(l, o)| (l.as_str(), o)).collect();
+        r.collectors.iter().map(|(l, o)| (l.as_str(), o)).collect();
     swf_bench::dump_observability(&refs);
+    swf_bench::emit_scenario_json(
+        "ablations",
+        swf_bench::is_quick(),
+        r.to_json(),
+        &refs,
+        meter,
+    );
 }

@@ -1,14 +1,18 @@
 //! Regenerate the §III-B cold-start measurement (paper: 1.48 s).
 //!
-//! Usage: `cargo run --release -p swf-bench --bin coldstart [--quick] [--trace] [--trace-out <path>]`
+//! Usage: `cargo run --release -p swf-bench --bin coldstart [--quick] [--trace] [--trace-out <path>] [--json <path>]`
 
-use swf_bench::{cli_config, dump_observability, install_cli_obs};
+use swf_bench::record::coldstart_json;
+use swf_bench::{
+    cli_config, dump_observability, emit_scenario_json, install_cli_obs, is_quick, ScenarioMeter,
+};
 use swf_core::experiments::{coldstart, setup_header};
 
 fn main() {
     let config = cli_config();
     let (obs, _guard) = install_cli_obs();
     println!("{}", setup_header(&config));
+    let meter = ScenarioMeter::start();
     let r = coldstart::run(&config);
     println!("## §III-B cold start");
     println!("first request (cold): {:.3} s", r.first_request);
@@ -18,4 +22,11 @@ fn main() {
     );
     println!("warm request: {:.3} s", r.warm_request);
     dump_observability(&[("coldstart", &obs)]);
+    emit_scenario_json(
+        "coldstart",
+        is_quick(),
+        coldstart_json(&r),
+        &[("coldstart", &obs)],
+        meter,
+    );
 }

@@ -1,9 +1,13 @@
 //! Regenerate Figure 1: Docker vs Knative total/execution time for N
 //! sequential matrix-multiplication tasks.
 //!
-//! Usage: `cargo run --release -p swf-bench --bin fig1 [--quick] [--trace] [--trace-out <path>]`
+//! Usage: `cargo run --release -p swf-bench --bin fig1 [--quick] [--trace] [--trace-out <path>] [--json <path>]`
 
-use swf_bench::{cli_config, dump_observability, fig1_report, install_cli_obs, is_quick};
+use swf_bench::record::fig1_json;
+use swf_bench::{
+    cli_config, dump_observability, emit_scenario_json, fig1_report, install_cli_obs, is_quick,
+    ScenarioMeter,
+};
 use swf_core::experiments::{fig1, setup_header};
 
 fn main() {
@@ -15,7 +19,15 @@ fn main() {
     } else {
         vec![10, 20, 40, 80, 120, 160]
     };
+    let meter = ScenarioMeter::start();
     let result = fig1::run(&config, &counts);
     println!("{}", fig1_report(&result));
     dump_observability(&[("fig1", &obs)]);
+    emit_scenario_json(
+        "fig1",
+        is_quick(),
+        fig1_json(&result),
+        &[("fig1", &obs)],
+        meter,
+    );
 }

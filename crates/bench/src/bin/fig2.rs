@@ -1,9 +1,13 @@
 //! Regenerate Figure 2: makespan of k parallel tasks under native, Knative
 //! and traditional-container execution via HTCondor.
 //!
-//! Usage: `cargo run --release -p swf-bench --bin fig2 [--quick] [--trace] [--trace-out <path>]`
+//! Usage: `cargo run --release -p swf-bench --bin fig2 [--quick] [--trace] [--trace-out <path>] [--json <path>]`
 
-use swf_bench::{cli_config, dump_observability, fig2_report, install_cli_obs, is_quick};
+use swf_bench::record::fig2_json;
+use swf_bench::{
+    cli_config, dump_observability, emit_scenario_json, fig2_report, install_cli_obs, is_quick,
+    ScenarioMeter,
+};
 use swf_core::experiments::{fig2, setup_header};
 
 fn main() {
@@ -21,7 +25,15 @@ fn main() {
     } else {
         vec![4, 8, 16, 24, 32, 48, 64]
     };
+    let meter = ScenarioMeter::start();
     let result = fig2::run(&config, &counts);
     println!("{}", fig2_report(&result));
     dump_observability(&[("fig2", &obs)]);
+    emit_scenario_json(
+        "fig2",
+        is_quick(),
+        fig2_json(&result),
+        &[("fig2", &obs)],
+        meter,
+    );
 }

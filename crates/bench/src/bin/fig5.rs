@@ -2,9 +2,12 @@
 //! Sweeps environment mixes over the simplex; each point runs 10 concurrent
 //! 10-task workflows and reports the average slowest-workflow makespan.
 //!
-//! Usage: `cargo run --release -p swf-bench --bin fig5 [--quick] [--trace] [--trace-out <path>]`
+//! Usage: `cargo run --release -p swf-bench --bin fig5 [--quick] [--trace] [--trace-out <path>] [--json <path>]`
 
-use swf_bench::{cli_config, dump_observability, fig5_report, is_quick};
+use swf_bench::record::fig5_json;
+use swf_bench::{
+    cli_config, dump_observability, emit_scenario_json, fig5_report, is_quick, ScenarioMeter,
+};
 use swf_core::experiments::{run_fig5, setup_header};
 
 fn main() {
@@ -15,6 +18,7 @@ fn main() {
     } else {
         (4, 10, 10, 3)
     };
+    let meter = ScenarioMeter::start();
     let result = run_fig5(&config, steps, workflows, tasks, repeats);
     println!("{}", fig5_report(&result));
     let labels: Vec<String> = result
@@ -33,4 +37,5 @@ fn main() {
         .zip(&result.collectors)
         .collect();
     dump_observability(&collectors);
+    emit_scenario_json("fig5", is_quick(), fig5_json(&result), &collectors, meter);
 }

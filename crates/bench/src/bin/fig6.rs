@@ -1,18 +1,23 @@
 //! Regenerate Figure 6: average makespan of the slowest of 10 concurrent
 //! workflows for the five highlighted environment mixes.
 //!
-//! Usage: `cargo run --release -p swf-bench --bin fig6 [--quick] [--trace] [--trace-out <path>]`
+//! Usage: `cargo run --release -p swf-bench --bin fig6 [--quick] [--trace] [--trace-out <path>] [--json <path>]`
 
-use swf_bench::{cli_config, dump_observability, fig6_report, is_quick};
+use swf_bench::record::fig6_json;
+use swf_bench::{
+    cli_config, dump_observability, emit_scenario_json, fig6_report, is_quick, ScenarioMeter,
+};
 use swf_core::experiments::{run_fig6, setup_header};
 
 fn main() {
     let config = cli_config();
     println!("{}", setup_header(&config));
     let (workflows, tasks, repeats) = if is_quick() { (4, 4, 1) } else { (10, 10, 3) };
+    let meter = ScenarioMeter::start();
     let result = run_fig6(&config, workflows, tasks, repeats);
     println!("{}", fig6_report(&result));
     let collectors: Vec<(&str, &swf_obs::Obs)> =
         result.rows.iter().map(|r| (r.label, &r.obs)).collect();
     dump_observability(&collectors);
+    emit_scenario_json("fig6", is_quick(), fig6_json(&result), &collectors, meter);
 }

@@ -1,0 +1,170 @@
+//! The unified benchmark suite and perf-regression gate.
+//!
+//! Run every figure scenario (fig1, fig2, fig5, fig6, coldstart,
+//! ablations) with span collection on, and write one machine-readable
+//! `BENCH_<label>.json` at the workspace root — per-scenario virtual-time
+//! results, swf-obs metrics/critical-path snapshots, and the host-side
+//! engine profile (build with `--features host-profiling` for wall-clock
+//! and events/sec). Or compare two recorded documents, classifying every
+//! delta as drift (virtual-time change — always an error), regression /
+//! improvement (wall-clock beyond the noise threshold), or info.
+//!
+//! Usage:
+//!   cargo run --release -p swf-bench --bin suite -- [--quick] [--label <l>] [--json <path>] [--trace-out <path>]
+//!   cargo run --release -p swf-bench --bin suite -- compare <old.json> <new.json> [--noise <frac>] [--fail-on-regression]
+//!
+//! `--trace-out` additionally writes the whole suite as one Chrome-trace
+//! file (the same export as the figure binaries' `--trace` flags).
+
+use swf_bench::record::{json_out, workspace_root};
+use swf_bench::suite::run_suite;
+use swf_bench::{is_quick, trace_out, write_chrome_trace};
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    let eq = format!("{name}=");
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with('-') => return Some(v.clone()),
+                _ => {
+                    eprintln!("error: {name} requires a value");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if let Some(v) = a.strip_prefix(&eq) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("compare") {
+        compare_main(&args[2..]);
+        return;
+    }
+    run_main(&args);
+}
+
+fn run_main(args: &[String]) {
+    let quick = is_quick();
+    let label = flag_value(args, "--label")
+        .unwrap_or_else(|| if quick { "quick" } else { "paper" }.to_string());
+    let run = run_suite(&label, quick, |name| {
+        eprintln!(
+            "suite: running {name} ({})",
+            if quick { "quick" } else { "paper" }
+        );
+    });
+
+    // Per-scenario host summary.
+    println!("## suite — host profile per scenario");
+    if let Some(scenarios) = run.document.get("scenarios").and_then(|s| s.as_object()) {
+        for (name, scenario) in scenarios.iter() {
+            let host = &scenario["host"];
+            let wall = match host["wall_ms"].as_f64() {
+                Some(ms) => format!("{ms:.0} ms"),
+                None => "n/a (build with --features host-profiling)".to_string(),
+            };
+            println!(
+                "  {name:<10} events={:<9} peak_ready_queue={:<5} wall={wall}",
+                host["events_processed"].as_u64().unwrap_or(0),
+                host["peak_ready_queue"].as_u64().unwrap_or(0),
+            );
+        }
+    }
+    let total = &run.document["host"];
+    match (total["wall_ms"].as_f64(), total["events_per_sec"].as_f64()) {
+        (Some(ms), Some(eps)) => println!(
+            "  total      events={} wall={ms:.0} ms ({eps:.0} events/sec)",
+            total["events_processed"].as_u64().unwrap_or(0)
+        ),
+        _ => println!(
+            "  total      events={}",
+            total["events_processed"].as_u64().unwrap_or(0)
+        ),
+    }
+
+    let path = json_out().unwrap_or_else(|| {
+        workspace_root()
+            .join(format!("BENCH_{label}.json"))
+            .to_string_lossy()
+            .into_owned()
+    });
+    if let Err(e) = std::fs::write(&path, run.document.to_string()) {
+        eprintln!("error: failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("bench record written to {path}");
+
+    if let Some(trace_path) = trace_out() {
+        let refs: Vec<(&str, &swf_obs::Obs)> = run
+            .collectors
+            .iter()
+            .map(|(l, o)| (l.as_str(), o))
+            .collect();
+        match write_chrome_trace(&trace_path, &refs) {
+            Ok(()) => println!("chrome trace written to {trace_path}"),
+            Err(e) => {
+                eprintln!("error: failed to write chrome trace to {trace_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn read_doc(path: &str) -> serde_json::Value {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {path} is not valid JSON: {e:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn compare_main(args: &[String]) {
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+    let [old_path, new_path] = paths[..] else {
+        eprintln!(
+            "usage: suite compare <old.json> <new.json> [--noise <frac>] [--fail-on-regression]"
+        );
+        std::process::exit(2);
+    };
+    let noise = match flag_value(args, "--noise") {
+        Some(v) => match v.parse::<f64>() {
+            Ok(f) if f >= 0.0 => f,
+            _ => {
+                eprintln!("error: --noise must be a non-negative fraction (e.g. 0.10)");
+                std::process::exit(2);
+            }
+        },
+        None => 0.10,
+    };
+    let fail_on_regression = args.iter().any(|a| a == "--fail-on-regression");
+
+    let old = read_doc(old_path);
+    let new = read_doc(new_path);
+    let report = swf_metrics::compare(&old, &new, noise);
+    println!("## suite compare — {old_path} vs {new_path}");
+    print!("{}", report.render());
+    if report.has_drift() {
+        eprintln!("FAIL: virtual-time drift — the simulation's results changed");
+    } else if report.has_regression() {
+        let verdict = if fail_on_regression { "FAIL" } else { "WARN" };
+        eprintln!(
+            "{verdict}: host-side performance regressed beyond the {:.0}% noise threshold",
+            noise * 100.0
+        );
+    }
+    std::process::exit(report.exit_code(fail_on_regression));
+}

@@ -3,9 +3,18 @@
 //! Shared rendering for the figure-regeneration binaries. Each binary runs
 //! its experiment at paper scale (or `--quick`) and prints the §V-A setup
 //! header, the reproduced rows, the fitted slopes, and the paper-reported
-//! values side by side.
+//! values side by side. The `suite` binary runs every scenario in one go,
+//! writing the machine-readable `BENCH_*.json` record ([`record`]) that
+//! `suite compare` gates future changes against; [`ablations`] holds the
+//! ablation logic shared between its binary and the suite.
 
 #![warn(missing_docs)]
+
+pub mod ablations;
+pub mod record;
+pub mod suite;
+
+pub use record::{emit_scenario_json, json_out, ScenarioMeter};
 
 use swf_core::experiments::{Fig1Result, Fig2Result, Fig5Result, Fig6Result};
 use swf_core::ExperimentConfig;

@@ -1,0 +1,344 @@
+//! Machine-readable benchmark records (`BENCH_*.json`).
+//!
+//! Every figure binary and the unified `suite` runner emit the same
+//! document shape, so individual runs and full-suite runs can be fed to
+//! `suite compare` interchangeably:
+//!
+//! ```json
+//! {
+//!   "schema": "swf-bench/v1",
+//!   "label": "quick",
+//!   "quick": true,
+//!   "scenarios": {
+//!     "fig1": {
+//!       "virtual": { ...figure rows/fits, virtual seconds... },
+//!       "obs":     { "metrics": {...}, "critical_paths": {...} },
+//!       "host":    { "polls": n, ..., "wall_ms": null|x }
+//!     }
+//!   },
+//!   "host": { ...summed counters... }
+//! }
+//! ```
+//!
+//! `virtual` and `obs` are pure functions of the simulated program and
+//! its seeds — `suite compare` treats any bitwise difference there as
+//! **drift**. `host` describes the cost of *running* the simulation
+//! (engine counters always; `wall_ms`/`events_per_sec` only under the
+//! `host-profiling` feature) and is compared with a noise threshold.
+
+use swf_core::experiments::{ColdStartResult, Fig1Result, Fig2Result, Fig5Result, Fig6Result};
+use swf_metrics::Line;
+use swf_simcore::perf::{self, ExecProfile, HostStopwatch};
+
+/// Schema identifier stamped into every document.
+pub const SCHEMA: &str = "swf-bench/v1";
+
+/// Parse the `--json <path>` flag (also `--json=<path>`). Exits with an
+/// error when the flag is present without a path, mirroring `trace_out`.
+pub fn json_out() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--json" {
+            match args.get(i + 1) {
+                Some(p) if !p.starts_with('-') => return Some(p.clone()),
+                _ => {
+                    eprintln!("error: --json requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if let Some(p) = a.strip_prefix("--json=") {
+            return Some(p.to_string());
+        }
+    }
+    None
+}
+
+/// Measures one scenario's host-side cost: executor counter deltas plus
+/// (under `host-profiling`) wall-clock time. Start right before the
+/// scenario runs; `finish()` yields the `host` JSON section.
+pub struct ScenarioMeter {
+    before: ExecProfile,
+    watch: HostStopwatch,
+}
+
+impl ScenarioMeter {
+    /// Start metering: snapshot counters, reset the ready-queue
+    /// high-water mark, start the (feature-gated) stopwatch.
+    #[allow(clippy::new_without_default)]
+    pub fn start() -> ScenarioMeter {
+        perf::reset_ready_peak();
+        ScenarioMeter {
+            before: perf::snapshot(),
+            watch: HostStopwatch::start(),
+        }
+    }
+
+    /// Stop metering and render the `host` section.
+    pub fn finish(self) -> serde_json::Value {
+        let wall_ms = self.watch.elapsed_ms();
+        let delta = perf::snapshot().delta(&self.before);
+        host_json(&delta, wall_ms)
+    }
+}
+
+/// Render an executor profile (plus optional wall time) as the `host`
+/// JSON section.
+pub fn host_json(p: &ExecProfile, wall_ms: Option<f64>) -> serde_json::Value {
+    let mut host = serde_json::Map::new();
+    host.insert("polls", serde_json::Value::from(p.polls));
+    host.insert("spawned", serde_json::Value::from(p.spawned));
+    host.insert("wakes", serde_json::Value::from(p.wakes));
+    host.insert(
+        "timers_registered",
+        serde_json::Value::from(p.timers_registered),
+    );
+    host.insert("timers_fired", serde_json::Value::from(p.timers_fired));
+    host.insert("clock_advances", serde_json::Value::from(p.clock_advances));
+    host.insert("peak_ready_queue", serde_json::Value::from(p.ready_peak));
+    host.insert("events_processed", serde_json::Value::from(p.events()));
+    host.insert("wall_ms", serde_json::Value::from(wall_ms));
+    host.insert(
+        "events_per_sec",
+        serde_json::Value::from(perf::events_per_sec(p.events(), wall_ms)),
+    );
+    serde_json::Value::Object(host)
+}
+
+fn line_json(l: &Line) -> serde_json::Value {
+    let mut obj = serde_json::Map::new();
+    obj.insert("slope", serde_json::Value::from(l.slope));
+    obj.insert("intercept", serde_json::Value::from(l.intercept));
+    obj.insert("r_squared", serde_json::Value::from(l.r_squared));
+    serde_json::Value::Object(obj)
+}
+
+/// Fig. 1 virtual-time record.
+pub fn fig1_json(r: &Fig1Result) -> serde_json::Value {
+    let rows: Vec<serde_json::Value> = r
+        .rows
+        .iter()
+        .map(|row| {
+            let mut obj = serde_json::Map::new();
+            obj.insert("tasks", serde_json::Value::from(row.tasks));
+            obj.insert("docker_total", serde_json::Value::from(row.docker_total));
+            obj.insert("knative_total", serde_json::Value::from(row.knative_total));
+            obj.insert("docker_exec", serde_json::Value::from(row.docker_exec));
+            obj.insert("knative_exec", serde_json::Value::from(row.knative_exec));
+            serde_json::Value::Object(obj)
+        })
+        .collect();
+    let mut obj = serde_json::Map::new();
+    obj.insert("rows", serde_json::Value::Array(rows));
+    obj.insert("docker_fit", line_json(&r.docker_fit));
+    obj.insert("knative_fit", line_json(&r.knative_fit));
+    obj.insert(
+        "slope_reduction",
+        serde_json::Value::from(r.slope_reduction),
+    );
+    obj.insert("cold_start_s", serde_json::Value::from(r.cold_start));
+    serde_json::Value::Object(obj)
+}
+
+/// Fig. 2 virtual-time record.
+pub fn fig2_json(r: &Fig2Result) -> serde_json::Value {
+    let rows: Vec<serde_json::Value> = r
+        .rows
+        .iter()
+        .map(|row| {
+            let mut obj = serde_json::Map::new();
+            obj.insert("tasks", serde_json::Value::from(row.tasks));
+            obj.insert("native", serde_json::Value::from(row.native));
+            obj.insert("knative", serde_json::Value::from(row.knative));
+            obj.insert("container", serde_json::Value::from(row.container));
+            serde_json::Value::Object(obj)
+        })
+        .collect();
+    let mut obj = serde_json::Map::new();
+    obj.insert("rows", serde_json::Value::Array(rows));
+    obj.insert("native_fit", line_json(&r.native_fit));
+    obj.insert("knative_fit", line_json(&r.knative_fit));
+    obj.insert("container_fit", line_json(&r.container_fit));
+    serde_json::Value::Object(obj)
+}
+
+/// Fig. 5 virtual-time record (mix simplex sweep).
+pub fn fig5_json(r: &Fig5Result) -> serde_json::Value {
+    let rows: Vec<serde_json::Value> = r
+        .rows
+        .iter()
+        .map(|row| {
+            let mut obj = serde_json::Map::new();
+            obj.insert("native", serde_json::Value::from(row.mix.native));
+            obj.insert("serverless", serde_json::Value::from(row.mix.serverless));
+            obj.insert("container", serde_json::Value::from(row.mix.container));
+            obj.insert("makespan_s", serde_json::Value::from(row.makespan));
+            serde_json::Value::Object(obj)
+        })
+        .collect();
+    let mut obj = serde_json::Map::new();
+    obj.insert("rows", serde_json::Value::Array(rows));
+    serde_json::Value::Object(obj)
+}
+
+/// Fig. 6 virtual-time record (five highlighted mixes).
+pub fn fig6_json(r: &Fig6Result) -> serde_json::Value {
+    let rows: Vec<serde_json::Value> = r
+        .rows
+        .iter()
+        .map(|row| {
+            let mut obj = serde_json::Map::new();
+            obj.insert("label", serde_json::Value::from(row.label));
+            obj.insert("makespan_s", serde_json::Value::from(row.makespan));
+            obj.insert("vs_native", serde_json::Value::from(row.vs_native));
+            serde_json::Value::Object(obj)
+        })
+        .collect();
+    let mut obj = serde_json::Map::new();
+    obj.insert("rows", serde_json::Value::Array(rows));
+    serde_json::Value::Object(obj)
+}
+
+/// §III-B cold-start virtual-time record.
+pub fn coldstart_json(r: &ColdStartResult) -> serde_json::Value {
+    let mut obj = serde_json::Map::new();
+    obj.insert("first_request_s", serde_json::Value::from(r.first_request));
+    obj.insert("cold_start_s", serde_json::Value::from(r.cold_start));
+    obj.insert("warm_request_s", serde_json::Value::from(r.warm_request));
+    serde_json::Value::Object(obj)
+}
+
+/// Render labelled collectors as the `obs` section: each label's metrics
+/// registry plus the critical path of its slowest workflow (when the
+/// collector recorded workflow spans).
+pub fn obs_json(collectors: &[(&str, &swf_obs::Obs)]) -> serde_json::Value {
+    let mut metrics = serde_json::Map::new();
+    let mut critical_paths = serde_json::Map::new();
+    for (label, obs) in collectors {
+        if !obs.is_enabled() {
+            continue;
+        }
+        metrics.insert(label.to_string(), obs.metrics_json());
+        let cp = swf_core::slowest_workflow_breakdown(obs)
+            .map_or(serde_json::Value::Null, |cp| cp.to_json());
+        critical_paths.insert(label.to_string(), cp);
+    }
+    let mut obj = serde_json::Map::new();
+    obj.insert("metrics", serde_json::Value::Object(metrics));
+    obj.insert("critical_paths", serde_json::Value::Object(critical_paths));
+    serde_json::Value::Object(obj)
+}
+
+/// Assemble one scenario entry from its three sections.
+pub fn scenario_json(
+    virtual_section: serde_json::Value,
+    obs_section: serde_json::Value,
+    host_section: serde_json::Value,
+) -> serde_json::Value {
+    let mut obj = serde_json::Map::new();
+    obj.insert("virtual", virtual_section);
+    obj.insert("obs", obs_section);
+    obj.insert("host", host_section);
+    serde_json::Value::Object(obj)
+}
+
+/// Assemble a full benchmark document from named scenario entries,
+/// summing the per-scenario host counters into a top-level aggregate.
+pub fn bench_document(
+    label: &str,
+    quick: bool,
+    scenarios: Vec<(String, serde_json::Value)>,
+) -> serde_json::Value {
+    let mut total = serde_json::Map::new();
+    let mut wall_ms_total: Option<f64> = None;
+    let counter_keys = [
+        "polls",
+        "spawned",
+        "wakes",
+        "timers_registered",
+        "timers_fired",
+        "clock_advances",
+        "events_processed",
+    ];
+    for (_, scenario) in &scenarios {
+        let host = scenario.get("host");
+        for key in counter_keys {
+            let v = host
+                .and_then(|h| h.get(key))
+                .and_then(serde_json::Value::as_u64)
+                .unwrap_or(0);
+            let slot = total
+                .get(key)
+                .and_then(serde_json::Value::as_u64)
+                .unwrap_or(0);
+            total.insert(key, serde_json::Value::from(slot + v));
+        }
+        if let Some(ms) = host
+            .and_then(|h| h.get("wall_ms"))
+            .and_then(serde_json::Value::as_f64)
+        {
+            wall_ms_total = Some(wall_ms_total.unwrap_or(0.0) + ms);
+        }
+    }
+    let events = total
+        .get("events_processed")
+        .and_then(serde_json::Value::as_u64)
+        .unwrap_or(0);
+    total.insert("wall_ms", serde_json::Value::from(wall_ms_total));
+    total.insert(
+        "events_per_sec",
+        serde_json::Value::from(perf::events_per_sec(events, wall_ms_total)),
+    );
+
+    let mut scen_map = serde_json::Map::new();
+    for (name, scenario) in scenarios {
+        scen_map.insert(name, scenario);
+    }
+    let mut doc = serde_json::Map::new();
+    doc.insert("schema", serde_json::Value::from(SCHEMA));
+    doc.insert("label", serde_json::Value::from(label));
+    doc.insert("quick", serde_json::Value::from(quick));
+    doc.insert("scenarios", serde_json::Value::Object(scen_map));
+    doc.insert("host", serde_json::Value::Object(total));
+    serde_json::Value::Object(doc)
+}
+
+/// The workspace root: nearest ancestor of the current directory whose
+/// `Cargo.toml` declares `[workspace]`. Falls back to the current
+/// directory so a stray invocation still writes *somewhere* sensible.
+pub fn workspace_root() -> std::path::PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let mut dir = cwd.clone();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return cwd;
+        }
+    }
+}
+
+/// Write a single-scenario document to the `--json` path when the flag
+/// is present: the uniform tail call of every figure binary.
+pub fn emit_scenario_json(
+    name: &str,
+    quick: bool,
+    virtual_section: serde_json::Value,
+    collectors: &[(&str, &swf_obs::Obs)],
+    meter: ScenarioMeter,
+) {
+    let Some(path) = json_out() else { return };
+    let scenario = scenario_json(virtual_section, obs_json(collectors), meter.finish());
+    let doc = bench_document(name, quick, vec![(name.to_string(), scenario)]);
+    match std::fs::write(&path, doc.to_string()) {
+        Ok(()) => println!("bench record written to {path}"),
+        Err(e) => {
+            eprintln!("error: failed to write bench record to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

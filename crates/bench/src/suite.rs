@@ -1,0 +1,157 @@
+//! The unified benchmark suite: every figure scenario in one run,
+//! emitting one machine-readable `BENCH_<label>.json` document.
+//!
+//! Each scenario mirrors its standalone binary's configuration exactly
+//! (same counts, same config overrides), runs with span collection
+//! enabled, and is metered by [`crate::record::ScenarioMeter`] so the
+//! document carries all three sections per scenario: `virtual` results,
+//! `obs` snapshots, and the `host` engine profile.
+
+use swf_core::experiments::{coldstart, fig1, fig2, run_fig5, run_fig6};
+use swf_core::ExperimentConfig;
+
+use crate::ablations::run_ablations;
+use crate::record::{
+    bench_document, coldstart_json, fig1_json, fig2_json, fig5_json, fig6_json, obs_json,
+    scenario_json, ScenarioMeter,
+};
+
+/// One full suite run: the document plus every labelled span collector
+/// (for an optional combined Chrome-trace export).
+pub struct SuiteRun {
+    /// The assembled `BENCH_*.json` document.
+    pub document: serde_json::Value,
+    /// Every scenario's labelled collectors, in scenario order.
+    pub collectors: Vec<(String, swf_obs::Obs)>,
+}
+
+/// The suite's experiment config: quick or paper scale, tracing always
+/// on (the document's `obs` section wants populated collectors; span
+/// collection never changes virtual-time results).
+fn suite_config(quick: bool) -> ExperimentConfig {
+    let mut c = if quick {
+        let mut c = ExperimentConfig::quick();
+        // Match `cli_config`: paper-shaped timing, small matrices.
+        c.matrix_dim = 32;
+        c
+    } else {
+        ExperimentConfig::paper()
+    };
+    c.trace = true;
+    c
+}
+
+fn scenario_fig1(quick: bool) -> (serde_json::Value, Vec<(String, swf_obs::Obs)>) {
+    let config = suite_config(quick);
+    let obs = swf_obs::Obs::enabled();
+    let _guard = swf_obs::install(obs.clone());
+    let counts: Vec<usize> = if quick {
+        vec![10, 20, 40, 80]
+    } else {
+        vec![10, 20, 40, 80, 120, 160]
+    };
+    let r = fig1::run(&config, &counts);
+    (fig1_json(&r), vec![("fig1".to_string(), obs)])
+}
+
+fn scenario_fig2(quick: bool) -> (serde_json::Value, Vec<(String, swf_obs::Obs)>) {
+    let mut config = suite_config(quick);
+    // Mirror the fig2 binary: one burst of independent jobs, negotiation-
+    // bound — calibrated so the native slope lands near the paper's 0.28.
+    config.condor.negotiator.cycle_interval = swf_simcore::secs(5.0);
+    config.condor.negotiator.activation_delay = swf_simcore::SimDuration::ZERO;
+    let obs = swf_obs::Obs::enabled();
+    let _guard = swf_obs::install(obs.clone());
+    let counts: Vec<usize> = if quick {
+        vec![4, 8, 16, 24]
+    } else {
+        vec![4, 8, 16, 24, 32, 48, 64]
+    };
+    let r = fig2::run(&config, &counts);
+    (fig2_json(&r), vec![("fig2".to_string(), obs)])
+}
+
+fn scenario_fig5(quick: bool) -> (serde_json::Value, Vec<(String, swf_obs::Obs)>) {
+    let config = suite_config(quick);
+    let (steps, workflows, tasks, repeats) = if quick { (2, 4, 4, 1) } else { (4, 10, 10, 3) };
+    let r = run_fig5(&config, steps, workflows, tasks, repeats);
+    let collectors = r
+        .rows
+        .iter()
+        .zip(&r.collectors)
+        .map(|(row, obs)| {
+            (
+                format!(
+                    "fig5/n{:.2}-s{:.2}-c{:.2}",
+                    row.mix.native, row.mix.serverless, row.mix.container
+                ),
+                obs.clone(),
+            )
+        })
+        .collect();
+    (fig5_json(&r), collectors)
+}
+
+fn scenario_fig6(quick: bool) -> (serde_json::Value, Vec<(String, swf_obs::Obs)>) {
+    let config = suite_config(quick);
+    let (workflows, tasks, repeats) = if quick { (4, 4, 1) } else { (10, 10, 3) };
+    let r = run_fig6(&config, workflows, tasks, repeats);
+    let collectors = r
+        .rows
+        .iter()
+        .map(|row| (format!("fig6/{}", row.label), row.obs.clone()))
+        .collect();
+    (fig6_json(&r), collectors)
+}
+
+fn scenario_coldstart(quick: bool) -> (serde_json::Value, Vec<(String, swf_obs::Obs)>) {
+    let config = suite_config(quick);
+    let obs = swf_obs::Obs::enabled();
+    let _guard = swf_obs::install(obs.clone());
+    let r = coldstart::run(&config);
+    (coldstart_json(&r), vec![("coldstart".to_string(), obs)])
+}
+
+fn scenario_ablations(quick: bool) -> (serde_json::Value, Vec<(String, swf_obs::Obs)>) {
+    let r = run_ablations(quick, true);
+    let collectors = r
+        .collectors
+        .iter()
+        .map(|(label, obs)| (format!("ablations/{label}"), obs.clone()))
+        .collect();
+    (r.to_json(), collectors)
+}
+
+/// Run every figure scenario and assemble the benchmark document.
+/// `on_scenario` is called with each scenario's name as it starts, so
+/// callers can narrate progress.
+pub fn run_suite(label: &str, quick: bool, mut on_scenario: impl FnMut(&str)) -> SuiteRun {
+    type ScenarioFn = fn(bool) -> (serde_json::Value, Vec<(String, swf_obs::Obs)>);
+    let scenarios: [(&str, ScenarioFn); 6] = [
+        ("fig1", scenario_fig1),
+        ("fig2", scenario_fig2),
+        ("fig5", scenario_fig5),
+        ("fig6", scenario_fig6),
+        ("coldstart", scenario_coldstart),
+        ("ablations", scenario_ablations),
+    ];
+    let mut entries = Vec::new();
+    let mut all_collectors = Vec::new();
+    for (name, run) in scenarios {
+        on_scenario(name);
+        let meter = ScenarioMeter::start();
+        let (virtual_section, collectors) = run(quick);
+        let host = meter.finish();
+        let refs: Vec<(&str, &swf_obs::Obs)> =
+            collectors.iter().map(|(l, o)| (l.as_str(), o)).collect();
+        entries.push((
+            name.to_string(),
+            scenario_json(virtual_section, obs_json(&refs), host),
+        ));
+        all_collectors.extend(collectors);
+    }
+    SuiteRun {
+        document: bench_document(label, quick, entries),
+        collectors: all_collectors,
+    }
+}

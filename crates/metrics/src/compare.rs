@@ -1,0 +1,510 @@
+//! Benchmark-run comparison: the perf-regression gate.
+//!
+//! [`compare`] takes two `BENCH_*.json` documents (see `swf-bench`'s
+//! `suite` binary) and classifies every difference:
+//!
+//! - **Drift** — a virtual-time field differs *bitwise* (the `virtual`
+//!   and `obs` sections, plus document structure). The simulation is
+//!   deterministic, so any such change means model behaviour changed;
+//!   drift is always an error regardless of direction or magnitude.
+//! - **Regression** / **Improvement** — a host-side wall-clock metric
+//!   (`wall_ms` lower-is-better, `events_per_sec` higher-is-better)
+//!   moved beyond the noise threshold. These never gate by default:
+//!   shared CI runners are noisy, so callers opt in via
+//!   [`CompareReport::exit_code`]'s `fail_on_regression`.
+//! - **Info** — a deterministic host-side counter (polls, spawns, peak
+//!   queue depth …) changed. Engine refactors legitimately change these
+//!   without touching virtual results, so they are report-only.
+//!
+//! Bitwise comparison leans on the vendored `serde_json` serializer
+//! being exact-roundtrip for `f64`: two numbers render to the same text
+//! iff they are the same bits (modulo the integral-float form, which is
+//! itself deterministic), so leaf text equality *is* bit equality.
+
+use std::fmt::Write as _;
+
+use serde_json::Value;
+
+/// Classification of one observed difference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaClass {
+    /// Virtual-time or structural difference — always an error.
+    Drift,
+    /// Host-side metric got worse beyond the noise threshold.
+    Regression,
+    /// Host-side metric got better beyond the noise threshold.
+    Improvement,
+    /// Deterministic host counter changed — report-only.
+    Info,
+}
+
+impl DeltaClass {
+    /// Stable lowercase label for tables and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeltaClass::Drift => "drift",
+            DeltaClass::Regression => "regression",
+            DeltaClass::Improvement => "improvement",
+            DeltaClass::Info => "info",
+        }
+    }
+}
+
+/// One difference between the two documents.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// Dotted path of the differing field (e.g. `fig1.virtual.rows[2].mean_s`).
+    pub path: String,
+    /// How the difference is classified.
+    pub class: DeltaClass,
+    /// Rendering of the old value.
+    pub old: String,
+    /// Rendering of the new value.
+    pub new: String,
+    /// Human-readable note (e.g. `+12.3% (noise 10%)`).
+    pub note: String,
+}
+
+/// The outcome of comparing two benchmark documents.
+#[derive(Clone, Debug, Default)]
+pub struct CompareReport {
+    /// Every observed difference, in document order.
+    pub deltas: Vec<Delta>,
+    /// Scenarios present in both documents.
+    pub scenarios_compared: usize,
+    /// Virtual-time leaves compared bitwise.
+    pub virtual_leaves: usize,
+}
+
+impl CompareReport {
+    /// True if any virtual-time field drifted.
+    pub fn has_drift(&self) -> bool {
+        self.deltas.iter().any(|d| d.class == DeltaClass::Drift)
+    }
+
+    /// True if any host metric regressed beyond the noise threshold.
+    pub fn has_regression(&self) -> bool {
+        self.deltas
+            .iter()
+            .any(|d| d.class == DeltaClass::Regression)
+    }
+
+    /// Process exit code: 1 for drift (always fatal), 2 for regression
+    /// when `fail_on_regression`, otherwise 0.
+    pub fn exit_code(&self, fail_on_regression: bool) -> i32 {
+        if self.has_drift() {
+            1
+        } else if fail_on_regression && self.has_regression() {
+            2
+        } else {
+            0
+        }
+    }
+
+    /// Render the comparison as a table plus a one-line verdict.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.deltas.is_empty() {
+            let _ = writeln!(
+                out,
+                "identical: {} scenarios, {} virtual-time leaves compared bitwise",
+                self.scenarios_compared, self.virtual_leaves
+            );
+            return out;
+        }
+        let path_w = self
+            .deltas
+            .iter()
+            .map(|d| d.path.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let _ = writeln!(
+            out,
+            "  {:<12} {:<path_w$} {:>14} {:>14}  note",
+            "class", "path", "old", "new"
+        );
+        for d in &self.deltas {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:<path_w$} {:>14} {:>14}  {}",
+                d.class.label(),
+                d.path,
+                d.old,
+                d.new,
+                d.note
+            );
+        }
+        let count = |class: DeltaClass| self.deltas.iter().filter(|d| d.class == class).count();
+        let _ = writeln!(
+            out,
+            "{} drift, {} regression, {} improvement, {} info over {} scenarios ({} virtual leaves)",
+            count(DeltaClass::Drift),
+            count(DeltaClass::Regression),
+            count(DeltaClass::Improvement),
+            count(DeltaClass::Info),
+            self.scenarios_compared,
+            self.virtual_leaves
+        );
+        out
+    }
+}
+
+/// Host metrics compared against the noise threshold, with direction.
+/// `true` = higher is better.
+const NOISY_HOST_METRICS: &[(&str, bool)] = &[("wall_ms", false), ("events_per_sec", true)];
+
+/// Compare two benchmark documents; `noise` is the relative threshold
+/// (e.g. `0.10` = 10%) for the wall-clock metrics.
+pub fn compare(old: &Value, new: &Value, noise: f64) -> CompareReport {
+    let mut report = CompareReport::default();
+
+    // Document framing: schema and quick-mode must agree or the files
+    // are not comparable — surfaced as drift rather than a panic.
+    for key in ["schema", "quick"] {
+        let (o, n) = (field(old, key), field(new, key));
+        if o != n {
+            push_drift(&mut report, key, &o, &n, "documents not comparable");
+        }
+    }
+
+    let empty = serde_json::Map::new();
+    let old_scen = old
+        .get("scenarios")
+        .and_then(Value::as_object)
+        .unwrap_or(&empty);
+    let new_scen = new
+        .get("scenarios")
+        .and_then(Value::as_object)
+        .unwrap_or(&empty);
+
+    let mut names: Vec<&String> = old_scen.iter().map(|(k, _)| k).collect();
+    for (k, _) in new_scen.iter() {
+        if old_scen.get(k).is_none() {
+            names.push(k);
+        }
+    }
+
+    for name in names {
+        match (old_scen.get(name), new_scen.get(name)) {
+            (Some(o), Some(n)) => {
+                report.scenarios_compared += 1;
+                // Virtual-time sections: bitwise.
+                for section in ["virtual", "obs"] {
+                    let path = format!("{name}.{section}");
+                    diff_bitwise(
+                        &path,
+                        o.get(section).unwrap_or(&Value::Null),
+                        n.get(section).unwrap_or(&Value::Null),
+                        &mut report,
+                    );
+                }
+                // Host section: thresholded metrics + info counters.
+                compare_host(
+                    name,
+                    o.get("host").unwrap_or(&Value::Null),
+                    n.get("host").unwrap_or(&Value::Null),
+                    noise,
+                    &mut report,
+                );
+            }
+            (Some(_), None) => {
+                push_drift(&mut report, name, "present", "absent", "scenario removed");
+            }
+            (None, Some(_)) => {
+                push_drift(&mut report, name, "absent", "present", "scenario added");
+            }
+            (None, None) => {}
+        }
+    }
+
+    // Top-level host aggregate.
+    compare_host(
+        "total",
+        old.get("host").unwrap_or(&Value::Null),
+        new.get("host").unwrap_or(&Value::Null),
+        noise,
+        &mut report,
+    );
+
+    report
+}
+
+fn field(doc: &Value, key: &str) -> String {
+    doc.get(key)
+        .map_or_else(|| "absent".into(), Value::to_string)
+}
+
+fn push_drift(report: &mut CompareReport, path: &str, old: &str, new: &str, note: &str) {
+    report.deltas.push(Delta {
+        path: path.to_string(),
+        class: DeltaClass::Drift,
+        old: old.to_string(),
+        new: new.to_string(),
+        note: note.to_string(),
+    });
+}
+
+/// Recursive bitwise diff of a virtual-time subtree. Leaf text equality
+/// under the deterministic serializer is bit equality (see module docs).
+fn diff_bitwise(path: &str, old: &Value, new: &Value, report: &mut CompareReport) {
+    match (old, new) {
+        (Value::Object(o), Value::Object(n)) => {
+            for (k, ov) in o.iter() {
+                match n.get(k) {
+                    Some(nv) => diff_bitwise(&format!("{path}.{k}"), ov, nv, report),
+                    None => push_drift(
+                        report,
+                        &format!("{path}.{k}"),
+                        &ov.to_string(),
+                        "absent",
+                        "field removed",
+                    ),
+                }
+            }
+            for (k, nv) in n.iter() {
+                if o.get(k).is_none() {
+                    push_drift(
+                        report,
+                        &format!("{path}.{k}"),
+                        "absent",
+                        &nv.to_string(),
+                        "field added",
+                    );
+                }
+            }
+        }
+        (Value::Array(o), Value::Array(n)) => {
+            if o.len() != n.len() {
+                push_drift(
+                    report,
+                    path,
+                    &format!("len {}", o.len()),
+                    &format!("len {}", n.len()),
+                    "array length changed",
+                );
+                return;
+            }
+            for (i, (ov, nv)) in o.iter().zip(n.iter()).enumerate() {
+                diff_bitwise(&format!("{path}[{i}]"), ov, nv, report);
+            }
+        }
+        _ => {
+            report.virtual_leaves += 1;
+            let (o, n) = (old.to_string(), new.to_string());
+            if o != n {
+                push_drift(report, path, &o, &n, "virtual-time value changed");
+            }
+        }
+    }
+}
+
+/// Compare one scenario's (or the aggregate's) host section.
+fn compare_host(scope: &str, old: &Value, new: &Value, noise: f64, report: &mut CompareReport) {
+    if matches!(old, Value::Null) && matches!(new, Value::Null) {
+        return;
+    }
+    // Thresholded wall-clock metrics — skipped when either side is
+    // null/absent (default builds have no wall clock).
+    for &(metric, higher_is_better) in NOISY_HOST_METRICS {
+        let o = old.get(metric).and_then(Value::as_f64);
+        let n = new.get(metric).and_then(Value::as_f64);
+        let (Some(o), Some(n)) = (o, n) else { continue };
+        if o <= 0.0 {
+            continue;
+        }
+        let rel = (n - o) / o;
+        if rel.abs() <= noise {
+            continue;
+        }
+        let worse = if higher_is_better {
+            rel < 0.0
+        } else {
+            rel > 0.0
+        };
+        report.deltas.push(Delta {
+            path: format!("{scope}.host.{metric}"),
+            class: if worse {
+                DeltaClass::Regression
+            } else {
+                DeltaClass::Improvement
+            },
+            old: format!("{o:.1}"),
+            new: format!("{n:.1}"),
+            note: format!("{:+.1}% (noise {:.0}%)", rel * 100.0, noise * 100.0),
+        });
+    }
+    // Deterministic counters — any change is report-only info.
+    if let (Some(o), Some(n)) = (old.as_object(), new.as_object()) {
+        for (k, ov) in o.iter() {
+            if NOISY_HOST_METRICS.iter().any(|&(m, _)| m == k) {
+                continue;
+            }
+            let Some(nv) = n.get(k) else { continue };
+            if ov != nv {
+                report.deltas.push(Delta {
+                    path: format!("{scope}.host.{k}"),
+                    class: DeltaClass::Info,
+                    old: ov.to_string(),
+                    new: nv.to_string(),
+                    note: "host counter changed (report-only)".to_string(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn doc(makespan: f64, wall_ms: Option<f64>, polls: u64) -> Value {
+        json!({
+            "schema": "swf-bench/v1",
+            "label": "quick",
+            "quick": true,
+            "scenarios": {
+                "fig1": {
+                    "virtual": {"makespan_s": makespan, "rows": [1.0, 2.0]},
+                    "obs": {"metrics": {"counters": {"jobs": 5}}},
+                    "host": {
+                        "polls": polls,
+                        "wall_ms": wall_ms,
+                        "events_per_sec": (wall_ms.map(|ms| 1000.0 * polls as f64 / ms)),
+                    },
+                },
+            },
+            "host": {"wall_ms": wall_ms, "polls": polls},
+        })
+    }
+
+    #[test]
+    fn identical_documents_are_clean() {
+        let a = doc(12.5, Some(100.0), 400);
+        let report = compare(&a, &a.clone(), 0.10);
+        assert!(report.deltas.is_empty(), "{:?}", report.deltas);
+        assert_eq!(report.scenarios_compared, 1);
+        assert!(report.virtual_leaves >= 4);
+        assert_eq!(report.exit_code(true), 0);
+        assert!(report.render().contains("identical"));
+    }
+
+    #[test]
+    fn virtual_change_is_drift_and_fatal() {
+        let report = compare(&doc(12.5, None, 400), &doc(12.6, None, 400), 0.10);
+        assert!(report.has_drift());
+        assert_eq!(report.exit_code(false), 1);
+        let d = &report.deltas[0];
+        assert_eq!(d.class, DeltaClass::Drift);
+        assert!(d.path.contains("fig1.virtual"), "{}", d.path);
+        assert!(report.render().contains("drift"));
+    }
+
+    #[test]
+    fn tiny_virtual_change_is_still_drift() {
+        // Bitwise means bitwise: one ulp is a drift.
+        let base = 12.5_f64;
+        let nudged = f64::from_bits(base.to_bits() + 1);
+        let report = compare(&doc(base, None, 400), &doc(nudged, None, 400), 0.10);
+        assert!(report.has_drift());
+    }
+
+    #[test]
+    fn wall_clock_worse_is_regression_only_when_opted_in() {
+        let report = compare(
+            &doc(12.5, Some(100.0), 400),
+            &doc(12.5, Some(130.0), 400),
+            0.10,
+        );
+        assert!(!report.has_drift());
+        assert!(report.has_regression());
+        assert_eq!(report.exit_code(false), 0);
+        assert_eq!(report.exit_code(true), 2);
+    }
+
+    #[test]
+    fn wall_clock_better_is_improvement() {
+        let report = compare(
+            &doc(12.5, Some(100.0), 400),
+            &doc(12.5, Some(70.0), 400),
+            0.10,
+        );
+        assert!(!report.has_regression());
+        assert!(report
+            .deltas
+            .iter()
+            .any(|d| d.class == DeltaClass::Improvement));
+        assert_eq!(report.exit_code(true), 0);
+    }
+
+    #[test]
+    fn wall_clock_within_noise_is_silent() {
+        let report = compare(
+            &doc(12.5, Some(100.0), 400),
+            &doc(12.5, Some(105.0), 400),
+            0.10,
+        );
+        assert!(report.deltas.is_empty(), "{:?}", report.deltas);
+    }
+
+    #[test]
+    fn null_wall_clock_is_skipped() {
+        // Default builds have no wall clock: nothing to threshold.
+        let report = compare(&doc(12.5, None, 400), &doc(12.5, None, 400), 0.10);
+        assert!(report.deltas.is_empty(), "{:?}", report.deltas);
+    }
+
+    #[test]
+    fn counter_change_is_report_only_info() {
+        let report = compare(&doc(12.5, None, 400), &doc(12.5, None, 380), 0.10);
+        assert!(!report.has_drift());
+        assert!(report.deltas.iter().all(|d| d.class == DeltaClass::Info));
+        assert!(!report.deltas.is_empty());
+        assert_eq!(report.exit_code(true), 0);
+    }
+
+    #[test]
+    fn missing_scenario_is_drift() {
+        let a = doc(12.5, None, 400);
+        let mut b = a.clone();
+        if let Value::Object(root) = &mut b {
+            root.insert("scenarios", json!({}));
+        }
+        let report = compare(&a, &b, 0.10);
+        assert!(report.has_drift());
+        assert!(report.deltas.iter().any(|d| d.note.contains("removed")));
+        // And the reverse direction: a scenario appearing is also drift.
+        let report = compare(&b, &a, 0.10);
+        assert!(report.deltas.iter().any(|d| d.note.contains("added")));
+    }
+
+    #[test]
+    fn structural_virtual_changes_are_drift() {
+        let a = doc(12.5, None, 400);
+        let mut b = a.clone();
+        // Drop a virtual field.
+        if let Some(Value::Object(v)) = b
+            .get_mut("scenarios")
+            .and_then(|s| s.get_mut("fig1"))
+            .and_then(|f| f.get_mut("virtual"))
+        {
+            v.remove("rows");
+        }
+        let report = compare(&a, &b, 0.10);
+        assert!(report.has_drift());
+        assert!(report.deltas.iter().any(|d| d.note.contains("removed")));
+    }
+
+    #[test]
+    fn incompatible_framing_is_drift() {
+        let a = doc(12.5, None, 400);
+        let mut b = a.clone();
+        if let Value::Object(root) = &mut b {
+            root.insert("quick", json!(false));
+        }
+        let report = compare(&a, &b, 0.10);
+        assert!(report.has_drift());
+        assert!(report.deltas.iter().any(|d| d.path == "quick"));
+    }
+}

@@ -3,15 +3,18 @@
 //! Measurement toolkit for the reproduction's experiment harness: summary
 //! statistics and percentiles, ordinary least-squares regression (the
 //! paper's slope analysis in Figs. 1 and 2), ternary mix grids for Fig. 5,
-//! and uniform table/CSV/JSON report rendering.
+//! uniform table/CSV/JSON report rendering, and benchmark-run comparison
+//! (the drift / regression / improvement gate behind `suite compare`).
 
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod regression;
 pub mod report;
 pub mod stats;
 pub mod ternary;
 
+pub use compare::{compare, CompareReport, Delta, DeltaClass};
 pub use regression::{fit, Line};
 pub use report::Table;
 pub use stats::{geomean, percentile, Summary};

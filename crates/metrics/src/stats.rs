@@ -1,9 +1,15 @@
 //! Summary statistics.
+//!
+//! All entry points reject `NaN` observations up front instead of letting
+//! them poison an aggregate: a single `NaN` would otherwise make `mean`
+//! non-comparable while `min`/`max` (whose `f64::min`/`max` skip `NaN`)
+//! silently stayed finite — the worst kind of half-poisoned result for
+//! the bench-suite comparisons built on top of these paths.
 
 /// Summary of a sample.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Summary {
-    /// Sample size.
+    /// Sample size (after `NaN` rejection).
     pub n: usize,
     /// Arithmetic mean.
     pub mean: f64,
@@ -16,9 +22,11 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Compute over a sample; empty input yields zeros.
+    /// Compute over a sample. `NaN` observations are dropped before
+    /// aggregation; an empty (or all-`NaN`) input yields zeros.
     pub fn of(xs: &[f64]) -> Summary {
-        if xs.is_empty() {
+        let kept: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+        if kept.is_empty() {
             return Summary {
                 n: 0,
                 mean: 0.0,
@@ -27,25 +35,29 @@ impl Summary {
                 max: 0.0,
             };
         }
-        let n = xs.len() as f64;
-        let mean = xs.iter().sum::<f64>() / n;
-        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let n = kept.len() as f64;
+        let mean = kept.iter().sum::<f64>() / n;
+        let var = kept.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
         Summary {
-            n: xs.len(),
+            n: kept.len(),
             mean,
             std_dev: var.sqrt(),
-            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
-            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            min: kept.iter().copied().fold(f64::INFINITY, f64::min),
+            max: kept.iter().copied().fold(f64::NEG_INFINITY, f64::max),
         }
     }
 }
 
 /// Percentile via linear interpolation on the sorted sample (p in 0..=100).
+///
+/// `NaN` observations are dropped first (they would otherwise sort to the
+/// top under `total_cmp` and surface as high percentiles); an empty or
+/// all-`NaN` sample — or a `NaN` `p` — yields 0.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
-    if xs.is_empty() {
+    let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    if sorted.is_empty() || p.is_nan() {
         return 0.0;
     }
-    let mut sorted: Vec<f64> = xs.to_vec();
     sorted.sort_by(|a, b| a.total_cmp(b));
     let p = p.clamp(0.0, 100.0) / 100.0;
     let idx = p * (sorted.len() - 1) as f64;
@@ -59,13 +71,15 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     }
 }
 
-/// Geometric mean (positive samples).
+/// Geometric mean (positive samples; non-positive values are clamped to
+/// the smallest positive float, `NaN`s are dropped).
 pub fn geomean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
+    let kept: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    if kept.is_empty() {
         return 0.0;
     }
-    let log_sum: f64 = xs.iter().map(|x| x.max(f64::MIN_POSITIVE).ln()).sum();
-    (log_sum / xs.len() as f64).exp()
+    let log_sum: f64 = kept.iter().map(|x| x.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / kept.len() as f64).exp()
 }
 
 #[cfg(test)]
@@ -87,6 +101,39 @@ mod tests {
         let s = Summary::of(&[]);
         assert_eq!(s.n, 0);
         assert_eq!(s.mean, 0.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!((s.min, s.max), (0.0, 0.0));
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::of(&[7.25]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 7.25);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!((s.min, s.max), (7.25, 7.25));
+    }
+
+    #[test]
+    fn summary_duplicates_have_zero_spread() {
+        let s = Summary::of(&[3.0, 3.0, 3.0, 3.0, 3.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!((s.min, s.max), (3.0, 3.0));
+    }
+
+    #[test]
+    fn summary_rejects_nan() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.n, 2);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!((s.min, s.max), (1.0, 3.0));
+        assert!(!s.std_dev.is_nan());
+        // All-NaN behaves like empty.
+        let all_nan = Summary::of(&[f64::NAN, f64::NAN]);
+        assert_eq!(all_nan.n, 0);
+        assert_eq!(all_nan.mean, 0.0);
     }
 
     #[test]
@@ -100,8 +147,39 @@ mod tests {
     }
 
     #[test]
+    fn percentile_single_and_duplicates() {
+        assert_eq!(percentile(&[5.0], 0.0), 5.0);
+        assert_eq!(percentile(&[5.0], 50.0), 5.0);
+        assert_eq!(percentile(&[5.0], 100.0), 5.0);
+        let dup = [2.0, 2.0, 2.0, 2.0];
+        for p in [0.0, 25.0, 50.0, 75.0, 100.0] {
+            assert_eq!(percentile(&dup, p), 2.0);
+        }
+    }
+
+    #[test]
+    fn percentile_out_of_range_p_clamps() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&xs, -10.0), 1.0);
+        assert_eq!(percentile(&xs, 250.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_rejects_nan() {
+        // A NaN sample must not surface as the high percentile.
+        let xs = [1.0, 2.0, f64::NAN, 3.0];
+        assert_eq!(percentile(&xs, 100.0), 3.0);
+        assert_eq!(percentile(&xs, 50.0), 2.0);
+        // All-NaN behaves like empty; a NaN p yields 0 rather than NaN.
+        assert_eq!(percentile(&[f64::NAN], 50.0), 0.0);
+        assert_eq!(percentile(&xs, f64::NAN), 0.0);
+    }
+
+    #[test]
     fn geomean_value() {
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
         assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0, f64::NAN, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[f64::NAN]), 0.0);
     }
 }

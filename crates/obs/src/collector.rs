@@ -100,13 +100,20 @@ impl Obs {
     }
 
     /// Close an open span at the current virtual time (idempotent).
+    ///
+    /// Outside a running simulation — guards dropped during `Sim`
+    /// teardown, when leftover task futures unwind — there is no "current
+    /// virtual time", so the span is left open instead of panicking.
     pub fn end(&self, ctx: SpanContext) {
         let Some(inner) = &self.inner else { return };
         if ctx.is_none() {
             return;
         }
+        let Some(sim) = swf_simcore::try_current() else {
+            return;
+        };
         let mut inner = inner.borrow_mut();
-        let at = now();
+        let at = sim.now();
         if let Some(span) = inner.spans.get_mut(ctx.id.0 as usize - 1) {
             if span.end.is_none() {
                 span.end = Some(at);

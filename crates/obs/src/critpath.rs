@@ -97,6 +97,55 @@ impl CriticalPath {
         out
     }
 
+    /// Render as a JSON tree:
+    /// `{"root": id, "root_name", "makespan_s", "breakdown": {category: seconds},
+    ///   "steps": [{"name", "component", "category", "enter_s", "exit_s"}]}`.
+    ///
+    /// All fields are virtual-time quantities, so the rendering is
+    /// deterministic and byte-comparable across runs (the bench suite's
+    /// drift check relies on this).
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut breakdown = serde_json::Map::new();
+        for (cat, secs) in &self.breakdown {
+            breakdown.insert(cat.label().to_string(), serde_json::Value::from(*secs));
+        }
+        let steps: Vec<serde_json::Value> = self
+            .steps
+            .iter()
+            .map(|s| {
+                let mut obj = serde_json::Map::new();
+                obj.insert("name".to_string(), serde_json::Value::from(s.name.clone()));
+                obj.insert(
+                    "component".to_string(),
+                    serde_json::Value::from(s.component.clone()),
+                );
+                obj.insert(
+                    "category".to_string(),
+                    serde_json::Value::from(s.category.label()),
+                );
+                obj.insert("enter_s".to_string(), serde_json::Value::from(s.enter_s));
+                obj.insert("exit_s".to_string(), serde_json::Value::from(s.exit_s));
+                serde_json::Value::Object(obj)
+            })
+            .collect();
+        let mut root = serde_json::Map::new();
+        root.insert("root".to_string(), serde_json::Value::from(self.root.0));
+        root.insert(
+            "root_name".to_string(),
+            serde_json::Value::from(self.root_name.clone()),
+        );
+        root.insert(
+            "makespan_s".to_string(),
+            serde_json::Value::from(self.makespan_s),
+        );
+        root.insert(
+            "breakdown".to_string(),
+            serde_json::Value::Object(breakdown),
+        );
+        root.insert("steps".to_string(), serde_json::Value::Array(steps));
+        serde_json::Value::Object(root)
+    }
+
     /// Render the chronological chain of leaf segments.
     pub fn render_chain(&self) -> String {
         use std::fmt::Write;
@@ -387,5 +436,17 @@ mod tests {
         assert!(table.contains("makespan"));
         assert!(!cp.render_chain().is_empty());
         assert!((cp.share(&[Category::Compute, Category::Negotiate]) - 3.5 / 4.5).abs() < 1e-9);
+        let json = cp.to_json();
+        assert_eq!(json["root_name"].as_str(), Some("workflow:w0"));
+        assert_eq!(json["makespan_s"].as_f64(), Some(cp.makespan_s));
+        assert_eq!(
+            json["breakdown"]["compute"].as_f64(),
+            Some(cp.seconds(Category::Compute))
+        );
+        assert_eq!(json["steps"].as_array().map(Vec::len), Some(cp.steps.len()));
+        // The text form parses back identically — the drift check compares
+        // these renderings byte-for-byte across runs.
+        let back: serde_json::Value = serde_json::from_str(&json.to_string()).unwrap();
+        assert_eq!(back.to_string(), json.to_string());
     }
 }

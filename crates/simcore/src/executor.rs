@@ -35,6 +35,21 @@ struct WakeQueue {
     ready: Mutex<VecDeque<TaskId>>,
 }
 
+impl WakeQueue {
+    /// Enqueue a task, recording the queue's high-water mark for the
+    /// engine self-profile (`crate::perf`). The only push site.
+    fn push(&self, id: TaskId) {
+        let mut ready = self.ready.lock().unwrap();
+        ready.push_back(id);
+        crate::perf::note_ready_depth(ready.len());
+    }
+
+    /// Dequeue the next ready task. The only pop site.
+    fn pop(&self) -> Option<TaskId> {
+        self.ready.lock().unwrap().pop_front()
+    }
+}
+
 struct TaskWaker {
     id: TaskId,
     queue: Arc<WakeQueue>,
@@ -49,7 +64,8 @@ impl Wake for TaskWaker {
 
     fn wake_by_ref(self: &Arc<Self>) {
         if !self.queued.swap(true, Ordering::Relaxed) {
-            self.queue.ready.lock().unwrap().push_back(self.id);
+            crate::perf::note_wake();
+            self.queue.push(self.id);
         }
     }
 }
@@ -218,6 +234,7 @@ impl Sim {
         self.inner
             .spawned_total
             .set(self.inner.spawned_total.get() + 1);
+        crate::perf::note_spawn();
 
         let result: Rc<RefCell<JoinState<F::Output>>> =
             Rc::new(RefCell::new(JoinState::Pending(None)));
@@ -242,7 +259,7 @@ impl Sim {
             .tasks
             .borrow_mut()
             .insert(id, (wrapped, Arc::clone(&waker)));
-        self.inner.wake_queue.ready.lock().unwrap().push_back(id);
+        self.inner.wake_queue.push(id);
         JoinHandle { state: result, id }
     }
 
@@ -250,12 +267,16 @@ impl Sim {
     pub(crate) fn register_timer(&self, at: SimTime) -> TimerHandle {
         let seq = self.inner.next_timer_seq.get();
         self.inner.next_timer_seq.set(seq + 1);
+        crate::perf::note_timer_registered();
         let state = Rc::new(TimerState {
             waker: RefCell::new(None),
             fired: Cell::new(at <= self.now()),
             cancelled: Cell::new(false),
         });
-        if !state.fired.get() {
+        if state.fired.get() {
+            // Born fired: a deadline at or before now never enters the heap.
+            crate::perf::note_timer_fired();
+        } else {
             self.inner.timers.borrow_mut().push(Reverse(TimerEntry {
                 at,
                 seq,
@@ -271,6 +292,7 @@ impl Sim {
             return; // already completed; stale wake
         };
         waker.queued.store(false, Ordering::Relaxed);
+        crate::perf::note_poll();
         let steps = self.inner.steps.get() + 1;
         self.inner.steps.set(steps);
         if steps > self.inner.step_limit.get() {
@@ -306,6 +328,7 @@ impl Sim {
         };
         debug_assert!(next_at >= self.now(), "timer in the past");
         self.inner.clock.set(next_at);
+        crate::perf::note_clock_advance();
         loop {
             let entry = {
                 let mut timers = self.inner.timers.borrow_mut();
@@ -319,6 +342,7 @@ impl Sim {
                 continue;
             }
             entry.state.fired.set(true);
+            crate::perf::note_timer_fired();
             let waker = entry.state.waker.borrow_mut().take();
             if let Some(w) = waker {
                 w.wake();
@@ -331,12 +355,8 @@ impl Sim {
     pub fn run_until_idle(&self) {
         let _guard = enter(self);
         loop {
-            loop {
-                let next = self.inner.wake_queue.ready.lock().unwrap().pop_front();
-                match next {
-                    Some(id) => self.poll_one(id),
-                    None => break,
-                }
+            while let Some(id) = self.inner.wake_queue.pop() {
+                self.poll_one(id);
             }
             if !self.advance_to_next_timer() {
                 break;
@@ -361,12 +381,8 @@ impl Sim {
         let handle = self.spawn(fut);
         let _guard = enter(self);
         loop {
-            loop {
-                let next = self.inner.wake_queue.ready.lock().unwrap().pop_front();
-                match next {
-                    Some(id) => self.poll_one(id),
-                    None => break,
-                }
+            while let Some(id) = self.inner.wake_queue.pop() {
+                self.poll_one(id);
             }
             if handle.is_finished() {
                 break;

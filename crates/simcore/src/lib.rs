@@ -34,6 +34,7 @@
 
 pub mod combinators;
 pub mod executor;
+pub mod perf;
 pub mod resource;
 pub mod rng;
 pub mod time;

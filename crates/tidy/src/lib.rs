@@ -20,7 +20,9 @@
 //!   non-test simulation code are counted against a checked-in baseline
 //!   ([`Baseline`]) that can only ratchet down.
 //! - **S-rules**: every crate gates `missing_docs` and carries crate-level
-//!   docs; every bench binary wires the uniform `--trace` flags.
+//!   docs; every bench binary wires the uniform `--trace` flags
+//!   (`bench-trace`) and the machine-readable `--json` record flag
+//!   (`bench-json`).
 //!
 //! Run it as `cargo run -p swf-tidy -- check` (add `--json` for
 //! machine-readable output, `--bless` to regenerate the baseline).
@@ -276,7 +278,8 @@ fn check_structure(config: &Config, violations: &mut Vec<Violation>) {
         let rel_path = rel(&config.root, &path);
         let wired = source.contains("install_cli_obs")
             || source.contains("dump_observability")
-            || source.contains("cli_config");
+            || source.contains("cli_config")
+            || source.contains("write_chrome_trace");
         if !wired {
             violations.push(Violation {
                 rule: rules::BENCH_TRACE,
@@ -290,10 +293,34 @@ fn check_structure(config: &Config, violations: &mut Vec<Violation>) {
         if !source.contains("--trace") {
             violations.push(Violation {
                 rule: rules::BENCH_TRACE,
-                file: rel_path,
+                file: rel_path.clone(),
                 line: 1,
                 message: "bench binary usage header does not document the `--trace` / \
                           `--trace-out` flags"
+                    .into(),
+            });
+        }
+
+        // S3: every bench binary must also emit the machine-readable
+        // `BENCH_*.json` record on request, through the shared helpers.
+        let json_wired = source.contains("emit_scenario_json") || source.contains("json_out");
+        if !json_wired {
+            violations.push(Violation {
+                rule: rules::BENCH_JSON,
+                file: rel_path.clone(),
+                line: 1,
+                message: "bench binary does not wire the `--json` record flag — use \
+                          `swf_bench::emit_scenario_json()` (or `json_out()` directly)"
+                    .into(),
+            });
+        }
+        if !source.contains("--json") {
+            violations.push(Violation {
+                rule: rules::BENCH_JSON,
+                file: rel_path,
+                line: 1,
+                message: "bench binary usage header does not document the `--json <path>` \
+                          flag"
                     .into(),
             });
         }

@@ -27,6 +27,8 @@ pub const UNWRAP: &str = "unwrap";
 pub const CRATE_DOCS: &str = "crate-docs";
 /// S2: every bench binary wires the uniform `--trace` flags.
 pub const BENCH_TRACE: &str = "bench-trace";
+/// S3: every bench binary wires the uniform `--json` record flag.
+pub const BENCH_JSON: &str = "bench-json";
 /// Meta-rule: a waiver comment must carry a reason.
 pub const WAIVER_REASON: &str = "waiver-reason";
 

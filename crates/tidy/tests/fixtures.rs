@@ -170,9 +170,11 @@ fn structural_rules_cover_docs_and_bench_tracing() {
     let report = run_check(&config).unwrap();
     let per_rule = |rule: &str| report.violations.iter().filter(|v| v.rule == rule).count();
     // Missing crate docs + missing missing_docs gate, and a bench binary
-    // with neither the obs wiring nor the --trace usage text.
+    // with neither the obs wiring nor the --trace usage text, nor the
+    // --json record wiring/usage text.
     assert_eq!(per_rule(rules::CRATE_DOCS), 2, "{:?}", report.violations);
     assert_eq!(per_rule(rules::BENCH_TRACE), 2, "{:?}", report.violations);
+    assert_eq!(per_rule(rules::BENCH_JSON), 2, "{:?}", report.violations);
 }
 
 #[test]

@@ -65,6 +65,16 @@ impl Map {
     pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
         self.entries.iter()
     }
+
+    /// Mutable lookup of a key.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries.get_mut(key)
+    }
+
+    /// Remove a key, returning its value if present.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.entries.remove(key)
+    }
 }
 
 impl FromIterator<(String, Value)> for Map {
@@ -193,6 +203,12 @@ impl<T: Into<Value>> From<Vec<T>> for Value {
     }
 }
 
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
 impl Value {
     /// As `f64` if this is a number.
     pub fn as_f64(&self) -> Option<f64> {
@@ -234,9 +250,30 @@ impl Value {
         }
     }
 
+    /// As a mutable array if this is one.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// As a mutable object if this is one.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
     /// Object field lookup (`None` on non-objects).
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.as_object().and_then(|o| o.get(key))
+    }
+
+    /// Mutable object field lookup (`None` on non-objects).
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.as_object_mut().and_then(|o| o.get_mut(key))
     }
 }
 
