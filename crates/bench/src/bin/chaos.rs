@@ -1,0 +1,140 @@
+//! Chaos seed sweep: the concurrent-workflow experiment under a sampled
+//! fault profile, per-seed, with the calm baseline alongside.
+//!
+//! Usage: `cargo run --release -p swf-bench --bin chaos
+//! [--quick] [--seeds <n>] [--heavy] [--trace] [--trace-out <path>] [--json <path>]`
+//!
+//! Prints one row per seed (faults injected, task failures, workflows
+//! completed, calm vs chaos makespan) and, for any seed whose workflows
+//! did not all complete, the replayable `FaultPlan` JSON.
+
+use swf_bench::record::ScenarioMeter;
+use swf_bench::{
+    cli_config, dump_observability, emit_scenario_json, install_cli_obs, is_quick, json_out,
+};
+use swf_chaos::{run_chaos, ChaosProfile, ChaosRunConfig, FaultPlan, SERVICE};
+use swf_core::experiments::setup_header;
+use swf_simcore::secs;
+
+fn seeds_arg() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--seeds" {
+            if let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                return n;
+            }
+            eprintln!("error: --seeds requires a number");
+            std::process::exit(2);
+        }
+        if let Some(n) = a.strip_prefix("--seeds=").and_then(|s| s.parse().ok()) {
+            return n;
+        }
+    }
+    if is_quick() {
+        8
+    } else {
+        32
+    }
+}
+
+fn main() {
+    // cli_config() is called for flag validation/uniformity; the chaos
+    // harness derives its own jitter-free config from the seed.
+    let config = cli_config();
+    let (obs, _guard) = install_cli_obs();
+    println!("{}", setup_header(&config));
+    let profile = if std::env::args().any(|a| a == "--heavy") {
+        ("heavy", ChaosProfile::heavy())
+    } else {
+        ("light", ChaosProfile::light())
+    };
+    let seeds = seeds_arg();
+    println!("## chaos seed sweep ({} profile, {seeds} seeds)", profile.0);
+    println!("seed  inj  task-fail  done  calm [s]  chaos [s]  slowdown");
+
+    let meter = ScenarioMeter::start();
+    let mut rows = Vec::new();
+    let mut failing: Vec<(u64, FaultPlan)> = Vec::new();
+    for seed in 0..seeds {
+        let cfg = ChaosRunConfig::quick(seed);
+        let plan = FaultPlan::sample(
+            &profile.1,
+            seed,
+            secs(120.0),
+            0,
+            &[1, 2, 3],
+            &[SERVICE.to_string()],
+        );
+        let calm = match run_chaos(&cfg, &FaultPlan::calm()) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: seed {seed} calm run failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let chaos = match run_chaos(&cfg, &plan) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: seed {seed} chaos run failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let calm_s = calm.makespan.as_secs_f64();
+        let chaos_s = chaos.makespan.as_secs_f64();
+        println!(
+            "{seed:>4}  {:>3}  {:>9}  {:>2}/{}  {calm_s:>8.3}  {chaos_s:>9.3}  {:>7.2}x",
+            chaos.injected,
+            chaos.task_failures,
+            chaos.completed(),
+            chaos.outcomes.len(),
+            if calm_s > 0.0 { chaos_s / calm_s } else { 1.0 },
+        );
+        if !chaos.all_completed() {
+            failing.push((seed, plan.clone()));
+        }
+        let mut row = serde_json::Map::new();
+        row.insert("seed", serde_json::Value::from(seed));
+        row.insert("injected", serde_json::Value::from(chaos.injected));
+        row.insert(
+            "task_failures",
+            serde_json::Value::from(chaos.task_failures),
+        );
+        row.insert(
+            "completed",
+            serde_json::Value::from(chaos.completed() as u64),
+        );
+        row.insert(
+            "workflows",
+            serde_json::Value::from(chaos.outcomes.len() as u64),
+        );
+        row.insert("calm_makespan_s", serde_json::Value::from(calm_s));
+        row.insert("chaos_makespan_s", serde_json::Value::from(chaos_s));
+        rows.push(serde_json::Value::Object(row));
+    }
+
+    for (seed, plan) in &failing {
+        println!("\nseed {seed} did not complete every workflow; replay with this plan:");
+        println!("{plan}");
+    }
+    if json_out().is_some() {
+        // The machine-readable record carries the sweep rows; failing
+        // plans are embedded so CI can archive them as artifacts.
+        let mut section = serde_json::Map::new();
+        section.insert("profile", serde_json::Value::from(profile.0));
+        section.insert("rows", serde_json::Value::Array(rows.clone()));
+        section.insert(
+            "failing_plans",
+            serde_json::Value::Array(failing.iter().map(|(_, p)| p.to_json()).collect()),
+        );
+        dump_observability(&[("chaos", &obs)]);
+        emit_scenario_json(
+            "chaos",
+            is_quick(),
+            serde_json::Value::Object(section),
+            &[("chaos", &obs)],
+            meter,
+        );
+    } else {
+        dump_observability(&[("chaos", &obs)]);
+    }
+}

@@ -1,0 +1,368 @@
+//! The chaos experiment: concurrent workflows through the full stack under
+//! a fault plan, with typed per-workflow outcomes.
+//!
+//! The harness is the seed-sweep counterpart of
+//! `swf_core::experiments::concurrent`: it boots the same testbed, but
+//! with every jitter stream zeroed (so `makespan(chaos) ≥ makespan(calm)`
+//! is a structural fact, not a statistical one), with spaced retry
+//! policies in DAGMan and the Knative router (so the stack rides out
+//! faults instead of exhausting immediate retries), and with workflow
+//! tasks wired to the [`Disruptor`] so flaky/slow windows reach them.
+
+use bytes::Bytes;
+use swf_cluster::Request;
+use swf_condor::{run_dag, DagSpec, JobContext, JobSpec};
+use swf_container::Workload;
+use swf_core::config::ExperimentConfig;
+use swf_core::TestBed;
+use swf_knative::KService;
+use swf_simcore::{
+    join_all, now, secs, sleep, spawn, timeout, Elapsed, RetryPolicy, Sim, SimDuration, SimTime,
+};
+
+use crate::inject::{Disruptor, Injector, Stack};
+use crate::plan::FaultPlan;
+
+/// The KService chaos workflows invoke for their serverless tasks.
+pub const SERVICE: &str = "chaos-fn";
+
+/// Shape of one chaos experiment run.
+#[derive(Clone, Debug)]
+pub struct ChaosRunConfig {
+    /// Concurrent workflow chains.
+    pub workflows: usize,
+    /// Tasks per chain.
+    pub tasks_per_workflow: usize,
+    /// Every n-th task invokes the Knative function instead of running
+    /// natively (0 = all-native).
+    pub serverless_every: usize,
+    /// Nominal per-task compute.
+    pub task_secs: f64,
+    /// DAGMan retries per node.
+    pub node_retries: u32,
+    /// Per-workflow liveness deadline; exceeding it is a typed failure.
+    pub deadline: SimDuration,
+    /// Root seed: drives the testbed, the disruptor coin flips, and the
+    /// router's retry jitter.
+    pub seed: u64,
+}
+
+impl ChaosRunConfig {
+    /// The seed-sweep shape: 3 chains × 4 tasks with a serverless task in
+    /// each chain — small enough that 24 slots never contend, so faults
+    /// compose monotonically into the makespan.
+    pub fn quick(seed: u64) -> ChaosRunConfig {
+        ChaosRunConfig {
+            workflows: 3,
+            tasks_per_workflow: 4,
+            serverless_every: 4,
+            task_secs: 2.0,
+            node_retries: 4,
+            deadline: secs(3600.0),
+            seed,
+        }
+    }
+}
+
+/// How one workflow ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkflowOutcome {
+    /// Every node ran to success.
+    Completed {
+        /// Submission-to-last-node makespan.
+        makespan: SimDuration,
+    },
+    /// The workflow surfaced a typed error (DAG node exhausted its
+    /// retries, or the liveness deadline elapsed).
+    Failed {
+        /// The error, stringified.
+        error: String,
+    },
+}
+
+/// Everything a seed-sweep invariant needs from one run.
+#[derive(Clone, Debug)]
+pub struct ChaosOutcome {
+    /// The plan that was injected.
+    pub plan: FaultPlan,
+    /// Per-workflow outcomes, in workflow order.
+    pub outcomes: Vec<WorkflowOutcome>,
+    /// Start-to-settle time of the whole batch (last workflow outcome).
+    pub makespan: SimDuration,
+    /// Injections applied by the injector.
+    pub injected: u64,
+    /// Task failures the disruptor injected inside flaky windows.
+    pub task_failures: u64,
+    /// Per-node registry byte ledger (node id, bytes pulled to it).
+    pub registry_ledger: Vec<(usize, u64)>,
+    /// Total bytes the registry served (ledger conservation partner).
+    pub registry_bytes_served: u64,
+    /// Pulls refused during registry outages.
+    pub registry_failed_pulls: u64,
+    /// Full metrics registry snapshot (fault counters live here).
+    pub metrics: swf_obs::MetricsSnapshot,
+}
+
+impl ChaosOutcome {
+    /// Did every workflow complete successfully?
+    pub fn all_completed(&self) -> bool {
+        self.outcomes
+            .iter()
+            .all(|o| matches!(o, WorkflowOutcome::Completed { .. }))
+    }
+
+    /// Number of completed workflows.
+    pub fn completed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, WorkflowOutcome::Completed { .. }))
+            .count()
+    }
+
+    /// An order-sensitive FNV-1a digest of the run's observable timing:
+    /// two runs of the same seed must fingerprint identically, bit for
+    /// bit. Folds the batch makespan and every per-workflow outcome.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.makespan.as_nanos());
+        for o in &self.outcomes {
+            match o {
+                WorkflowOutcome::Completed { makespan } => {
+                    eat(1);
+                    eat(makespan.as_secs_f64().to_bits());
+                }
+                WorkflowOutcome::Failed { error } => {
+                    eat(2);
+                    eat(error.len() as u64);
+                }
+            }
+        }
+        eat(self.injected);
+        eat(self.task_failures);
+        h
+    }
+}
+
+/// The calm experiment configuration chaos runs perturb: `quick()` with
+/// every jitter stream zeroed and spaced (but deterministic) retry
+/// policies, so a run under an empty plan is the bitwise baseline for the
+/// monotonicity invariant.
+pub fn experiment_config(seed: u64) -> ExperimentConfig {
+    let mut c = ExperimentConfig::quick();
+    c.seed = seed;
+    c.condor.negotiator.seed = seed;
+    c.condor.negotiator.cycle_jitter_cv = 0.0;
+    c.condor.negotiator.activation_jitter_cv = 0.0;
+    c.condor.negotiator.activation_delay = SimDuration::ZERO;
+    c.dagman.poll_jitter_cv = 0.0;
+    c.dagman.retry = RetryPolicy::exponential(4, secs(1.0), secs(8.0));
+    c.overheads.jitter_cv = 0.0;
+    c.k8s.overheads.jitter_cv = 0.0;
+    c.knative.invoke_retry = RetryPolicy::exponential(12, secs(0.25), secs(4.0));
+    c.knative.attempt_timeout = Some(secs(30.0));
+    c.knative.seed = seed;
+    c
+}
+
+/// Run one chaos experiment: boot the stack, spawn the injector, run
+/// `cfg.workflows` concurrent chains, and collect typed outcomes. Returns
+/// `Err` only on harness setup failure (e.g. the function never became
+/// ready); workflow failures are data, not errors.
+pub fn run_chaos(cfg: &ChaosRunConfig, plan: &FaultPlan) -> Result<ChaosOutcome, String> {
+    let sim = Sim::new();
+    let cfg = cfg.clone();
+    let plan = plan.clone();
+    sim.block_on(async move {
+        // Reuse an ambient enabled collector (so a tracing CLI run sees the
+        // injector's spans); otherwise install a private enabled one so the
+        // outcome's metrics snapshot is always populated.
+        let ambient = swf_obs::current();
+        let (obs, _obs_guard) = if ambient.is_enabled() {
+            (ambient, None)
+        } else {
+            let o = swf_obs::Obs::enabled();
+            let g = swf_obs::install(o.clone());
+            (o, Some(g))
+        };
+        let config = experiment_config(cfg.seed);
+        let bed = TestBed::boot(&config);
+        let disruptor = Disruptor::new(cfg.seed);
+
+        if cfg.serverless_every > 0 {
+            let task = SimDuration::from_secs_f64(cfg.task_secs);
+            let d = disruptor.clone();
+            bed.knative.register_fn(
+                KService::new(SERVICE, bed.image.clone()).with_min_scale(1),
+                move |req| {
+                    let body = req.body.clone();
+                    let dur = d.scale_compute(task);
+                    Workload::new(dur, move || Ok(body))
+                },
+            );
+            bed.knative
+                .wait_ready(SERVICE, 1, secs(3600.0))
+                .await
+                .map_err(|e| format!("chaos harness: {SERVICE} never became ready: {e}"))?;
+        }
+
+        let t0 = now();
+        let injector = Injector::new(plan.clone());
+        let inj_handle = spawn(injector.run(Stack::of(&bed), Some(disruptor.clone())));
+
+        let mut handles = Vec::new();
+        for w in 0..cfg.workflows {
+            let dag = build_chain(&cfg, w, &bed, &disruptor)?;
+            let condor = bed.condor.clone();
+            let dagman = config.dagman;
+            let deadline = cfg.deadline;
+            // Deterministic stagger stands in for the zeroed phase jitter.
+            let stagger = SimDuration::from_secs_f64(0.25 * w as f64);
+            handles.push(spawn(async move {
+                sleep(stagger).await;
+                let outcome = match timeout(deadline, run_dag(&condor, &dag, dagman)).await {
+                    Ok(Ok(report)) => WorkflowOutcome::Completed {
+                        makespan: report.makespan(),
+                    },
+                    Ok(Err(e)) => WorkflowOutcome::Failed {
+                        error: e.to_string(),
+                    },
+                    Err(Elapsed) => WorkflowOutcome::Failed {
+                        error: "workflow deadline elapsed".to_string(),
+                    },
+                };
+                (outcome, now())
+            }));
+        }
+        let settled = join_all(handles).await;
+        let injected = inj_handle.await;
+        let settle_at = settled.iter().map(|(_, t)| *t).fold(t0, SimTime::max);
+        let outcomes: Vec<WorkflowOutcome> = settled.into_iter().map(|(o, _)| o).collect();
+        Ok(ChaosOutcome {
+            plan,
+            outcomes,
+            makespan: settle_at - t0,
+            injected,
+            task_failures: disruptor.injected_failures(),
+            registry_ledger: bed
+                .registry
+                .bytes_ledger()
+                .into_iter()
+                .map(|(n, b)| (n.0, b))
+                .collect(),
+            registry_bytes_served: bed.registry.bytes_served(),
+            registry_failed_pulls: bed.registry.failed_pulls(),
+            metrics: obs.metrics(),
+        })
+    })
+}
+
+/// One workflow: a sequential chain of `tasks_per_workflow` tasks, every
+/// `serverless_every`-th one invoking the Knative function from the node
+/// the wrapper job landed on, the rest computing natively. Every task
+/// consults the disruptor.
+fn build_chain(
+    cfg: &ChaosRunConfig,
+    w: usize,
+    bed: &TestBed,
+    disruptor: &Disruptor,
+) -> Result<DagSpec, String> {
+    let base = SimDuration::from_secs_f64(cfg.task_secs);
+    let mut dag = DagSpec::named(format!("chaos-wf{w}"));
+    let mut prev: Option<usize> = None;
+    for t in 0..cfg.tasks_per_workflow {
+        let serverless = cfg.serverless_every > 0 && (t + 1) % cfg.serverless_every == 0;
+        let job = if serverless {
+            let kn = bed.knative.clone();
+            let d = disruptor.clone();
+            JobSpec::new(move |ctx: JobContext| {
+                let kn = kn.clone();
+                let d = d.clone();
+                Box::pin(async move {
+                    if d.should_fail() {
+                        return Err("chaos: injected task failure".to_string());
+                    }
+                    let from = ctx.node.id();
+                    match kn
+                        .invoke(from, SERVICE, Request::post("/", Bytes::from_static(b"x")))
+                        .await
+                    {
+                        Ok(resp) if resp.is_success() => Ok(resp.body),
+                        Ok(resp) => Err(format!("{SERVICE}: http {}", resp.status)),
+                        Err(e) => Err(e.to_string()),
+                    }
+                })
+            })
+        } else {
+            let d = disruptor.clone();
+            JobSpec::new(move |ctx: JobContext| {
+                let d = d.clone();
+                Box::pin(async move {
+                    if d.should_fail() {
+                        return Err("chaos: injected task failure".to_string());
+                    }
+                    ctx.compute(d.scale_compute(base)).await;
+                    Ok(Bytes::from_static(b"ok"))
+                })
+            })
+        };
+        let idx = dag.add_node_with_retries(format!("wf{w}-t{t}"), job, cfg.node_retries);
+        if let Some(p) = prev {
+            dag.add_edge(p, idx).map_err(|e| e.to_string())?;
+        }
+        prev = Some(idx);
+    }
+    Ok(dag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ChaosProfile;
+
+    #[test]
+    fn calm_run_completes_everything_and_replays_bitwise() {
+        let cfg = ChaosRunConfig::quick(3);
+        let a = run_chaos(&cfg, &FaultPlan::calm()).unwrap();
+        let b = run_chaos(&cfg, &FaultPlan::calm()).unwrap();
+        assert!(a.all_completed());
+        assert_eq!(a.injected, 0);
+        assert_eq!(a.task_failures, 0);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(
+            a.makespan.as_secs_f64().to_bits(),
+            b.makespan.as_secs_f64().to_bits()
+        );
+    }
+
+    #[test]
+    fn chaotic_run_is_slower_than_calm_and_conserves_registry_bytes() {
+        let cfg = ChaosRunConfig::quick(5);
+        let calm = run_chaos(&cfg, &FaultPlan::calm()).unwrap();
+        let plan = FaultPlan::sample(
+            &ChaosProfile::light(),
+            5,
+            secs(120.0),
+            0,
+            &[1, 2, 3],
+            &[SERVICE.to_string()],
+        );
+        let chaos = run_chaos(&cfg, &plan).unwrap();
+        assert!(chaos.injected > 0, "the sampled plan must inject something");
+        if chaos.all_completed() {
+            assert!(
+                chaos.makespan >= calm.makespan,
+                "faults must not speed the batch up: chaos {:?} vs calm {:?}",
+                chaos.makespan,
+                calm.makespan
+            );
+        }
+        let ledger_total: u64 = chaos.registry_ledger.iter().map(|(_, b)| *b).sum();
+        assert_eq!(ledger_total, chaos.registry_bytes_served);
+    }
+}

@@ -1,0 +1,299 @@
+//! The injector: replays a [`FaultPlan`] against a booted stack, strictly
+//! through public fault hooks, recording every injection in swf-obs.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use swf_cluster::{Cluster, LinkQuality, NodeId};
+use swf_condor::Condor;
+use swf_container::Registry;
+use swf_core::TestBed;
+use swf_k8s::K8s;
+use swf_knative::Revision;
+use swf_simcore::{now, sleep, DetRng, SimDuration, SimTime};
+
+use crate::plan::{FaultKind, FaultPlan};
+
+/// Cloneable handles to every subsystem the injector can fault. Extracted
+/// from a [`TestBed`] so the injector can run as a spawned task.
+#[derive(Clone)]
+pub struct Stack {
+    /// The cluster fabric (partitions, link degradation).
+    pub cluster: Cluster,
+    /// The image registry (outages).
+    pub registry: Registry,
+    /// The HTCondor pool (crashes, drains).
+    pub condor: Condor,
+    /// The Kubernetes control plane (node failures, pod kills).
+    pub k8s: K8s,
+}
+
+impl Stack {
+    /// Borrow the handles out of a booted testbed.
+    pub fn of(bed: &TestBed) -> Stack {
+        Stack {
+            cluster: bed.cluster.clone(),
+            registry: bed.registry.clone(),
+            condor: bed.condor.clone(),
+            k8s: bed.k8s.clone(),
+        }
+    }
+}
+
+struct DisruptorState {
+    flaky_until: SimTime,
+    fail_chance: f64,
+    slow_until: SimTime,
+    slow_factor: f64,
+    rng: DetRng,
+    injected_failures: u64,
+}
+
+/// The task-level fault hook: workload closures consult it so flaky/slow
+/// windows reach task executions that no infrastructure hook can touch.
+/// Inert until the injector opens a window — outside windows it draws
+/// nothing from its RNG and scales nothing, so calm runs are unchanged.
+#[derive(Clone)]
+pub struct Disruptor {
+    state: Rc<RefCell<DisruptorState>>,
+}
+
+impl Disruptor {
+    /// A disruptor with its own seeded coin-flip stream.
+    pub fn new(seed: u64) -> Disruptor {
+        Disruptor {
+            state: Rc::new(RefCell::new(DisruptorState {
+                flaky_until: SimTime::ZERO,
+                fail_chance: 0.0,
+                slow_until: SimTime::ZERO,
+                slow_factor: 1.0,
+                rng: DetRng::new(seed, "chaos-disruptor"),
+                injected_failures: 0,
+            })),
+        }
+    }
+
+    /// Should this task execution fail? Flips the seeded coin only inside
+    /// an open flaky window.
+    pub fn should_fail(&self) -> bool {
+        let mut s = self.state.borrow_mut();
+        if now() >= s.flaky_until {
+            return false;
+        }
+        let p = s.fail_chance;
+        let fail = s.rng.chance(p);
+        if fail {
+            s.injected_failures += 1;
+            swf_obs::current().counter_add("chaos.task_failures", 1);
+        }
+        fail
+    }
+
+    /// Stretch a task's compute time when a slow window is open.
+    pub fn scale_compute(&self, d: SimDuration) -> SimDuration {
+        let s = self.state.borrow();
+        if now() < s.slow_until {
+            d.mul_f64(s.slow_factor.max(1.0))
+        } else {
+            d
+        }
+    }
+
+    /// Task failures injected so far.
+    pub fn injected_failures(&self) -> u64 {
+        self.state.borrow().injected_failures
+    }
+
+    fn open_flaky(&self, window: SimDuration, fail_chance: f64) {
+        let mut s = self.state.borrow_mut();
+        s.flaky_until = now() + window;
+        s.fail_chance = fail_chance.clamp(0.0, 1.0);
+    }
+
+    fn open_slow(&self, window: SimDuration, factor: f64) {
+        let mut s = self.state.borrow_mut();
+        s.slow_until = now() + window;
+        s.slow_factor = factor;
+    }
+}
+
+/// Replays a [`FaultPlan`] against a [`Stack`] on the virtual clock.
+pub struct Injector {
+    plan: FaultPlan,
+}
+
+impl Injector {
+    /// An injector for `plan` (events are applied in time order).
+    pub fn new(mut plan: FaultPlan) -> Injector {
+        plan.normalize();
+        Injector { plan }
+    }
+
+    /// The plan this injector replays.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Apply every event at its scheduled offset from now. Each injection
+    /// is recorded as a `chaos/injector` span and bumps both the global
+    /// `chaos.injected` counter and a per-class `chaos.<kind>` counter.
+    /// Returns the number of injections applied.
+    pub async fn run(self, stack: Stack, disruptor: Option<Disruptor>) -> u64 {
+        let obs = swf_obs::current();
+        let start = now();
+        let mut injected = 0u64;
+        for ev in &self.plan.events {
+            let due = start + ev.at;
+            let t = now();
+            if due > t {
+                sleep(due - t).await;
+            }
+            let label = ev.kind.label();
+            let _span = obs.span(
+                swf_obs::SpanContext::NONE,
+                "chaos/injector",
+                format!("inject:{label}"),
+                swf_obs::Category::Other,
+            );
+            Self::apply(&ev.kind, &stack, disruptor.as_ref()).await;
+            obs.counter_add("chaos.injected", 1);
+            obs.counter_add(&format!("chaos.{label}"), 1);
+            injected += 1;
+        }
+        injected
+    }
+
+    async fn apply(kind: &FaultKind, stack: &Stack, disruptor: Option<&Disruptor>) {
+        match kind {
+            FaultKind::NodeCrash { node } => {
+                stack.condor.fail_node(NodeId(*node));
+                stack.k8s.fail_node(NodeId(*node));
+            }
+            FaultKind::NodeRecover { node } => {
+                stack.k8s.recover_node(NodeId(*node));
+                stack.condor.recover_node(NodeId(*node));
+            }
+            FaultKind::CondorDrain { node } => {
+                stack.condor.drain_node(NodeId(*node));
+            }
+            FaultKind::CondorResume { node } => {
+                stack.condor.undrain_node(NodeId(*node));
+            }
+            FaultKind::PodKill { service } => {
+                // Kill the first (name-ordered) pod of the service's active
+                // revision; the ReplicaSet controller replaces it.
+                let rev = format!("{service}-00001");
+                let victim = stack
+                    .k8s
+                    .api()
+                    .pods()
+                    .filter(|p| p.meta.labels.get(Revision::pod_label()) == Some(&rev))
+                    .into_iter()
+                    .map(|p| p.meta.name)
+                    .next();
+                if let Some(name) = victim {
+                    let _ = stack.k8s.api().delete_pod(&name).await;
+                }
+            }
+            FaultKind::Partition { a, b } => {
+                stack.cluster.network().partition(NodeId(*a), NodeId(*b));
+            }
+            FaultKind::Heal { a, b } => {
+                stack.cluster.network().heal(NodeId(*a), NodeId(*b));
+            }
+            FaultKind::DegradeLink {
+                a,
+                b,
+                latency_factor,
+                bandwidth_factor,
+            } => {
+                stack.cluster.network().degrade_link(
+                    NodeId(*a),
+                    NodeId(*b),
+                    LinkQuality {
+                        latency_factor: *latency_factor,
+                        bandwidth_factor: *bandwidth_factor,
+                    },
+                );
+            }
+            FaultKind::RestoreLink { a, b } => {
+                stack.cluster.network().restore_link(NodeId(*a), NodeId(*b));
+            }
+            FaultKind::RegistryOutageStart => {
+                stack.registry.set_outage(true);
+            }
+            FaultKind::RegistryOutageEnd => {
+                stack.registry.set_outage(false);
+            }
+            FaultKind::FlakyTasks {
+                window,
+                fail_chance,
+            } => {
+                if let Some(d) = disruptor {
+                    d.open_flaky(*window, *fail_chance);
+                }
+            }
+            FaultKind::SlowTasks { window, factor } => {
+                if let Some(d) = disruptor {
+                    d.open_slow(*window, *factor);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swf_core::config::ExperimentConfig;
+    use swf_simcore::{secs, Sim};
+
+    #[test]
+    fn explicit_plan_drives_every_hook_and_recovers() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let bed = TestBed::boot(&ExperimentConfig::quick());
+            let mut plan = FaultPlan::calm();
+            plan.push(secs(1.0), FaultKind::NodeCrash { node: 2 });
+            plan.push(secs(1.0), FaultKind::Partition { a: 0, b: 1 });
+            plan.push(secs(1.0), FaultKind::RegistryOutageStart);
+            plan.push(secs(1.0), FaultKind::CondorDrain { node: 3 });
+            plan.push(secs(2.0), FaultKind::NodeRecover { node: 2 });
+            plan.push(secs(2.0), FaultKind::Heal { a: 0, b: 1 });
+            plan.push(secs(2.0), FaultKind::RegistryOutageEnd);
+            plan.push(secs(2.0), FaultKind::CondorResume { node: 3 });
+            let stack = Stack::of(&bed);
+            let handle = swf_simcore::spawn(Injector::new(plan).run(stack.clone(), None));
+            swf_simcore::sleep(secs(1.5)).await;
+            assert!(stack.condor.node_is_failed(NodeId(2)));
+            assert!(!stack.k8s.node_is_ready(NodeId(2)));
+            assert!(stack.cluster.network().is_partitioned(NodeId(0), NodeId(1)));
+            assert!(stack.registry.is_under_outage());
+            let injected = handle.await;
+            assert_eq!(injected, 8);
+            assert!(!stack.condor.node_is_failed(NodeId(2)));
+            assert!(stack.k8s.node_is_ready(NodeId(2)));
+            assert!(!stack.cluster.network().is_partitioned(NodeId(0), NodeId(1)));
+            assert!(!stack.registry.is_under_outage());
+        });
+    }
+
+    #[test]
+    fn disruptor_windows_open_and_close_on_the_virtual_clock() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let d = Disruptor::new(9);
+            // Closed: no failures, no scaling, no RNG draws.
+            assert!(!d.should_fail());
+            assert_eq!(d.scale_compute(secs(1.0)), secs(1.0));
+            d.open_flaky(secs(5.0), 1.0);
+            d.open_slow(secs(5.0), 3.0);
+            assert!(d.should_fail(), "chance 1.0 inside the window");
+            assert_eq!(d.scale_compute(secs(1.0)), secs(3.0));
+            swf_simcore::sleep(secs(6.0)).await;
+            assert!(!d.should_fail(), "window expired");
+            assert_eq!(d.scale_compute(secs(1.0)), secs(1.0));
+            assert_eq!(d.injected_failures(), 1);
+        });
+    }
+}

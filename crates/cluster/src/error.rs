@@ -27,6 +27,14 @@ pub enum ClusterError {
     },
     /// The remote listener dropped the request without responding.
     ConnectionReset,
+    /// The link between two nodes is partitioned (fault injection): no
+    /// traffic passes until the partition heals.
+    Partitioned {
+        /// Source node.
+        from: String,
+        /// Destination node.
+        to: String,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -46,6 +54,9 @@ impl fmt::Display for ClusterError {
                 write!(f, "connection refused: {node}:{port}")
             }
             ClusterError::ConnectionReset => write!(f, "connection reset by peer"),
+            ClusterError::Partitioned { from, to } => {
+                write!(f, "network partition: {from} -/- {to}")
+            }
         }
     }
 }

@@ -27,6 +27,6 @@ pub use error::ClusterError;
 pub use fs::SimFs;
 pub use http::{HttpStack, Incoming, Method, Request, Response};
 pub use memory::{MemoryLease, MemoryPool};
-pub use network::{Network, NetworkConfig, NodeId};
+pub use network::{LinkQuality, Network, NetworkConfig, NodeId};
 pub use node::{Node, NodeSpec};
 pub use units::{gib, human_bytes, kib, mib, Rate};

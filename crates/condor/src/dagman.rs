@@ -7,7 +7,7 @@
 
 use std::collections::BTreeMap;
 
-use swf_simcore::{now, sleep, SimDuration, SimTime};
+use swf_simcore::{now, sleep, RetryPolicy, SimDuration, SimTime};
 
 use crate::error::CondorError;
 use crate::job::{JobId, JobResult, JobSpec, JobStatus};
@@ -149,6 +149,14 @@ pub struct DagmanConfig {
     /// runs are naturally desynchronized yet the whole simulation stays
     /// deterministic.
     pub poll_jitter_cv: f64,
+    /// Backoff schedule between a node's failure and its resubmission.
+    /// The default immediate policy resubmits within the same poll tick —
+    /// the historical DAGMan behaviour — and draws nothing from the RNG,
+    /// so calm runs do not drift. Non-zero delays round up to the poll
+    /// tick on which DAGMan next observes the node (real DAGMan re-reads
+    /// its job log on the same cadence). The per-node retry *count* stays
+    /// on [`DagNode::retries`]; only the spacing comes from the policy.
+    pub retry: RetryPolicy,
 }
 
 impl Default for DagmanConfig {
@@ -157,6 +165,7 @@ impl Default for DagmanConfig {
             poll_interval: SimDuration::from_secs(5),
             max_jobs: 0,
             poll_jitter_cv: 0.0,
+            retry: RetryPolicy::immediate(1),
         }
     }
 }
@@ -187,6 +196,7 @@ enum NodeState {
     Waiting { missing_parents: usize },
     Ready,
     Submitted { id: JobId, attempt: u32 },
+    Backoff { until: SimTime, attempt: u32 },
     Done,
 }
 
@@ -211,6 +221,7 @@ pub async fn run_dag(
     let mut node_spans: Vec<swf_obs::SpanContext> =
         vec![swf_obs::SpanContext::NONE; dag.nodes.len()];
     let mut poll_rng = swf_simcore::DetRng::new(started.as_nanos(), "dagman-poll");
+    let mut retry_rng = swf_simcore::DetRng::new(started.as_nanos(), "dagman-retry");
     let mut states: Vec<NodeState> = dag
         .parents
         .iter()
@@ -228,22 +239,31 @@ pub async fn run_dag(
     let mut jobs_submitted = 0u32;
 
     while done < dag.nodes.len() {
-        // Submit every ready node within the throttle.
+        // Submit every ready node — and every node whose backoff expired —
+        // within the throttle.
         for i in 0..dag.nodes.len() {
-            if matches!(states[i], NodeState::Ready)
-                && (config.max_jobs == 0 || in_flight < config.max_jobs)
-            {
+            let attempt = match states[i] {
+                NodeState::Ready => 0,
+                NodeState::Backoff { until, attempt } if now() >= until => attempt,
+                _ => continue,
+            };
+            if config.max_jobs != 0 && in_flight >= config.max_jobs {
+                continue;
+            }
+            if attempt == 0 {
+                // First submission opens the node span; resubmissions reuse
+                // it so retries stay attributed to the node.
                 node_spans[i] = obs.start_span(
                     root,
                     "condor/dagman",
                     format!("node:{}", dag.nodes[i].name),
                     swf_obs::Category::Queue,
                 );
-                let id = condor.submit(dag.nodes[i].job.clone().with_span(node_spans[i]));
-                jobs_submitted += 1;
-                in_flight += 1;
-                states[i] = NodeState::Submitted { id, attempt: 0 };
             }
+            let id = condor.submit(dag.nodes[i].job.clone().with_span(node_spans[i]));
+            jobs_submitted += 1;
+            in_flight += 1;
+            states[i] = NodeState::Submitted { id, attempt };
         }
         let poll = if config.poll_jitter_cv > 0.0 {
             SimDuration::from_secs_f64(
@@ -276,12 +296,25 @@ pub async fn run_dag(
                 }
                 JobStatus::Completed(result) => {
                     if attempt < dag.nodes[i].retries {
-                        let id = condor.submit(dag.nodes[i].job.clone().with_span(node_spans[i]));
-                        jobs_submitted += 1;
-                        states[i] = NodeState::Submitted {
-                            id,
-                            attempt: attempt + 1,
-                        };
+                        obs.counter_add("dagman.node_retries", 1);
+                        let delay = config.retry.delay_for(attempt + 1, &mut retry_rng);
+                        if delay.is_zero() {
+                            // Immediate policy: resubmit within the same
+                            // poll tick, exactly as historical DAGMan did.
+                            let id =
+                                condor.submit(dag.nodes[i].job.clone().with_span(node_spans[i]));
+                            jobs_submitted += 1;
+                            states[i] = NodeState::Submitted {
+                                id,
+                                attempt: attempt + 1,
+                            };
+                        } else {
+                            in_flight -= 1;
+                            states[i] = NodeState::Backoff {
+                                until: now() + delay,
+                                attempt: attempt + 1,
+                            };
+                        }
                     } else {
                         obs.end(node_spans[i]);
                         obs.end(root);
@@ -472,6 +505,101 @@ mod tests {
                 other => panic!("unexpected {other}"),
             }
         });
+    }
+
+    #[test]
+    fn backoff_spaces_retries_deterministically() {
+        let run = |retry: RetryPolicy| {
+            let sim = Sim::new();
+            sim.block_on(async move {
+                let condor = fast_pool();
+                let attempts = Rc::new(RefCell::new(0u32));
+                let attempts2 = Rc::clone(&attempts);
+                let flaky = JobSpec::new(move |_ctx| {
+                    let attempts = Rc::clone(&attempts2);
+                    Box::pin(async move {
+                        let mut a = attempts.borrow_mut();
+                        *a += 1;
+                        if *a < 3 {
+                            Err("flaky".to_string())
+                        } else {
+                            Ok(Bytes::new())
+                        }
+                    })
+                });
+                let mut dag = DagSpec::new();
+                dag.add_node_with_retries("flaky", flaky, 3);
+                let report = run_dag(
+                    &condor,
+                    &dag,
+                    DagmanConfig {
+                        poll_interval: secs(1.0),
+                        retry,
+                        ..DagmanConfig::default()
+                    },
+                )
+                .await
+                .unwrap();
+                assert_eq!(*attempts.borrow(), 3);
+                report.makespan()
+            })
+        };
+        let immediate = run(RetryPolicy::immediate(4));
+        let spaced = run(RetryPolicy::exponential(4, secs(3.0), secs(30.0)));
+        let replay = run(RetryPolicy::exponential(4, secs(3.0), secs(30.0)));
+        // Two backed-off resubmissions (3 s then 6 s, rounded up to poll
+        // ticks) must stretch the makespan past the immediate schedule.
+        assert!(spaced >= immediate + secs(9.0) - secs(2.0));
+        // And the schedule replays bitwise.
+        assert_eq!(
+            spaced.as_secs_f64().to_bits(),
+            replay.as_secs_f64().to_bits()
+        );
+    }
+
+    #[test]
+    fn jittered_backoff_replays_bitwise_and_differs_from_nominal() {
+        let run = |retry: RetryPolicy| {
+            let sim = Sim::new();
+            sim.block_on(async move {
+                let condor = fast_pool();
+                let flaky = JobSpec::new(move |ctx: JobContext| {
+                    Box::pin(async move {
+                        ctx.compute(secs(0.1)).await;
+                        Err("always".to_string())
+                    })
+                });
+                let mut dag = DagSpec::new();
+                dag.add_node_with_retries("doomed", flaky, 2);
+                let err = run_dag(
+                    &condor,
+                    &dag,
+                    DagmanConfig {
+                        poll_interval: secs(1.0),
+                        retry,
+                        ..DagmanConfig::default()
+                    },
+                )
+                .await
+                .unwrap_err();
+                assert!(matches!(err, CondorError::DagNodeFailed { .. }));
+                now()
+            })
+        };
+        let plain = RetryPolicy::exponential(3, secs(2.0), secs(20.0));
+        let a = run(plain.with_jitter(0.4));
+        let b = run(plain.with_jitter(0.4));
+        let nominal = run(plain);
+        assert_eq!(
+            a.as_secs_f64().to_bits(),
+            b.as_secs_f64().to_bits(),
+            "jittered backoff must replay bitwise"
+        );
+        assert_ne!(
+            a.as_nanos(),
+            nominal.as_nanos(),
+            "jitter must actually perturb the schedule"
+        );
     }
 
     #[test]

@@ -119,7 +119,7 @@ impl Negotiator {
             // stable order.
             let mut best: Option<(usize, usize)> = None; // (free, idx)
             for (idx, startd) in self.startds.iter().enumerate() {
-                if startd.is_draining() {
+                if startd.is_draining() || startd.is_failed() {
                     continue;
                 }
                 let free = startd.free_slots().saturating_sub(reserved[idx]);
@@ -164,6 +164,11 @@ impl Negotiator {
                 // Running/Completed itself.
                 let startd = self.startds[idx].clone();
                 let schedd = self.schedd.clone();
+                // Capture the claim epoch while the job is still Idle:
+                // every status write from this claim is tagged with it, so
+                // a later node loss (which requeues the job and bumps the
+                // epoch) invalidates this claim's reports wholesale.
+                let epoch = schedd.epoch(job_id).unwrap_or(0);
                 // Mark as running pre-claim so the next cycle cannot
                 // re-match it (the startd will overwrite with the real
                 // node status immediately).
@@ -180,7 +185,7 @@ impl Negotiator {
                         sleep(activation).await;
                         drop(act);
                     }
-                    startd.execute(job_id, spec, schedd).await;
+                    startd.execute_claim(job_id, epoch, spec, schedd).await;
                 });
                 matched.push(job_id);
             }

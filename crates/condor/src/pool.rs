@@ -102,6 +102,47 @@ impl Condor {
             None => false,
         }
     }
+
+    /// Crash a worker (fault injection): the negotiator stops matching
+    /// there and every job Running on it is reclaimed to Idle under a new
+    /// claim epoch, so the next cycle re-matches the stranded work onto
+    /// healthy nodes. Late reports from the lost claims are discarded.
+    /// Returns false when the node has no startd.
+    pub fn fail_node(&self, node: swf_cluster::NodeId) -> bool {
+        match self.startds.iter().find(|s| s.node().id() == node) {
+            Some(s) => {
+                s.fail();
+                let requeued = self.schedd.requeue_running_on(node);
+                let obs = swf_obs::current();
+                obs.counter_add("condor.node_failures", 1);
+                if !requeued.is_empty() {
+                    obs.counter_add("condor.stranded_jobs", requeued.len() as u64);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Bring a crashed worker back: the negotiator may match there again.
+    pub fn recover_node(&self, node: swf_cluster::NodeId) -> bool {
+        match self.startds.iter().find(|s| s.node().id() == node) {
+            Some(s) => {
+                s.recover();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Is the worker currently crashed?
+    pub fn node_is_failed(&self, node: swf_cluster::NodeId) -> bool {
+        self.startds
+            .iter()
+            .find(|s| s.node().id() == node)
+            .map(|s| s.is_failed())
+            .unwrap_or(false)
+    }
 }
 
 #[cfg(test)]
@@ -111,6 +152,81 @@ mod tests {
     use bytes::Bytes;
     use swf_cluster::ClusterConfig;
     use swf_simcore::{secs, Sim, SimDuration};
+
+    fn crash_rig() -> (Cluster, Condor) {
+        let cluster = Cluster::new(&ClusterConfig::default());
+        let condor = Condor::start(
+            &cluster,
+            CondorConfig {
+                negotiator: NegotiatorConfig {
+                    cycle_interval: secs(1.0),
+                    match_latency: SimDuration::ZERO,
+                    ..NegotiatorConfig::default()
+                },
+                ..CondorConfig::default()
+            },
+        );
+        (cluster, condor)
+    }
+
+    async fn stranded_job_scenario() -> (swf_cluster::NodeId, crate::job::JobResult) {
+        let (_cluster, condor) = crash_rig();
+        let id = condor.submit(JobSpec::new(|ctx: JobContext| {
+            Box::pin(async move {
+                ctx.compute(secs(10.0)).await;
+                Ok(Bytes::from_static(b"long"))
+            })
+        }));
+        // Matched at the t=1 cycle; crash the node mid-execution.
+        swf_simcore::sleep(secs(2.0)).await;
+        let victim = match condor.status(id).unwrap() {
+            JobStatus::Running(node) => node,
+            other => panic!("expected Running, got {other:?}"),
+        };
+        assert!(condor.fail_node(victim));
+        assert!(condor.node_is_failed(victim));
+        // Reclaimed immediately: back to Idle for the next cycle.
+        assert_eq!(condor.status(id).unwrap(), JobStatus::Idle);
+        let r = condor.wait(id).await.unwrap();
+        assert!(condor.recover_node(victim));
+        assert!(!condor.node_is_failed(victim));
+        (victim, r)
+    }
+
+    #[test]
+    fn stranded_job_is_rematched_after_node_loss_deterministically() {
+        let run = || {
+            let sim = Sim::new();
+            sim.block_on(async { stranded_job_scenario().await })
+        };
+        let (victim_a, ra) = run();
+        let (victim_b, rb) = run();
+        assert!(ra.success);
+        assert_ne!(ra.node, victim_a, "re-match must avoid the crashed node");
+        // The stale claim (crashed node) never shadows the re-match.
+        assert_eq!(&ra.output[..], b"long");
+        // Deterministic retry timing: both runs agree bitwise.
+        assert_eq!(victim_a, victim_b);
+        assert_eq!(ra.node, rb.node);
+        assert_eq!(
+            ra.finished.as_secs_f64().to_bits(),
+            rb.finished.as_secs_f64().to_bits()
+        );
+        // Re-matched at the first cycle after the crash (t=2), so the job
+        // finishes at 2 s + 0.8 s start overhead + a fresh 10 s of compute.
+        assert_eq!(ra.finished.as_secs_f64().to_bits(), 12.8f64.to_bits());
+    }
+
+    #[test]
+    fn failing_an_unknown_node_is_a_no_op() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (_cluster, condor) = crash_rig();
+            assert!(!condor.fail_node(swf_cluster::NodeId(99)));
+            assert!(!condor.recover_node(swf_cluster::NodeId(99)));
+            assert!(!condor.node_is_failed(swf_cluster::NodeId(99)));
+        });
+    }
 
     #[test]
     fn pool_boots_and_runs_a_job() {

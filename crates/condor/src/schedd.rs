@@ -14,6 +14,11 @@ struct JobRecord {
     spec: JobSpec,
     status: JobStatus,
     submitted: SimTime,
+    /// Claim epoch: bumped whenever the schedd reclaims the job from a
+    /// lost node. Status reports from a superseded claim carry a stale
+    /// epoch and are discarded, so a crashed node's late completion can
+    /// never shadow the re-matched attempt.
+    epoch: u64,
 }
 
 struct State {
@@ -91,6 +96,7 @@ impl Schedd {
                 spec,
                 status: JobStatus::Idle,
                 submitted,
+                epoch: 0,
             },
         );
         drop(s);
@@ -156,6 +162,56 @@ impl Schedd {
         }
         drop(s);
         self.bump();
+    }
+
+    /// The job's current claim epoch (see [`Schedd::set_status_epoch`]).
+    pub fn epoch(&self, id: JobId) -> Result<u64, CondorError> {
+        self.state
+            .borrow()
+            .jobs
+            .get(&id)
+            .map(|r| r.epoch)
+            .ok_or(CondorError::NoSuchJob(id))
+    }
+
+    /// Update a job's status only when `epoch` is still the job's current
+    /// claim epoch. Returns whether the write was accepted. Startds report
+    /// through this path so a claim superseded by [`Schedd::requeue_running_on`]
+    /// cannot resurrect a stale Running/Completed state.
+    pub fn set_status_epoch(&self, id: JobId, epoch: u64, status: JobStatus) -> bool {
+        {
+            let s = self.state.borrow();
+            match s.jobs.get(&id) {
+                Some(rec) if rec.epoch == epoch => {}
+                _ => return false,
+            }
+        }
+        self.set_status(id, status);
+        true
+    }
+
+    /// Reclaim every job currently Running on `node`: back to Idle with a
+    /// bumped claim epoch, so the negotiator re-matches them elsewhere and
+    /// any late report from the lost node is discarded. Returns the
+    /// requeued job ids (ascending).
+    pub fn requeue_running_on(&self, node: swf_cluster::NodeId) -> Vec<JobId> {
+        let mut requeued = Vec::new();
+        {
+            let mut s = self.state.borrow_mut();
+            for (id, rec) in s.jobs.iter_mut() {
+                if rec.status == JobStatus::Running(node) {
+                    rec.status = JobStatus::Idle;
+                    rec.epoch += 1;
+                    requeued.push(*id);
+                }
+            }
+        }
+        if !requeued.is_empty() {
+            let obs = swf_obs::current();
+            obs.counter_add("condor.jobs_requeued", requeued.len() as u64);
+            self.bump();
+        }
+        requeued
     }
 
     /// Remove a job from the queue (only Idle jobs can be removed cleanly).
@@ -271,6 +327,66 @@ mod tests {
             s.remove(id2).unwrap();
             assert!(matches!(s.wait(id2).await, Err(CondorError::JobRemoved(_))));
         });
+    }
+
+    #[test]
+    fn requeue_bumps_epoch_and_discards_stale_reports() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let s = Schedd::new();
+            let id = s.submit(noop_spec());
+            assert_eq!(s.epoch(id).unwrap(), 0);
+            s.set_status(id, JobStatus::Running(NodeId(1)));
+            let requeued = s.requeue_running_on(NodeId(1));
+            assert_eq!(requeued, vec![id]);
+            assert_eq!(s.status(id).unwrap(), JobStatus::Idle);
+            assert_eq!(s.epoch(id).unwrap(), 1);
+            // The lost node's late completion (epoch 0) is discarded.
+            let stale = s.set_status_epoch(
+                id,
+                0,
+                JobStatus::Completed(JobResult {
+                    success: true,
+                    output: Bytes::from_static(b"ghost"),
+                    node: NodeId(1),
+                    started: SimTime::ZERO,
+                    finished: SimTime::ZERO,
+                }),
+            );
+            assert!(!stale);
+            assert_eq!(s.status(id).unwrap(), JobStatus::Idle);
+            assert_eq!(s.completed_total(), 0);
+            // The re-matched claim (epoch 1) lands.
+            let fresh = s.set_status_epoch(
+                id,
+                1,
+                JobStatus::Completed(JobResult {
+                    success: true,
+                    output: Bytes::from_static(b"real"),
+                    node: NodeId(2),
+                    started: SimTime::ZERO,
+                    finished: SimTime::ZERO,
+                }),
+            );
+            assert!(fresh);
+            let r = s.wait(id).await.unwrap();
+            assert_eq!(&r.output[..], b"real");
+            assert_eq!(s.completed_total(), 1);
+        });
+    }
+
+    #[test]
+    fn requeue_ignores_jobs_on_other_nodes() {
+        let s = Schedd::new();
+        let a = s.submit(noop_spec());
+        let b = s.submit(noop_spec());
+        s.set_status(a, JobStatus::Running(NodeId(1)));
+        s.set_status(b, JobStatus::Running(NodeId(2)));
+        assert_eq!(s.requeue_running_on(NodeId(3)), vec![]);
+        assert_eq!(s.requeue_running_on(NodeId(2)), vec![b]);
+        assert_eq!(s.status(a).unwrap(), JobStatus::Running(NodeId(1)));
+        assert_eq!(s.epoch(a).unwrap(), 0);
+        assert_eq!(s.epoch(b).unwrap(), 1);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub struct Startd {
     slots: Semaphore,
     config: StartdConfig,
     draining: std::rc::Rc<std::cell::Cell<bool>>,
+    failed: std::rc::Rc<std::cell::Cell<bool>>,
 }
 
 impl Startd {
@@ -52,6 +53,7 @@ impl Startd {
             slots,
             config,
             draining: std::rc::Rc::new(std::cell::Cell::new(false)),
+            failed: std::rc::Rc::new(std::cell::Cell::new(false)),
         }
     }
 
@@ -69,6 +71,24 @@ impl Startd {
     /// Is the startd draining?
     pub fn is_draining(&self) -> bool {
         self.draining.get()
+    }
+
+    /// Crash the node (fault injection): the negotiator stops matching
+    /// here and the schedd reclaims its running jobs. Unlike draining,
+    /// in-flight work is lost — its eventual status reports carry a stale
+    /// claim epoch and are discarded.
+    pub fn fail(&self) {
+        self.failed.set(true);
+    }
+
+    /// Bring a crashed startd back into the pool.
+    pub fn recover(&self) {
+        self.failed.set(false);
+    }
+
+    /// Is the startd crashed?
+    pub fn is_failed(&self) -> bool {
+        self.failed.get()
     }
 
     /// The node this startd manages.
@@ -100,14 +120,26 @@ impl Startd {
             .set("HasDocker", true)
     }
 
-    /// Execute a matched job to completion, reporting status to `schedd`.
-    /// Called (spawned) by the negotiator after a successful match.
+    /// Execute a matched job to completion, reporting status to `schedd`
+    /// under the claim epoch current at entry. Kept for direct callers
+    /// (tests, ad-hoc rigs); the negotiator captures the epoch at match
+    /// time and calls [`Startd::execute_claim`].
     pub async fn execute(&self, id: JobId, spec: JobSpec, schedd: Schedd) {
+        let epoch = schedd.epoch(id).unwrap_or(0);
+        self.execute_claim(id, epoch, spec, schedd).await;
+    }
+
+    /// Execute a matched job to completion, reporting status to `schedd`.
+    /// Called (spawned) by the negotiator after a successful match. All
+    /// status writes carry `epoch`: if the schedd reclaims the job (node
+    /// loss) while this claim is in flight, the writes are discarded and
+    /// the re-matched claim owns the job record.
+    pub async fn execute_claim(&self, id: JobId, epoch: u64, spec: JobSpec, schedd: Schedd) {
         let _slots = self
             .slots
             .acquire_many(spec.request_cpus.max(1) as usize)
             .await;
-        schedd.set_status(id, JobStatus::Running(self.node.id()));
+        schedd.set_status_epoch(id, epoch, JobStatus::Running(self.node.id()));
         let started = now();
         let obs = swf_obs::current();
         let component = format!("{}/startd", self.node.name());
@@ -127,8 +159,9 @@ impl Startd {
             Ok(bytes) => (true, bytes),
             Err(e) => (false, bytes::Bytes::from(e.to_string())),
         };
-        schedd.set_status(
+        let accepted = schedd.set_status_epoch(
             id,
+            epoch,
             JobStatus::Completed(JobResult {
                 success,
                 output,
@@ -137,6 +170,11 @@ impl Startd {
                 finished: now(),
             }),
         );
+        if !accepted {
+            // The schedd reclaimed the job while this node was lost; the
+            // work is wasted but must not shadow the re-matched attempt.
+            swf_obs::current().counter_add("condor.stale_completions", 1);
+        }
     }
 
     async fn run_in_sandbox(

@@ -22,6 +22,8 @@ pub enum ContainerError {
     OutOfMemory(String),
     /// The containerized task itself failed.
     TaskFailed(String),
+    /// The registry refused the pull (fault-injected outage).
+    RegistryUnavailable(String),
 }
 
 impl fmt::Display for ContainerError {
@@ -34,6 +36,7 @@ impl fmt::Display for ContainerError {
             }
             ContainerError::OutOfMemory(m) => write!(f, "out of memory: {m}"),
             ContainerError::TaskFailed(m) => write!(f, "task failed: {m}"),
+            ContainerError::RegistryUnavailable(m) => write!(f, "registry unavailable: {m}"),
         }
     }
 }

@@ -53,6 +53,14 @@ struct State {
     node_caches: BTreeMap<NodeId, BTreeSet<LayerId>>,
     pulls: u64,
     bytes_served: u64,
+    /// Bytes streamed to each node — the conservation ledger: the sum over
+    /// nodes always equals `bytes_served` (nothing is lost or
+    /// double-counted, even under fault-injected outages).
+    bytes_by_node: BTreeMap<NodeId, u64>,
+    /// Fault injection: while set, pulls fail after manifest resolution.
+    outage: bool,
+    /// Pulls refused because of an outage.
+    failed_pulls: u64,
 }
 
 /// The registry.
@@ -74,6 +82,9 @@ impl Registry {
                 node_caches: BTreeMap::new(),
                 pulls: 0,
                 bytes_served: 0,
+                bytes_by_node: BTreeMap::new(),
+                outage: false,
+                failed_pulls: 0,
             })),
         }
     }
@@ -118,6 +129,15 @@ impl Registry {
         let image = self.manifest(reference)?;
         // Manifest resolution round trip.
         swf_simcore::sleep(self.config.manifest_latency).await;
+        // A fault-injected outage refuses the pull after the manifest round
+        // trip (the client paid the connection attempt), before any bytes
+        // move — the conservation ledger stays balanced.
+        if self.state.borrow().outage {
+            self.state.borrow_mut().failed_pulls += 1;
+            return Err(ContainerError::RegistryUnavailable(format!(
+                "pull of {reference} from {node} refused: registry outage"
+            )));
+        }
         let missing: Vec<_> = {
             let s = self.state.borrow();
             let cache = s.node_caches.get(&node);
@@ -145,6 +165,7 @@ impl Registry {
         let mut s = self.state.borrow_mut();
         s.pulls += 1;
         s.bytes_served += bytes;
+        *s.bytes_by_node.entry(node).or_default() += bytes;
         Ok(PullStats {
             layers_pulled: missing.len(),
             layers_cached: cached,
@@ -188,6 +209,44 @@ impl Registry {
     /// Total bytes streamed.
     pub fn bytes_served(&self) -> u64 {
         self.state.borrow().bytes_served
+    }
+
+    /// Fault injection: start or end a registry outage. While on, every
+    /// pull fails with [`ContainerError::RegistryUnavailable`] after the
+    /// manifest round trip; cached layers remain usable.
+    pub fn set_outage(&self, on: bool) {
+        self.state.borrow_mut().outage = on;
+    }
+
+    /// Is the registry currently refusing pulls?
+    pub fn is_under_outage(&self) -> bool {
+        self.state.borrow().outage
+    }
+
+    /// Pulls refused by fault-injected outages.
+    pub fn failed_pulls(&self) -> u64 {
+        self.state.borrow().failed_pulls
+    }
+
+    /// Bytes streamed to one node (conservation ledger entry).
+    pub fn bytes_pulled_by(&self, node: NodeId) -> u64 {
+        self.state
+            .borrow()
+            .bytes_by_node
+            .get(&node)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The conservation ledger: per-node streamed bytes, ascending node id.
+    /// Its sum always equals [`Registry::bytes_served`].
+    pub fn bytes_ledger(&self) -> Vec<(NodeId, u64)> {
+        self.state
+            .borrow()
+            .bytes_by_node
+            .iter()
+            .map(|(n, b)| (*n, *b))
+            .collect()
     }
 }
 
@@ -236,6 +295,34 @@ mod tests {
             assert_eq!(s2.layers_cached, 3);
             assert_eq!(now(), t1); // no additional stream time
             assert!(r.is_cached(NodeId(1), &ImageRef::parse("m")));
+        });
+    }
+
+    #[test]
+    fn outage_refuses_pulls_but_keeps_the_ledger_balanced() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let r = registry();
+            r.push(Image::python_scientific(ImageRef::parse("m"), 1));
+            r.pull(NodeId(1), &ImageRef::parse("m")).await.unwrap();
+            r.set_outage(true);
+            assert!(r.is_under_outage());
+            let err = r.pull(NodeId(2), &ImageRef::parse("m")).await.unwrap_err();
+            assert!(matches!(err, ContainerError::RegistryUnavailable(_)));
+            assert_eq!(r.failed_pulls(), 1);
+            // Cached layers stay usable during the outage: the node that
+            // already holds everything "pulls" without streaming.
+            let cached = r.is_cached(NodeId(1), &ImageRef::parse("m"));
+            assert!(cached);
+            r.set_outage(false);
+            r.pull(NodeId(2), &ImageRef::parse("m")).await.unwrap();
+            // Conservation: per-node ledger sums to bytes_served.
+            let ledger_sum: u64 = r.bytes_ledger().iter().map(|(_, b)| *b).sum();
+            assert_eq!(ledger_sum, r.bytes_served());
+            assert_eq!(
+                r.bytes_pulled_by(NodeId(1)) + r.bytes_pulled_by(NodeId(2)),
+                ledger_sum
+            );
         });
     }
 

@@ -12,7 +12,7 @@ use swf_condor::{CondorConfig, DagmanConfig, NegotiatorConfig, StartdConfig};
 use swf_container::{OverheadModel, RegistryConfig};
 use swf_k8s::K8sConfig;
 use swf_knative::{AutoscalerConfig, KnativeConfig};
-use swf_simcore::{millis, secs, SimDuration};
+use swf_simcore::{millis, secs, RetryPolicy, SimDuration};
 use swf_workloads::ComputeModel;
 
 /// How Pegasus provisions container images for traditional-container tasks.
@@ -128,6 +128,9 @@ impl ExperimentConfig {
                 poll_interval: secs(5.0),
                 max_jobs: 0,
                 poll_jitter_cv: 0.30,
+                // Immediate resubmission — the pre-chaos behaviour; chaos
+                // experiments opt into spaced backoff explicitly.
+                retry: RetryPolicy::immediate(1),
             },
             matrix_dim: 350,
             compute: ComputeModel::paper(),

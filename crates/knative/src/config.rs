@@ -1,6 +1,6 @@
 //! Knative platform configuration, calibrated to the paper's measurements.
 
-use swf_simcore::{millis, SimDuration};
+use swf_simcore::{millis, RetryPolicy, SimDuration};
 
 /// Autoscaler (KPA) parameters.
 #[derive(Clone, Copy, Debug)]
@@ -64,7 +64,7 @@ impl Default for DataPlaneConfig {
 }
 
 /// Whole-platform configuration.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct KnativeConfig {
     /// Autoscaler parameters.
     pub autoscaler: AutoscalerConfig,
@@ -73,6 +73,29 @@ pub struct KnativeConfig {
     /// Ingress routing policy (round-robin, or the §IX-D least-loaded
     /// redirection).
     pub routing: crate::router::RoutingPolicy,
+    /// Retry schedule for the router's invoke path. The default preserves
+    /// the historical behaviour — eight immediate attempts, no RNG draws —
+    /// so calm runs do not drift; chaos experiments opt into spaced,
+    /// jittered backoff.
+    pub invoke_retry: RetryPolicy,
+    /// Per-attempt forwarding deadline (`None` = wait indefinitely). A
+    /// timed-out attempt counts as retryable, like a reset connection.
+    pub attempt_timeout: Option<SimDuration>,
+    /// Seed for the router's retry-jitter stream.
+    pub seed: u64,
+}
+
+impl Default for KnativeConfig {
+    fn default() -> Self {
+        KnativeConfig {
+            autoscaler: AutoscalerConfig::default(),
+            data_plane: DataPlaneConfig::default(),
+            routing: crate::router::RoutingPolicy::default(),
+            invoke_retry: RetryPolicy::immediate(8),
+            attempt_timeout: None,
+            seed: 0,
+        }
+    }
 }
 
 /// Annotation key: minimum replica count (pre-staging).

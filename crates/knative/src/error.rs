@@ -13,6 +13,15 @@ pub enum KnativeError {
     ColdStartTimeout(String),
     /// All forwarding attempts failed.
     Unavailable(String),
+    /// Every retry of the invoke path failed; carries the last failure.
+    RetriesExhausted {
+        /// The KService being invoked.
+        service: String,
+        /// Attempts made (first try included).
+        attempts: u32,
+        /// The final attempt's failure.
+        last: String,
+    },
     /// The function itself failed.
     FunctionFailed(String),
     /// Underlying orchestrator failure.
@@ -26,6 +35,14 @@ impl fmt::Display for KnativeError {
             KnativeError::HandlerMissing(s) => write!(f, "no handler registered for {s}"),
             KnativeError::ColdStartTimeout(s) => write!(f, "cold start timed out for {s}"),
             KnativeError::Unavailable(s) => write!(f, "service unavailable: {s}"),
+            KnativeError::RetriesExhausted {
+                service,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "{service}: retries exhausted after {attempts} attempts ({last})"
+            ),
             KnativeError::FunctionFailed(s) => write!(f, "function failed: {s}"),
             KnativeError::K8s(s) => write!(f, "orchestrator error: {s}"),
         }

@@ -151,19 +151,27 @@ impl MetricHub {
 
 impl Drop for InFlightGuard {
     fn drop(&mut self) {
+        // During Sim teardown leftover request futures are dropped outside
+        // the run loop; skip the sample then (no virtual clock to read).
+        let in_sim = swf_simcore::try_current().is_some();
         self.hub.with(&self.revision, |m| {
             m.in_flight = m.in_flight.saturating_sub(1);
             m.total_served += 1;
-            MetricHub::record_sample(m);
+            if in_sim {
+                MetricHub::record_sample(m);
+            }
         });
     }
 }
 
 impl Drop for BufferedGuard {
     fn drop(&mut self) {
+        let in_sim = swf_simcore::try_current().is_some();
         self.hub.with(&self.revision, |m| {
             m.buffered = m.buffered.saturating_sub(1);
-            MetricHub::record_sample(m);
+            if in_sim {
+                MetricHub::record_sample(m);
+            }
         });
     }
 }

@@ -63,6 +63,9 @@ impl Knative {
             config.data_plane,
             RouterConfig {
                 policy: config.routing,
+                retry: config.invoke_retry,
+                attempt_timeout: config.attempt_timeout,
+                seed: config.seed,
                 ..RouterConfig::default()
             },
         );
@@ -178,12 +181,16 @@ mod tests {
     use swf_simcore::{now, secs, Sim};
 
     fn boot() -> (Cluster, Knative, ImageRef) {
+        boot_with(KnativeConfig::default())
+    }
+
+    fn boot_with(config: KnativeConfig) -> (Cluster, Knative, ImageRef) {
         let cluster = Cluster::new(&ClusterConfig::default());
         let registry = Registry::new(RegistryConfig::default());
         let image = ImageRef::parse("hpc/matmul:1.0");
         registry.push(Image::python_scientific(image.clone(), 1));
         let k8s = K8s::start(&cluster, registry, K8sConfig::default(), 11);
-        let kn = Knative::start(&cluster, k8s, KnativeConfig::default());
+        let kn = Knative::start(&cluster, k8s, config);
         (cluster, kn, image)
     }
 
@@ -393,6 +400,97 @@ mod tests {
             let busy_execs = kn.k8s().runtime(busy_node).unwrap().execs_total();
             assert_eq!(idle_execs, 6, "redirection must prefer the idle node");
             assert_eq!(busy_execs, 0);
+        });
+    }
+
+    /// An attempt that outlives `attempt_timeout` is retried with backoff
+    /// and succeeds once the function behaves — and the whole schedule is
+    /// bitwise reproducible.
+    #[test]
+    fn attempt_timeout_retries_then_succeeds_deterministically() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let run = || {
+            let sim = Sim::new();
+            sim.block_on(async {
+                let (_cluster, kn, image) = boot_with(KnativeConfig {
+                    invoke_retry: swf_simcore::RetryPolicy::exponential(6, secs(0.5), secs(4.0)),
+                    attempt_timeout: Some(secs(1.0)),
+                    ..KnativeConfig::default()
+                });
+                let calls = Rc::new(Cell::new(0u32));
+                let calls2 = Rc::clone(&calls);
+                kn.register_fn(
+                    KService::new("matmul", image.clone()).with_min_scale(1),
+                    move |req| {
+                        let body = req.body.clone();
+                        let n = calls2.get() + 1;
+                        calls2.set(n);
+                        // First attempt hangs past the deadline; later
+                        // attempts answer promptly.
+                        let d = if n == 1 { secs(30.0) } else { secs(0.1) };
+                        Workload::new(d, move || Ok(body))
+                    },
+                );
+                kn.wait_ready("matmul", 1, secs(300.0)).await.unwrap();
+                let t0 = now();
+                let resp = kn
+                    .invoke(
+                        NodeId(0),
+                        "matmul",
+                        Request::post("/", Bytes::from_static(b"x")),
+                    )
+                    .await
+                    .unwrap();
+                assert!(resp.is_success());
+                assert!(calls.get() >= 2, "the slow first attempt was retried");
+                let elapsed = (now() - t0).as_secs_f64();
+                // At least one 1 s deadline plus the 0.5 s backoff passed.
+                assert!(elapsed >= 1.5, "elapsed {elapsed:.3}s");
+                elapsed
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.to_bits(), b.to_bits(), "retry timing must replay bitwise");
+    }
+
+    /// When every attempt times out the router returns the typed
+    /// `RetriesExhausted` error — it never panics and never hangs.
+    #[test]
+    fn exhausted_retries_surface_a_typed_error() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (_cluster, kn, image) = boot_with(KnativeConfig {
+                invoke_retry: swf_simcore::RetryPolicy::exponential(3, secs(0.25), secs(1.0)),
+                attempt_timeout: Some(secs(0.5)),
+                ..KnativeConfig::default()
+            });
+            kn.register_fn(
+                KService::new("matmul", image.clone()).with_min_scale(1),
+                |req| {
+                    let body = req.body.clone();
+                    Workload::new(secs(60.0), move || Ok(body))
+                },
+            );
+            kn.wait_ready("matmul", 1, secs(300.0)).await.unwrap();
+            let err = kn
+                .invoke(
+                    NodeId(0),
+                    "matmul",
+                    Request::post("/", Bytes::from_static(b"x")),
+                )
+                .await
+                .unwrap_err();
+            match err {
+                KnativeError::RetriesExhausted {
+                    service, attempts, ..
+                } => {
+                    assert_eq!(service, "matmul");
+                    assert_eq!(attempts, 3);
+                }
+                other => panic!("expected RetriesExhausted, got {other}"),
+            }
         });
     }
 

@@ -12,7 +12,7 @@ use std::rc::Rc;
 
 use swf_cluster::{ClusterError, HttpStack, NodeId, Request, Response};
 use swf_k8s::{RoundRobin, Store};
-use swf_simcore::{sleep, timeout, Elapsed, SimDuration};
+use swf_simcore::{sleep, timeout, DetRng, Elapsed, RetryPolicy, SimDuration};
 
 use crate::config::DataPlaneConfig;
 use crate::error::KnativeError;
@@ -35,8 +35,16 @@ pub enum RoutingPolicy {
 pub struct RouterConfig {
     /// Give up on a cold start after this long.
     pub cold_start_deadline: SimDuration,
-    /// Forwarding attempts before returning 503.
-    pub max_retries: u32,
+    /// Retry schedule for forwarding attempts: `retry.attempts()` tries in
+    /// total, spaced by `retry.delay_for`. The default — eight immediate
+    /// attempts — reproduces the historical router bitwise (no sleeps, no
+    /// RNG draws on the calm path).
+    pub retry: RetryPolicy,
+    /// Per-attempt forwarding deadline (`None` = wait indefinitely). An
+    /// elapsed deadline is retryable, like a reset connection.
+    pub attempt_timeout: Option<SimDuration>,
+    /// Seed for the retry-jitter stream.
+    pub seed: u64,
     /// Endpoint selection policy.
     pub policy: RoutingPolicy,
 }
@@ -45,7 +53,9 @@ impl Default for RouterConfig {
     fn default() -> Self {
         RouterConfig {
             cold_start_deadline: SimDuration::from_secs(300),
-            max_retries: 8,
+            retry: RetryPolicy::immediate(8),
+            attempt_timeout: None,
+            seed: 0,
             policy: RoutingPolicy::RoundRobin,
         }
     }
@@ -61,6 +71,7 @@ pub struct Router {
     data_plane: DataPlaneConfig,
     config: RouterConfig,
     balancers: Rc<RefCell<BTreeMap<String, RoundRobin>>>,
+    retry_rng: Rc<RefCell<DetRng>>,
 }
 
 impl Router {
@@ -81,6 +92,7 @@ impl Router {
             data_plane,
             config,
             balancers: Rc::new(RefCell::new(BTreeMap::new())),
+            retry_rng: Rc::new(RefCell::new(DetRng::new(config.seed, "router-retry"))),
         }
     }
 
@@ -138,29 +150,52 @@ impl Router {
             };
             match endpoint {
                 Some(ep) => {
-                    match self
-                        .http
-                        .request(from, ep.node, ep.port, request.clone())
-                        .await
-                    {
-                        Ok(resp) if resp.status == 500 => {
+                    let forward = self.http.request(from, ep.node, ep.port, request.clone());
+                    // `None` marks an attempt that hit `attempt_timeout`.
+                    let outcome = match self.config.attempt_timeout {
+                        Some(deadline) => timeout(deadline, forward).await.ok(),
+                        None => Some(forward.await),
+                    };
+                    let failure = match outcome {
+                        Some(Ok(resp)) if resp.status == 500 => {
                             return Err(KnativeError::FunctionFailed(
                                 String::from_utf8_lossy(&resp.body).to_string(),
                             ));
                         }
-                        Ok(resp) => return Ok(resp),
-                        Err(ClusterError::ConnectionRefused { .. })
-                        | Err(ClusterError::ConnectionReset) => {
-                            // Pod died between endpoint resolution and
-                            // delivery; retry against fresh endpoints.
-                            attempts += 1;
-                            if attempts >= self.config.max_retries {
-                                return Err(KnativeError::Unavailable(format!(
-                                    "{service}: {attempts} failed attempts"
-                                )));
-                            }
+                        Some(Ok(resp)) => return Ok(resp),
+                        Some(Err(e))
+                            if matches!(
+                                e,
+                                ClusterError::ConnectionRefused { .. }
+                                    | ClusterError::ConnectionReset
+                                    | ClusterError::Partitioned { .. }
+                            ) =>
+                        {
+                            // Pod died — or the link dropped — between
+                            // endpoint resolution and delivery; retry
+                            // against fresh endpoints.
+                            e.to_string()
                         }
-                        Err(e) => return Err(KnativeError::Unavailable(e.to_string())),
+                        Some(Err(e)) => return Err(KnativeError::Unavailable(e.to_string())),
+                        None => "attempt deadline elapsed".to_string(),
+                    };
+                    attempts += 1;
+                    obs.counter_add("knative.request_retries", 1);
+                    if attempts >= self.config.retry.attempts() {
+                        return Err(KnativeError::RetriesExhausted {
+                            service: service.to_string(),
+                            attempts,
+                            last: failure,
+                        });
+                    }
+                    let delay = self
+                        .config
+                        .retry
+                        .delay_for(attempts, &mut self.retry_rng.borrow_mut());
+                    if !delay.is_zero() {
+                        // Backed-off retry; the immediate default never
+                        // sleeps, keeping the calm path bit-identical.
+                        sleep(delay).await;
                     }
                 }
                 None => {
@@ -248,7 +283,9 @@ mod tests {
     #[test]
     fn router_config_defaults() {
         let c = RouterConfig::default();
-        assert!(c.max_retries > 0);
+        assert_eq!(c.retry.attempts(), 8);
+        assert!(c.retry.base.is_zero(), "default retries are immediate");
+        assert!(c.attempt_timeout.is_none());
         assert!(c.cold_start_deadline > SimDuration::from_secs(60));
     }
 }

@@ -36,6 +36,7 @@ pub mod combinators;
 pub mod executor;
 pub mod perf;
 pub mod resource;
+pub mod retry;
 pub mod rng;
 pub mod time;
 pub mod trace;
@@ -56,6 +57,7 @@ pub use executor::{
     current, now, sleep, sleep_until, spawn, try_current, yield_now, JoinHandle, Sim, TaskId,
 };
 pub use resource::{Claim, Resource};
+pub use retry::RetryPolicy;
 pub use rng::DetRng;
 pub use time::{micros, millis, secs, SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent, TraceSink};

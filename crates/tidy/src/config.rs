@@ -37,6 +37,7 @@ impl Config {
                 "metrics",
                 "obs",
                 "core",
+                "chaos",
             ]
             .iter()
             .map(|s| s.to_string())

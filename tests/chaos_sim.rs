@@ -1,0 +1,156 @@
+//! Seed-sweep simulation testing: for a pool of seeds, run the
+//! concurrent-workflow experiment under a sampled chaos profile and hold
+//! whole-stack invariants. A failing seed panics with its full
+//! [`FaultPlan`] JSON, so the run is replayable in isolation with
+//! `FaultPlan::parse` — no log spelunking required.
+//!
+//! The invariants per seed:
+//!
+//! 1. **Liveness**: every workflow either completes or surfaces a typed
+//!    error; the simulation itself never deadlocks (`Sim::block_on`
+//!    panics on lost wakeups, so mere test completion proves this).
+//! 2. **Monotonicity**: when every workflow still completes, faults must
+//!    not make the batch *faster* than the calm baseline (all jitter
+//!    streams are zeroed in the chaos experiment config, so this is
+//!    structural, not statistical).
+//! 3. **Reproducibility**: a second run of the same seed fingerprints
+//!    bitwise-identically (makespan bits included).
+//! 4. **Byte conservation**: bytes the registry served equal the sum of
+//!    the per-node pull ledger, outages notwithstanding.
+
+use swf_chaos::{run_chaos, ChaosOutcome, ChaosProfile, ChaosRunConfig, FaultPlan, SERVICE};
+use swf_simcore::secs;
+
+/// Seeds swept by the main test. CI pins the same range.
+const SEEDS: std::ops::Range<u64> = 0..32;
+
+/// Virtual-time horizon faults are sampled over — generously past the
+/// quick experiment's calm makespan so late-workflow faults occur too.
+fn light_plan(seed: u64) -> FaultPlan {
+    FaultPlan::sample(
+        &ChaosProfile::light(),
+        seed,
+        secs(120.0),
+        0,
+        &[1, 2, 3],
+        &[SERVICE.to_string()],
+    )
+}
+
+fn run(seed: u64, plan: &FaultPlan) -> ChaosOutcome {
+    let cfg = ChaosRunConfig::quick(seed);
+    match run_chaos(&cfg, plan) {
+        Ok(outcome) => outcome,
+        Err(e) => panic!(
+            "seed {seed}: harness error: {e}\nreplay this plan:\n{}",
+            plan.to_json()
+        ),
+    }
+}
+
+#[test]
+fn seed_sweep_holds_stack_invariants_under_light_chaos() {
+    for seed in SEEDS {
+        let plan = light_plan(seed);
+        let calm = run(seed, &FaultPlan::calm());
+        assert!(
+            calm.all_completed(),
+            "seed {seed}: calm baseline must complete"
+        );
+        let chaos = run(seed, &plan);
+
+        // Invariant 1: typed outcomes only (completion of block_on already
+        // ruled out lost wakeups / deadlock).
+        for (w, outcome) in chaos.outcomes.iter().enumerate() {
+            if let swf_chaos::WorkflowOutcome::Failed { error } = outcome {
+                assert!(
+                    !error.is_empty(),
+                    "seed {seed}: workflow {w} failed without a typed error\nreplay this plan:\n{}",
+                    plan.to_json()
+                );
+            }
+        }
+
+        // Invariant 2: faults never speed the batch up.
+        if chaos.all_completed() {
+            assert!(
+                chaos.makespan >= calm.makespan,
+                "seed {seed}: chaos makespan {:?} < calm {:?}\nreplay this plan:\n{}",
+                chaos.makespan,
+                calm.makespan,
+                plan.to_json()
+            );
+        }
+
+        // Invariant 3: bitwise-reproducible replay.
+        let replay = run(seed, &plan);
+        assert_eq!(
+            chaos.fingerprint(),
+            replay.fingerprint(),
+            "seed {seed}: replay diverged\nreplay this plan:\n{}",
+            plan.to_json()
+        );
+        assert_eq!(
+            chaos.makespan.as_secs_f64().to_bits(),
+            replay.makespan.as_secs_f64().to_bits(),
+            "seed {seed}: replay makespan bits diverged\nreplay this plan:\n{}",
+            plan.to_json()
+        );
+
+        // Invariant 4: registry byte conservation.
+        let ledger: u64 = chaos.registry_ledger.iter().map(|(_, b)| *b).sum();
+        assert_eq!(
+            ledger,
+            chaos.registry_bytes_served,
+            "seed {seed}: registry ledger {} != bytes served {}\nreplay this plan:\n{}",
+            ledger,
+            chaos.registry_bytes_served,
+            plan.to_json()
+        );
+    }
+}
+
+#[test]
+fn sweep_actually_exercises_faults_and_failures() {
+    // Meta-check on the sweep itself: across the seed pool the sampled
+    // plans must inject a healthy number of faults and at least one seed
+    // must experience an injected task failure — otherwise the sweep is
+    // vacuous and the invariants above test nothing.
+    let mut injected = 0u64;
+    let mut task_failures = 0u64;
+    for seed in SEEDS {
+        let chaos = run(seed, &light_plan(seed));
+        injected += chaos.injected;
+        task_failures += chaos.task_failures;
+    }
+    assert!(
+        injected >= SEEDS.end - SEEDS.start,
+        "expected at least one injection per seed on average, got {injected}"
+    );
+    assert!(
+        task_failures > 0,
+        "no seed in the pool ever tripped a flaky-task window"
+    );
+}
+
+#[test]
+fn calm_seed_is_bitwise_stable_and_injects_nothing() {
+    let a = run(7, &FaultPlan::calm());
+    let b = run(7, &FaultPlan::calm());
+    assert!(a.all_completed());
+    assert_eq!(a.injected, 0);
+    assert_eq!(a.task_failures, 0);
+    assert_eq!(a.fingerprint(), b.fingerprint());
+}
+
+#[test]
+fn failing_plans_replay_from_their_printed_json() {
+    // The debugging loop the sweep promises: print the plan, parse it
+    // back, get the identical run.
+    let plan = light_plan(11);
+    let reparsed = FaultPlan::parse(&plan.to_string()).expect("plan JSON parses");
+    assert_eq!(plan, reparsed);
+    let original = run(11, &plan);
+    let replayed = run(11, &reparsed);
+    assert_eq!(original.fingerprint(), replayed.fingerprint());
+}

@@ -1,17 +1,31 @@
 //! Failure-injection integration tests: flaky tasks, pod churn, missing
 //! data — the stack must degrade the way the real systems do.
+//!
+//! Infrastructure faults (pod kills, node crashes, drains) are routed
+//! through `swf-chaos` [`FaultPlan`]s rather than ad-hoc API calls, so
+//! these scenarios double as regression tests for the injector itself;
+//! the original assertions are unchanged.
 
 use std::cell::Cell;
 use std::rc::Rc;
 
 use bytes::Bytes;
 
+use swf_chaos::{FaultKind, FaultPlan, Injector, Stack};
 use swf_cluster::{NodeId, Request};
 use swf_condor::{run_dag, DagSpec, DagmanConfig, JobContext, JobSpec};
 use swf_container::Workload;
 use swf_core::{ExperimentConfig, TestBed};
 use swf_knative::KService;
-use swf_simcore::{secs, Sim};
+use swf_simcore::{secs, Sim, SimDuration};
+
+/// Apply one fault immediately through the chaos injector.
+async fn inject_now(bed: &TestBed, kind: FaultKind) {
+    let mut plan = FaultPlan::calm();
+    plan.push(SimDuration::ZERO, kind);
+    let injected = Injector::new(plan).run(Stack::of(bed), None).await;
+    assert_eq!(injected, 1);
+}
 
 #[test]
 fn dagman_retries_recover_transient_task_failures_at_full_stack() {
@@ -59,16 +73,13 @@ fn router_survives_pod_deletion_between_requests() {
         );
         bed.knative.wait_ready("svc", 2, secs(600.0)).await.unwrap();
         // Kill one backing pod behind the router's back.
-        let victim = bed
-            .k8s
-            .api()
-            .pods()
-            .entries()
-            .into_iter()
-            .find(|(_, p)| p.meta.labels.contains_key("serving.knative.dev/revision"))
-            .map(|(name, _)| name)
-            .expect("a revision pod exists");
-        bed.k8s.api().delete_pod(&victim).await.unwrap();
+        inject_now(
+            &bed,
+            FaultKind::PodKill {
+                service: "svc".into(),
+            },
+        )
+        .await;
         // Requests keep succeeding (ReplicaSet replaces the pod; the router
         // retries around endpoints that disappear mid-flight).
         for i in 0..6u8 {
@@ -117,7 +128,13 @@ fn node_failure_fails_over_function_pods_and_service_recovers() {
                     .flatten()
             })
             .expect("a function pod is placed");
-        bed.k8s.fail_node(victim_node);
+        inject_now(
+            &bed,
+            FaultKind::NodeCrash {
+                node: victim_node.0,
+            },
+        )
+        .await;
         assert!(!bed.k8s.node_is_ready(victim_node));
         // Let the node controller fail the stranded pods, then wait for the
         // ReplicaSet to replace them on healthy nodes.
@@ -156,7 +173,13 @@ fn node_failure_fails_over_function_pods_and_service_recovers() {
             assert_eq!(&resp.body[..], &[i]);
         }
         // Recovery: the node can host pods again.
-        bed.k8s.recover_node(victim_node);
+        inject_now(
+            &bed,
+            FaultKind::NodeRecover {
+                node: victim_node.0,
+            },
+        )
+        .await;
         assert!(bed.k8s.node_is_ready(victim_node));
     });
 }
@@ -195,7 +218,7 @@ fn draining_a_condor_worker_mid_workflow_still_completes() {
                 })
             })
         };
-        assert!(bed.condor.drain_node(victim));
+        inject_now(&bed, FaultKind::CondorDrain { node: victim.0 }).await;
         assert!(!bed.condor.drain_node(swf_cluster::NodeId(99)));
         let ids: Vec<_> = (0..12).map(|_| bed.condor.submit(mk())).collect();
         for id in ids {
