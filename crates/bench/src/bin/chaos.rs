@@ -2,11 +2,17 @@
 //! fault profile, per-seed, with the calm baseline alongside.
 //!
 //! Usage: `cargo run --release -p swf-bench --bin chaos
-//! [--quick] [--seeds <n>] [--heavy] [--trace] [--trace-out <path>] [--json <path>]`
+//! [--quick] [--seeds <n>] [--seed <n>] [--seed-range <a>..<b>] [--heavy]
+//! [--rescue] [--trace] [--trace-out <path>] [--json <path>]`
 //!
 //! Prints one row per seed (faults injected, task failures, workflows
 //! completed, calm vs chaos makespan) and, for any seed whose workflows
-//! did not all complete, the replayable `FaultPlan` JSON.
+//! did not all complete, the replayable `FaultPlan` JSON. With `--rescue`
+//! the sweep arms rescue-resume and self-healing (continue-others DAGs,
+//! liveness probes, circuit breaker) and reports goodput per seed:
+//! rescue rounds, nodes and task-seconds salvaged, task-seconds wasted.
+//! Final rescue DAGs of workflows that still failed are printed and
+//! embedded in the `--json` record so CI can archive them as artifacts.
 
 use swf_bench::record::ScenarioMeter;
 use swf_bench::{
@@ -16,24 +22,55 @@ use swf_chaos::{run_chaos, ChaosProfile, ChaosRunConfig, FaultPlan, SERVICE};
 use swf_core::experiments::setup_header;
 use swf_simcore::secs;
 
-fn seeds_arg() -> u64 {
+/// The seed pool: `--seed <n>` pins one seed, `--seed-range <a>..<b>`
+/// sweeps a half-open range, `--seeds <n>` sweeps `0..n`, and the default
+/// is `0..8` under `--quick`, `0..32` otherwise.
+fn seed_list() -> Vec<u64> {
     let args: Vec<String> = std::env::args().collect();
-    for (i, a) in args.iter().enumerate() {
-        if a == "--seeds" {
-            if let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                return n;
+    let value_of = |flag: &str| -> Option<String> {
+        for (i, a) in args.iter().enumerate() {
+            if a == flag {
+                return args.get(i + 1).cloned();
             }
-            eprintln!("error: --seeds requires a number");
-            std::process::exit(2);
+            if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+                return Some(v.to_string());
+            }
         }
-        if let Some(n) = a.strip_prefix("--seeds=").and_then(|s| s.parse().ok()) {
-            return n;
+        None
+    };
+    if let Some(v) = value_of("--seed") {
+        match v.parse() {
+            Ok(n) => return vec![n],
+            Err(_) => {
+                eprintln!("error: --seed requires a number, got {v:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(v) = value_of("--seed-range") {
+        if let Some((a, b)) = v.split_once("..") {
+            if let (Ok(a), Ok(b)) = (a.parse::<u64>(), b.parse::<u64>()) {
+                if a < b {
+                    return (a..b).collect();
+                }
+            }
+        }
+        eprintln!("error: --seed-range requires <a>..<b> with a < b, got {v:?}");
+        std::process::exit(2);
+    }
+    if let Some(v) = value_of("--seeds") {
+        match v.parse::<u64>() {
+            Ok(n) => return (0..n).collect(),
+            Err(_) => {
+                eprintln!("error: --seeds requires a number, got {v:?}");
+                std::process::exit(2);
+            }
         }
     }
     if is_quick() {
-        8
+        (0..8).collect()
     } else {
-        32
+        (0..32).collect()
     }
 }
 
@@ -48,15 +85,32 @@ fn main() {
     } else {
         ("light", ChaosProfile::light())
     };
-    let seeds = seeds_arg();
-    println!("## chaos seed sweep ({} profile, {seeds} seeds)", profile.0);
-    println!("seed  inj  task-fail  done  calm [s]  chaos [s]  slowdown");
+    let rescue = std::env::args().any(|a| a == "--rescue");
+    let seeds = seed_list();
+    println!(
+        "## chaos seed sweep ({} profile, {} seeds{})",
+        profile.0,
+        seeds.len(),
+        if rescue { ", rescue-resume armed" } else { "" }
+    );
+    if rescue {
+        println!(
+            "seed  inj  task-fail  done  calm [s]  chaos [s]  slowdown  rounds  salvaged  salv [s]  waste [s]"
+        );
+    } else {
+        println!("seed  inj  task-fail  done  calm [s]  chaos [s]  slowdown");
+    }
 
     let meter = ScenarioMeter::start();
     let mut rows = Vec::new();
     let mut failing: Vec<(u64, FaultPlan)> = Vec::new();
-    for seed in 0..seeds {
-        let cfg = ChaosRunConfig::quick(seed);
+    let mut rescue_artifacts: Vec<(u64, String, String)> = Vec::new();
+    for &seed in &seeds {
+        let cfg = if rescue {
+            ChaosRunConfig::rescue(seed)
+        } else {
+            ChaosRunConfig::quick(seed)
+        };
         let plan = FaultPlan::sample(
             &profile.1,
             seed,
@@ -81,16 +135,33 @@ fn main() {
         };
         let calm_s = calm.makespan.as_secs_f64();
         let chaos_s = chaos.makespan.as_secs_f64();
-        println!(
-            "{seed:>4}  {:>3}  {:>9}  {:>2}/{}  {calm_s:>8.3}  {chaos_s:>9.3}  {:>7.2}x",
-            chaos.injected,
-            chaos.task_failures,
-            chaos.completed(),
-            chaos.outcomes.len(),
-            if calm_s > 0.0 { chaos_s / calm_s } else { 1.0 },
-        );
+        let slowdown = if calm_s > 0.0 { chaos_s / calm_s } else { 1.0 };
+        if rescue {
+            println!(
+                "{seed:>4}  {:>3}  {:>9}  {:>2}/{}  {calm_s:>8.3}  {chaos_s:>9.3}  {slowdown:>7.2}x  {:>6}  {:>8}  {:>8.3}  {:>9.3}",
+                chaos.injected,
+                chaos.task_failures,
+                chaos.completed(),
+                chaos.outcomes.len(),
+                chaos.goodput.rescue_rounds,
+                chaos.goodput.nodes_salvaged,
+                chaos.goodput.salvaged_task_s,
+                chaos.goodput.wasted_task_s,
+            );
+        } else {
+            println!(
+                "{seed:>4}  {:>3}  {:>9}  {:>2}/{}  {calm_s:>8.3}  {chaos_s:>9.3}  {slowdown:>7.2}x",
+                chaos.injected,
+                chaos.task_failures,
+                chaos.completed(),
+                chaos.outcomes.len(),
+            );
+        }
         if !chaos.all_completed() {
             failing.push((seed, plan.clone()));
+            for (wf, json) in &chaos.rescue_dags {
+                rescue_artifacts.push((seed, wf.clone(), json.clone()));
+            }
         }
         let mut row = serde_json::Map::new();
         row.insert("seed", serde_json::Value::from(seed));
@@ -109,6 +180,32 @@ fn main() {
         );
         row.insert("calm_makespan_s", serde_json::Value::from(calm_s));
         row.insert("chaos_makespan_s", serde_json::Value::from(chaos_s));
+        if rescue {
+            row.insert(
+                "rescue_rounds",
+                serde_json::Value::from(chaos.goodput.rescue_rounds),
+            );
+            row.insert(
+                "nodes_salvaged",
+                serde_json::Value::from(chaos.goodput.nodes_salvaged),
+            );
+            row.insert(
+                "salvaged_task_s",
+                serde_json::Value::from(chaos.goodput.salvaged_task_s),
+            );
+            row.insert(
+                "wasted_task_s",
+                serde_json::Value::from(chaos.goodput.wasted_task_s),
+            );
+            row.insert(
+                "workflows_rescued",
+                serde_json::Value::from(chaos.goodput.workflows_rescued),
+            );
+            row.insert(
+                "mean_recovery_s",
+                serde_json::Value::from(chaos.goodput.mean_recovery_s),
+            );
+        }
         rows.push(serde_json::Value::Object(row));
     }
 
@@ -116,15 +213,36 @@ fn main() {
         println!("\nseed {seed} did not complete every workflow; replay with this plan:");
         println!("{plan}");
     }
+    for (seed, wf, json) in &rescue_artifacts {
+        println!("\nseed {seed} workflow {wf} final rescue DAG:");
+        println!("{json}");
+    }
     if json_out().is_some() {
         // The machine-readable record carries the sweep rows; failing
-        // plans are embedded so CI can archive them as artifacts.
+        // plans and final rescue DAGs are embedded so CI can archive
+        // them as artifacts.
         let mut section = serde_json::Map::new();
         section.insert("profile", serde_json::Value::from(profile.0));
+        section.insert("rescue", serde_json::Value::Bool(rescue));
         section.insert("rows", serde_json::Value::Array(rows.clone()));
         section.insert(
             "failing_plans",
             serde_json::Value::Array(failing.iter().map(|(_, p)| p.to_json()).collect()),
+        );
+        section.insert(
+            "rescue_dags",
+            serde_json::Value::Array(
+                rescue_artifacts
+                    .iter()
+                    .map(|(seed, wf, json)| {
+                        let mut m = serde_json::Map::new();
+                        m.insert("seed", serde_json::Value::from(*seed));
+                        m.insert("workflow", serde_json::Value::from(wf.clone()));
+                        m.insert("rescue", serde_json::Value::from(json.clone()));
+                        serde_json::Value::Object(m)
+                    })
+                    .collect(),
+            ),
         );
         dump_observability(&[("chaos", &obs)]);
         emit_scenario_json(

@@ -9,13 +9,19 @@
 //! faults instead of exhausting immediate retries), and with workflow
 //! tasks wired to the [`Disruptor`] so flaky/slow windows reach them.
 
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
 use bytes::Bytes;
 use swf_cluster::Request;
-use swf_condor::{run_dag, DagSpec, JobContext, JobSpec};
+use swf_condor::{
+    run_dag, run_dag_resumable, DagRun, DagSpec, FailurePolicy, JobContext, JobSpec, RescueDag,
+};
 use swf_container::Workload;
 use swf_core::config::ExperimentConfig;
 use swf_core::TestBed;
-use swf_knative::KService;
+use swf_knative::{BreakerConfig, KService};
 use swf_simcore::{
     join_all, now, secs, sleep, spawn, timeout, Elapsed, RetryPolicy, Sim, SimDuration, SimTime,
 };
@@ -45,6 +51,16 @@ pub struct ChaosRunConfig {
     /// Root seed: drives the testbed, the disruptor coin flips, and the
     /// router's retry jitter.
     pub seed: u64,
+    /// Run DAGs under [`FailurePolicy::ContinueOthers`] and resume every
+    /// halted workflow from its rescue DAG (persisted through a JSON
+    /// round-trip each round) until it completes or `max_rescue_rounds`
+    /// is spent. Also arms the self-healing stack: liveness probes on
+    /// function pods, the per-revision circuit breaker, and a bounded
+    /// queue-proxy depth.
+    pub rescue: bool,
+    /// Rescue-resume rounds allowed per workflow (ignored unless
+    /// `rescue` is set).
+    pub max_rescue_rounds: u32,
 }
 
 impl ChaosRunConfig {
@@ -60,7 +76,19 @@ impl ChaosRunConfig {
             node_retries: 4,
             deadline: secs(3600.0),
             seed,
+            rescue: false,
+            max_rescue_rounds: 0,
         }
+    }
+
+    /// The self-healing shape: `quick` plus rescue-resume with a generous
+    /// round budget, for sweeps that must complete every workflow even
+    /// under the heavy profile.
+    pub fn rescue(seed: u64) -> ChaosRunConfig {
+        let mut c = ChaosRunConfig::quick(seed);
+        c.rescue = true;
+        c.max_rescue_rounds = 16;
+        c
     }
 }
 
@@ -78,6 +106,33 @@ pub enum WorkflowOutcome {
         /// The error, stringified.
         error: String,
     },
+}
+
+/// Goodput accounting for a rescue-resume run: how much completed work
+/// the rescue DAGs carried across rounds versus how much compute failed
+/// attempts threw away. All zeros when rescue mode is off.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GoodputReport {
+    /// Task-seconds of completed work injected from rescue DAGs instead
+    /// of being re-executed (summed over every resume round).
+    pub salvaged_task_s: f64,
+    /// Task-seconds burned by failed attempts across all rounds.
+    pub wasted_task_s: f64,
+    /// Resume rounds spent across all workflows.
+    pub rescue_rounds: u64,
+    /// Node results carried over from rescue DAGs (summed over rounds).
+    pub nodes_salvaged: u64,
+    /// Workflows that needed at least one rescue round.
+    pub workflows_rescued: u64,
+    /// Mean virtual-time gap between a workflow's first halt and its
+    /// eventual completion, over rescued workflows that completed.
+    pub mean_recovery_s: f64,
+    /// Completed nodes whose execution counter moved after they were
+    /// recorded done in a rescue DAG. The sweep invariant requires zero.
+    pub reexecuted_nodes: u64,
+    /// Salvaged node outputs that did not compare bit-identical to the
+    /// final report's results. The sweep invariant requires zero.
+    pub output_mismatches: u64,
 }
 
 /// Everything a seed-sweep invariant needs from one run.
@@ -101,6 +156,11 @@ pub struct ChaosOutcome {
     pub registry_failed_pulls: u64,
     /// Full metrics registry snapshot (fault counters live here).
     pub metrics: swf_obs::MetricsSnapshot,
+    /// Goodput accounting (all zeros unless the run used rescue mode).
+    pub goodput: GoodputReport,
+    /// Final rescue DAGs (workflow name, JSON text) of workflows that
+    /// still failed after the round budget — the artifacts CI uploads.
+    pub rescue_dags: Vec<(String, String)>,
 }
 
 impl ChaosOutcome {
@@ -145,6 +205,8 @@ impl ChaosOutcome {
         }
         eat(self.injected);
         eat(self.task_failures);
+        eat(self.goodput.rescue_rounds);
+        eat(self.goodput.nodes_salvaged);
         h
     }
 }
@@ -190,7 +252,20 @@ pub fn run_chaos(cfg: &ChaosRunConfig, plan: &FaultPlan) -> Result<ChaosOutcome,
             let g = swf_obs::install(o.clone());
             (o, Some(g))
         };
-        let config = experiment_config(cfg.seed);
+        let mut config = experiment_config(cfg.seed);
+        if cfg.rescue {
+            // Arm the self-healing stack: continue-others DAGs, liveness
+            // probes on function pods, the per-revision circuit breaker,
+            // and a bounded queue-proxy depth with typed overload 503s.
+            config.dagman.on_failure = FailurePolicy::ContinueOthers;
+            config.knative.pod_probe = Some(swf_k8s::ProbeSpec {
+                period: secs(1.0),
+                unready_threshold: 1,
+                failure_threshold: 2,
+            });
+            config.knative.breaker = BreakerConfig::enabled(5, secs(8.0));
+            config.knative.data_plane.queue_depth = 8;
+        }
         let bed = TestBed::boot(&config);
         let disruptor = Disruptor::new(cfg.seed);
 
@@ -217,32 +292,87 @@ pub fn run_chaos(cfg: &ChaosRunConfig, plan: &FaultPlan) -> Result<ChaosOutcome,
 
         let mut handles = Vec::new();
         for w in 0..cfg.workflows {
-            let dag = build_chain(&cfg, w, &bed, &disruptor)?;
+            // Per-node execution counters: every job closure bumps its
+            // node's entry, so the sweep can prove salvaged nodes never
+            // re-execute after a resume.
+            let execs: Rc<RefCell<BTreeMap<String, u64>>> = Rc::new(RefCell::new(BTreeMap::new()));
+            let dag = build_chain(&cfg, w, &bed, &disruptor, &execs)?;
             let condor = bed.condor.clone();
             let dagman = config.dagman;
             let deadline = cfg.deadline;
+            let rescue_mode = cfg.rescue;
+            let max_rounds = cfg.max_rescue_rounds;
             // Deterministic stagger stands in for the zeroed phase jitter.
             let stagger = SimDuration::from_secs_f64(0.25 * w as f64);
             handles.push(spawn(async move {
                 sleep(stagger).await;
-                let outcome = match timeout(deadline, run_dag(&condor, &dag, dagman)).await {
-                    Ok(Ok(report)) => WorkflowOutcome::Completed {
-                        makespan: report.makespan(),
-                    },
-                    Ok(Err(e)) => WorkflowOutcome::Failed {
-                        error: e.to_string(),
-                    },
-                    Err(Elapsed) => WorkflowOutcome::Failed {
-                        error: "workflow deadline elapsed".to_string(),
-                    },
+                let run = if rescue_mode {
+                    timeout(
+                        deadline,
+                        run_workflow_rescued(condor, dag, dagman, max_rounds, execs),
+                    )
+                    .await
+                } else {
+                    timeout(deadline, async {
+                        match run_dag(&condor, &dag, dagman).await {
+                            Ok(report) => (
+                                WorkflowOutcome::Completed {
+                                    makespan: report.makespan(),
+                                },
+                                WorkflowStats::default(),
+                            ),
+                            Err(e) => (
+                                WorkflowOutcome::Failed {
+                                    error: e.to_string(),
+                                },
+                                WorkflowStats::default(),
+                            ),
+                        }
+                    })
+                    .await
                 };
-                (outcome, now())
+                let (outcome, stats) = match run {
+                    Ok(pair) => pair,
+                    Err(Elapsed) => (
+                        WorkflowOutcome::Failed {
+                            error: "workflow deadline elapsed".to_string(),
+                        },
+                        WorkflowStats::default(),
+                    ),
+                };
+                (outcome, now(), stats)
             }));
         }
         let settled = join_all(handles).await;
         let injected = inj_handle.await;
-        let settle_at = settled.iter().map(|(_, t)| *t).fold(t0, SimTime::max);
-        let outcomes: Vec<WorkflowOutcome> = settled.into_iter().map(|(o, _)| o).collect();
+        let settle_at = settled.iter().map(|(_, t, _)| *t).fold(t0, SimTime::max);
+        let mut goodput = GoodputReport::default();
+        let mut rescue_dags = Vec::new();
+        let mut recovery_sum = 0.0;
+        let mut recovered = 0u64;
+        let mut outcomes = Vec::new();
+        for (w, (outcome, _, stats)) in settled.into_iter().enumerate() {
+            goodput.salvaged_task_s += stats.salvaged_s;
+            goodput.wasted_task_s += stats.wasted_s;
+            goodput.rescue_rounds += stats.rounds;
+            goodput.nodes_salvaged += stats.nodes_salvaged;
+            goodput.reexecuted_nodes += stats.reexecuted;
+            goodput.output_mismatches += stats.output_mismatches;
+            if stats.rounds > 0 {
+                goodput.workflows_rescued += 1;
+            }
+            if let Some(s) = stats.recovery_s {
+                recovery_sum += s;
+                recovered += 1;
+            }
+            if let Some(json) = stats.rescue_json {
+                rescue_dags.push((format!("chaos-wf{w}"), json));
+            }
+            outcomes.push(outcome);
+        }
+        if recovered > 0 {
+            goodput.mean_recovery_s = recovery_sum / recovered as f64;
+        }
         Ok(ChaosOutcome {
             plan,
             outcomes,
@@ -258,8 +388,134 @@ pub fn run_chaos(cfg: &ChaosRunConfig, plan: &FaultPlan) -> Result<ChaosOutcome,
             registry_bytes_served: bed.registry.bytes_served(),
             registry_failed_pulls: bed.registry.failed_pulls(),
             metrics: obs.metrics(),
+            goodput,
+            rescue_dags,
         })
     })
+}
+
+/// Per-workflow bookkeeping the rescue loop threads back to [`run_chaos`].
+#[derive(Clone, Debug, Default)]
+struct WorkflowStats {
+    rounds: u64,
+    salvaged_s: f64,
+    wasted_s: f64,
+    nodes_salvaged: u64,
+    reexecuted: u64,
+    output_mismatches: u64,
+    recovery_s: Option<f64>,
+    rescue_json: Option<String>,
+}
+
+/// Run one workflow to completion through rescue-resume rounds: each halt
+/// persists a rescue DAG as JSON text, parses it back (the durability
+/// path a real submit node would take through disk), waits out the fault,
+/// and resubmits the same DAG against the parsed rescue. Completed nodes
+/// are frozen the first time a rescue records them done: their execution
+/// counters must never move again and their final outputs must compare
+/// bit-identical to the recorded bytes.
+async fn run_workflow_rescued(
+    condor: swf_condor::Condor,
+    dag: DagSpec,
+    dagman: swf_condor::DagmanConfig,
+    max_rounds: u32,
+    execs: Rc<RefCell<BTreeMap<String, u64>>>,
+) -> (WorkflowOutcome, WorkflowStats) {
+    let mut stats = WorkflowStats::default();
+    // Node name → (execution count at freeze, recorded output bytes).
+    let mut frozen: BTreeMap<String, (u64, Bytes)> = BTreeMap::new();
+    let mut rescue: Option<RescueDag> = None;
+    let mut first_halt: Option<SimTime> = None;
+    loop {
+        let run = run_dag_resumable(&condor, &dag, dagman, rescue.as_ref()).await;
+        {
+            // No frozen node may have executed again this round.
+            let counts = execs.borrow();
+            for (name, (frozen_count, _)) in &frozen {
+                if counts.get(name).copied().unwrap_or(0) > *frozen_count {
+                    stats.reexecuted += 1;
+                }
+            }
+        }
+        match run {
+            Ok(DagRun::Completed(report)) => {
+                stats.wasted_s += report.wasted_compute.as_secs_f64();
+                for (name, (_, recorded)) in &frozen {
+                    match report.node_results.get(name) {
+                        Some(r) if r.output == *recorded => {}
+                        _ => stats.output_mismatches += 1,
+                    }
+                }
+                if let Some(h) = first_halt {
+                    stats.recovery_s = Some((now() - h).as_secs_f64());
+                }
+                return (
+                    WorkflowOutcome::Completed {
+                        makespan: report.makespan(),
+                    },
+                    stats,
+                );
+            }
+            Ok(DagRun::Halted { rescue: r, report }) => {
+                stats.wasted_s += report.wasted_compute.as_secs_f64();
+                first_halt.get_or_insert(now());
+                let text = r.to_json().to_string();
+                if stats.rounds >= u64::from(max_rounds) {
+                    stats.rescue_json = Some(text);
+                    return (
+                        WorkflowOutcome::Failed {
+                            error: format!("rescue budget exhausted after {} rounds", stats.rounds),
+                        },
+                        stats,
+                    );
+                }
+                {
+                    let counts = execs.borrow();
+                    for n in &r.nodes {
+                        if let swf_condor::NodeOutcome::Done { result } = &n.outcome {
+                            frozen.entry(n.name.clone()).or_insert_with(|| {
+                                (
+                                    counts.get(&n.name).copied().unwrap_or(0),
+                                    result.output.clone(),
+                                )
+                            });
+                        }
+                    }
+                }
+                // Persist through the JSON text form and resume from the
+                // parsed copy — a parse failure is a typed workflow
+                // failure, never a panic.
+                match RescueDag::parse(&text) {
+                    Ok(back) => {
+                        stats.rounds += 1;
+                        stats.salvaged_s += back.salvaged_compute().as_secs_f64();
+                        stats.nodes_salvaged += back.done_nodes().len() as u64;
+                        rescue = Some(back);
+                    }
+                    Err(e) => {
+                        stats.rescue_json = Some(text);
+                        return (
+                            WorkflowOutcome::Failed {
+                                error: format!("rescue persistence: {e}"),
+                            },
+                            stats,
+                        );
+                    }
+                }
+                // Give the fault that halted us time to clear before the
+                // resume round resubmits.
+                sleep(secs(5.0)).await;
+            }
+            Err(e) => {
+                return (
+                    WorkflowOutcome::Failed {
+                        error: e.to_string(),
+                    },
+                    stats,
+                )
+            }
+        }
+    }
 }
 
 /// One workflow: a sequential chain of `tasks_per_workflow` tasks, every
@@ -271,18 +527,23 @@ fn build_chain(
     w: usize,
     bed: &TestBed,
     disruptor: &Disruptor,
+    execs: &Rc<RefCell<BTreeMap<String, u64>>>,
 ) -> Result<DagSpec, String> {
     let base = SimDuration::from_secs_f64(cfg.task_secs);
     let mut dag = DagSpec::named(format!("chaos-wf{w}"));
     let mut prev: Option<usize> = None;
     for t in 0..cfg.tasks_per_workflow {
         let serverless = cfg.serverless_every > 0 && (t + 1) % cfg.serverless_every == 0;
+        let name = format!("wf{w}-t{t}");
         let job = if serverless {
             let kn = bed.knative.clone();
             let d = disruptor.clone();
+            let execs = execs.clone();
+            let name = name.clone();
             JobSpec::new(move |ctx: JobContext| {
                 let kn = kn.clone();
                 let d = d.clone();
+                *execs.borrow_mut().entry(name.clone()).or_insert(0) += 1;
                 Box::pin(async move {
                     if d.should_fail() {
                         return Err("chaos: injected task failure".to_string());
@@ -300,8 +561,11 @@ fn build_chain(
             })
         } else {
             let d = disruptor.clone();
+            let execs = execs.clone();
+            let name = name.clone();
             JobSpec::new(move |ctx: JobContext| {
                 let d = d.clone();
+                *execs.borrow_mut().entry(name.clone()).or_insert(0) += 1;
                 Box::pin(async move {
                     if d.should_fail() {
                         return Err("chaos: injected task failure".to_string());
@@ -311,7 +575,7 @@ fn build_chain(
                 })
             })
         };
-        let idx = dag.add_node_with_retries(format!("wf{w}-t{t}"), job, cfg.node_retries);
+        let idx = dag.add_node_with_retries(name, job, cfg.node_retries);
         if let Some(p) = prev {
             dag.add_edge(p, idx).map_err(|e| e.to_string())?;
         }
@@ -338,6 +602,48 @@ mod tests {
             a.makespan.as_secs_f64().to_bits(),
             b.makespan.as_secs_f64().to_bits()
         );
+    }
+
+    #[test]
+    fn rescue_resume_completes_after_a_forced_node_failure() {
+        use crate::plan::FaultKind;
+        let cfg = ChaosRunConfig::rescue(21);
+        // Let the first task of each chain finish, then make every task
+        // attempt fail long enough to exhaust DAGMan's retries: the run
+        // must halt, write rescues, and complete on a later resume round
+        // without re-executing the salvaged first tasks.
+        let mut plan = FaultPlan::calm();
+        plan.push(
+            secs(5.0),
+            FaultKind::FlakyTasks {
+                window: secs(30.0),
+                fail_chance: 1.0,
+            },
+        );
+        let out = run_chaos(&cfg, &plan).unwrap();
+        assert!(
+            out.all_completed(),
+            "rescue-resume must complete every workflow: {:?}",
+            out.outcomes
+        );
+        assert!(out.goodput.rescue_rounds >= 1, "must have resumed");
+        assert!(out.goodput.nodes_salvaged >= 1, "must have salvaged work");
+        assert!(out.goodput.salvaged_task_s > 0.0);
+        assert_eq!(out.goodput.reexecuted_nodes, 0, "salvaged nodes re-ran");
+        assert_eq!(out.goodput.output_mismatches, 0, "salvaged outputs drifted");
+        assert!(out.goodput.mean_recovery_s > 0.0);
+        assert!(out.rescue_dags.is_empty(), "no workflow exhausted rounds");
+    }
+
+    #[test]
+    fn rescue_mode_is_inert_on_a_calm_run() {
+        let quick = run_chaos(&ChaosRunConfig::quick(3), &FaultPlan::calm()).unwrap();
+        let rescue = run_chaos(&ChaosRunConfig::rescue(3), &FaultPlan::calm()).unwrap();
+        assert!(rescue.all_completed());
+        assert_eq!(rescue.goodput, GoodputReport::default());
+        // The armed stack (probes, breaker, queue depth) changes no calm
+        // outcome: same completions, zero rescue machinery engaged.
+        assert_eq!(quick.completed(), rescue.completed());
     }
 
     #[test]

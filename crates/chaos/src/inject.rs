@@ -2,6 +2,7 @@
 //! through public fault hooks, recording every injection in swf-obs.
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use swf_cluster::{Cluster, LinkQuality, NodeId};
@@ -137,11 +138,15 @@ impl Injector {
     /// Apply every event at its scheduled offset from now. Each injection
     /// is recorded as a `chaos/injector` span and bumps both the global
     /// `chaos.injected` counter and a per-class `chaos.<kind>` counter.
+    /// Paired start/end faults additionally observe the outage duration as
+    /// `chaos.outage_s.<class>` when the end event lands, so goodput
+    /// reports can relate salvage to how long each disruption lasted.
     /// Returns the number of injections applied.
     pub async fn run(self, stack: Stack, disruptor: Option<Disruptor>) -> u64 {
         let obs = swf_obs::current();
         let start = now();
         let mut injected = 0u64;
+        let mut open: BTreeMap<String, SimTime> = BTreeMap::new();
         for ev in &self.plan.events {
             let due = start + ev.at;
             let t = now();
@@ -156,11 +161,42 @@ impl Injector {
                 swf_obs::Category::Other,
             );
             Self::apply(&ev.kind, &stack, disruptor.as_ref()).await;
+            Self::track_outage(&ev.kind, &mut open, &obs);
             obs.counter_add("chaos.injected", 1);
             obs.counter_add(&format!("chaos.{label}"), 1);
             injected += 1;
         }
         injected
+    }
+
+    /// Match paired start/end events and observe the elapsed outage. An
+    /// end without a recorded start (plan truncation) is ignored.
+    fn track_outage(kind: &FaultKind, open: &mut BTreeMap<String, SimTime>, obs: &swf_obs::Obs) {
+        let (key, class, is_start) = match kind {
+            FaultKind::NodeCrash { node } => (format!("node-crash/{node}"), "node-crash", true),
+            FaultKind::NodeRecover { node } => (format!("node-crash/{node}"), "node-crash", false),
+            FaultKind::CondorDrain { node } => (format!("drain/{node}"), "drain", true),
+            FaultKind::CondorResume { node } => (format!("drain/{node}"), "drain", false),
+            FaultKind::Partition { a, b } => (format!("partition/{a}-{b}"), "partition", true),
+            FaultKind::Heal { a, b } => (format!("partition/{a}-{b}"), "partition", false),
+            FaultKind::DegradeLink { a, b, .. } => (format!("degrade/{a}-{b}"), "degrade", true),
+            FaultKind::RestoreLink { a, b } => (format!("degrade/{a}-{b}"), "degrade", false),
+            FaultKind::RegistryOutageStart => {
+                ("registry-outage".to_string(), "registry-outage", true)
+            }
+            FaultKind::RegistryOutageEnd => {
+                ("registry-outage".to_string(), "registry-outage", false)
+            }
+            _ => return,
+        };
+        if is_start {
+            open.insert(key, now());
+        } else if let Some(opened) = open.remove(&key) {
+            obs.observe(
+                &format!("chaos.outage_s.{class}"),
+                (now() - opened).as_secs_f64(),
+            );
+        }
     }
 
     async fn apply(kind: &FaultKind, stack: &Stack, disruptor: Option<&Disruptor>) {
@@ -236,6 +272,29 @@ impl Injector {
             FaultKind::SlowTasks { window, factor } => {
                 if let Some(d) = disruptor {
                     d.open_slow(*window, *factor);
+                }
+            }
+            FaultKind::ContainerCrash { service } => {
+                // Crash the backing container of the first (name-ordered)
+                // running pod of the service's active revision. The pod
+                // object stays; only a liveness probe brings it back.
+                let rev = format!("{service}-00001");
+                let victim = stack
+                    .k8s
+                    .api()
+                    .pods()
+                    .filter(|p| {
+                        p.meta.labels.get(Revision::pod_label()) == Some(&rev)
+                            && p.status.container.is_some()
+                    })
+                    .into_iter()
+                    .next();
+                if let Some(pod) = victim {
+                    if let (Some(node), Some(container)) = (pod.status.node, pod.status.container) {
+                        if let Some(rt) = stack.k8s.runtime(node) {
+                            let _ = rt.crash(container);
+                        }
+                    }
                 }
             }
         }

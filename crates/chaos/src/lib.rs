@@ -24,6 +24,10 @@
 //! - [`run_chaos`] ([`experiment`]): a concurrent-workflow experiment under
 //!   a fault plan, returning per-workflow typed outcomes plus the registry
 //!   byte ledger and fault counters that the seed-sweep invariants check.
+//!   With [`ChaosRunConfig::rescue`] set, halted workflows persist rescue
+//!   DAGs (JSON round-trip) and resume until they complete, and the
+//!   outcome carries a [`GoodputReport`] — task-seconds salvaged versus
+//!   wasted, rounds spent, and recovery latency.
 
 #![warn(missing_docs)]
 
@@ -32,7 +36,9 @@ pub mod inject;
 pub mod plan;
 pub mod profile;
 
-pub use experiment::{run_chaos, ChaosOutcome, ChaosRunConfig, WorkflowOutcome, SERVICE};
+pub use experiment::{
+    run_chaos, ChaosOutcome, ChaosRunConfig, GoodputReport, WorkflowOutcome, SERVICE,
+};
 pub use inject::{Disruptor, Injector, Stack};
 pub use plan::{FaultEvent, FaultKind, FaultPlan};
 pub use profile::ChaosProfile;

@@ -92,6 +92,13 @@ pub enum FaultKind {
         /// Compute-time multiplier (≥ 1 slows tasks).
         factor: f64,
     },
+    /// Crash the backing container of one running pod of a Knative
+    /// service (first in name order), leaving the pod object alive — the
+    /// fault a liveness probe detects and heals in place.
+    ContainerCrash {
+        /// The KService whose container crashes.
+        service: String,
+    },
 }
 
 impl FaultKind {
@@ -111,6 +118,7 @@ impl FaultKind {
             FaultKind::RegistryOutageEnd => "registry-outage-end",
             FaultKind::FlakyTasks { .. } => "flaky-tasks",
             FaultKind::SlowTasks { .. } => "slow-tasks",
+            FaultKind::ContainerCrash { .. } => "container-crash",
         }
     }
 }
@@ -266,6 +274,15 @@ impl FaultPlan {
                     kind: FaultKind::PodKill { service },
                 });
             }
+
+            let mut rng = DetRng::new(seed, "chaos-container-crash");
+            for (t, _) in windows(&mut rng, profile.container_crash_interval, 1.0, h) {
+                let service = services[rng.index(services.len())].clone();
+                plan.events.push(FaultEvent {
+                    at: SimDuration::from_secs_f64(t),
+                    kind: FaultKind::ContainerCrash { service },
+                });
+            }
         }
 
         let mut rng = DetRng::new(seed, "chaos-registry");
@@ -362,6 +379,9 @@ impl FaultPlan {
                         m.insert("window_ns", Value::from(window.as_nanos()));
                         put_f64(&mut m, "factor", *factor);
                     }
+                    FaultKind::ContainerCrash { service } => {
+                        m.insert("service", Value::from(service.clone()));
+                    }
                 }
                 Value::Object(m)
             })
@@ -434,6 +454,13 @@ impl FaultPlan {
                 "slow-tasks" => FaultKind::SlowTasks {
                     window: SimDuration::from_nanos(get_u64(ev, "window_ns")?),
                     factor: get_f64(ev, "factor")?,
+                },
+                "container-crash" => FaultKind::ContainerCrash {
+                    service: ev
+                        .get("service")
+                        .and_then(|s| s.as_str())
+                        .ok_or_else(|| "container-crash: missing service".to_string())?
+                        .to_string(),
                 },
                 other => return Err(format!("fault event: unknown kind {other:?}")),
             };

@@ -15,6 +15,9 @@ pub struct ChaosProfile {
     pub drain_window: f64,
     /// Mean gap between pod kills.
     pub pod_kill_interval: f64,
+    /// Mean gap between container crashes (pod survives, container dies —
+    /// the fault liveness probes heal in place).
+    pub container_crash_interval: f64,
     /// Mean gap between network partitions (submit ↔ worker).
     pub partition_interval: f64,
     /// Mean length of a partition.
@@ -54,6 +57,7 @@ impl ChaosProfile {
             drain_interval: 0.0,
             drain_window: 0.0,
             pod_kill_interval: 0.0,
+            container_crash_interval: 0.0,
             partition_interval: 0.0,
             partition_window: 0.0,
             degrade_interval: 0.0,
@@ -81,6 +85,7 @@ impl ChaosProfile {
             drain_interval: 120.0,
             drain_window: 10.0,
             pod_kill_interval: 60.0,
+            container_crash_interval: 0.0,
             partition_interval: 100.0,
             partition_window: 3.0,
             degrade_interval: 70.0,
@@ -107,6 +112,7 @@ impl ChaosProfile {
             drain_interval: 40.0,
             drain_window: 12.0,
             pod_kill_interval: 20.0,
+            container_crash_interval: 45.0,
             partition_interval: 35.0,
             partition_window: 4.0,
             degrade_interval: 25.0,

@@ -9,9 +9,10 @@ use std::collections::BTreeMap;
 
 use swf_simcore::{now, sleep, RetryPolicy, SimDuration, SimTime};
 
-use crate::error::CondorError;
+use crate::error::{CondorError, DagProgress};
 use crate::job::{JobId, JobResult, JobSpec, JobStatus};
 use crate::pool::Condor;
+use crate::rescue::{NodeOutcome, RescueDag, RescueNode};
 
 /// One DAG node.
 pub struct DagNode {
@@ -136,6 +137,19 @@ impl DagSpec {
     }
 }
 
+/// What DAGMan does when a node exhausts its retries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Abort the whole DAG immediately with a typed error — the historical
+    /// behaviour, kept as the default so existing runs do not drift.
+    #[default]
+    Abort,
+    /// Real DAGMan's continue-others policy: let every node not depending
+    /// on the failure run to completion, then halt and emit a
+    /// [`RescueDag`] recording done/failed/pending nodes for a resume run.
+    ContinueOthers,
+}
+
 /// DAGMan parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct DagmanConfig {
@@ -157,6 +171,9 @@ pub struct DagmanConfig {
     /// its job log on the same cadence). The per-node retry *count* stays
     /// on [`DagNode::retries`]; only the spacing comes from the policy.
     pub retry: RetryPolicy,
+    /// Failure handling: abort (historical default) or continue-others
+    /// with a rescue DAG, like real DAGMan.
+    pub on_failure: FailurePolicy,
 }
 
 impl Default for DagmanConfig {
@@ -166,6 +183,7 @@ impl Default for DagmanConfig {
             max_jobs: 0,
             poll_jitter_cv: 0.0,
             retry: RetryPolicy::immediate(1),
+            on_failure: FailurePolicy::Abort,
         }
     }
 }
@@ -181,6 +199,9 @@ pub struct DagReport {
     pub finished: SimTime,
     /// Total condor jobs submitted (includes retries).
     pub jobs_submitted: u32,
+    /// Execution time spent on attempts that ended in failure — the
+    /// "wasted task-seconds" side of goodput accounting.
+    pub wasted_compute: SimDuration,
     /// Root span of the workflow trace (`NONE` when tracing is disabled).
     pub root_span: swf_obs::SpanContext,
 }
@@ -193,21 +214,115 @@ impl DagReport {
 }
 
 enum NodeState {
-    Waiting { missing_parents: usize },
+    Waiting {
+        missing_parents: usize,
+    },
     Ready,
-    Submitted { id: JobId, attempt: u32 },
-    Backoff { until: SimTime, attempt: u32 },
+    Submitted {
+        id: JobId,
+        attempt: u32,
+    },
+    Backoff {
+        until: SimTime,
+        attempt: u32,
+    },
     Done,
+    /// Exhausted its retries under the continue-others policy.
+    Failed,
+    /// Unreachable: a (transitive) parent failed, so it can never run.
+    Futile,
+}
+
+/// Outcome of a resumable DAG run.
+#[derive(Clone, Debug)]
+pub enum DagRun {
+    /// Every node ran (or was salvaged) to success.
+    Completed(DagReport),
+    /// Under [`FailurePolicy::ContinueOthers`], at least one node exhausted
+    /// its retries; every independent sibling ran to completion first.
+    Halted {
+        /// The persistent rescue artifact a resume run loads.
+        rescue: RescueDag,
+        /// Partial report: results of the nodes that did complete.
+        report: DagReport,
+    },
+}
+
+impl DagRun {
+    /// The report of this run, completed or partial.
+    pub fn report(&self) -> &DagReport {
+        match self {
+            DagRun::Completed(r) => r,
+            DagRun::Halted { report, .. } => report,
+        }
+    }
 }
 
 /// Execute a DAG on a condor pool to completion.
-#[allow(clippy::needless_range_loop)] // indices address parallel state vectors
+///
+/// This is the historical abort-on-failure entry point: under
+/// [`FailurePolicy::Abort`] (the default) a node that exhausts its retries
+/// fails the whole DAG with a typed [`CondorError::DagNodeFailed`]. When the
+/// config opts into continue-others, a halt is mapped onto the same error
+/// (first failed node); use [`run_dag_resumable`] to get the rescue DAG.
 pub async fn run_dag(
     condor: &Condor,
     dag: &DagSpec,
     config: DagmanConfig,
 ) -> Result<DagReport, CondorError> {
+    match run_dag_resumable(condor, dag, config, None).await? {
+        DagRun::Completed(report) => Ok(report),
+        DagRun::Halted { rescue, .. } => Err(rescue_to_error(&rescue)),
+    }
+}
+
+/// Collapse a halt into the abort-style error, for callers that do not
+/// resume: the first failed node is reported, with the full node sets.
+fn rescue_to_error(rescue: &RescueDag) -> CondorError {
+    let (node, attempts, last_error) = rescue
+        .nodes
+        .iter()
+        .find_map(|n| match &n.outcome {
+            NodeOutcome::Failed {
+                attempts,
+                last_error,
+            } => Some((n.name.clone(), *attempts, last_error.clone())),
+            _ => None,
+        })
+        .unwrap_or(("<none>".to_string(), 0, "no failed node".to_string()));
+    CondorError::DagNodeFailed {
+        node,
+        attempts,
+        last_error,
+        progress: Box::new(DagProgress {
+            done: rescue.done_nodes().iter().map(|s| s.to_string()).collect(),
+            pending: rescue
+                .pending_nodes()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            running: Vec::new(),
+        }),
+    }
+}
+
+/// Execute a DAG with rescue semantics: under
+/// [`FailurePolicy::ContinueOthers`] a failed node halts only its
+/// descendants, and the run returns a [`RescueDag`]. Passing the rescue of
+/// a previous run as `resume` pre-marks its done nodes — they are provably
+/// never resubmitted, and their recorded results (output bytes, exact
+/// timestamps) are injected verbatim into the new report.
+#[allow(clippy::needless_range_loop)] // indices address parallel state vectors
+pub async fn run_dag_resumable(
+    condor: &Condor,
+    dag: &DagSpec,
+    config: DagmanConfig,
+    resume: Option<&RescueDag>,
+) -> Result<DagRun, CondorError> {
     dag.validate()?;
+    if let Some(rescue) = resume {
+        check_rescue_matches(dag, rescue)?;
+    }
     let started = now();
     let obs = swf_obs::current();
     let root = obs.start_span(
@@ -237,6 +352,40 @@ pub async fn run_dag(
     let mut done = 0usize;
     let mut in_flight = 0usize;
     let mut jobs_submitted = 0u32;
+    let mut wasted = SimDuration::ZERO;
+    // Per-node (attempts, last_error) of continue-others failures.
+    let mut failures: BTreeMap<usize, (u32, String)> = BTreeMap::new();
+
+    // Inject the salvage: every node the rescue DAG marks DONE starts in
+    // the Done state with its recorded result, is counted settled, and
+    // unlocks its children — without ever being submitted.
+    if let Some(rescue) = resume {
+        let mut salvaged = SimDuration::ZERO;
+        for (i, rnode) in rescue.nodes.iter().enumerate() {
+            let NodeOutcome::Done { result } = &rnode.outcome else {
+                continue;
+            };
+            results.insert(dag.nodes[i].name.clone(), result.clone());
+            states[i] = NodeState::Done;
+            done += 1;
+            salvaged += result.execution_time();
+        }
+        for i in 0..dag.nodes.len() {
+            if !matches!(states[i], NodeState::Done) {
+                continue;
+            }
+            for &c in &dag.children[i] {
+                if let NodeState::Waiting { missing_parents } = &mut states[c] {
+                    *missing_parents -= 1;
+                    if *missing_parents == 0 {
+                        states[c] = NodeState::Ready;
+                    }
+                }
+            }
+        }
+        obs.counter_add("dagman.nodes_salvaged", done as u64);
+        obs.observe("dagman.salvaged_task_s", salvaged.as_secs_f64());
+    }
 
     while done < dag.nodes.len() {
         // Submit every ready node — and every node whose backoff expired —
@@ -295,6 +444,9 @@ pub async fn run_dag(
                     }
                 }
                 JobStatus::Completed(result) => {
+                    // The attempt ran and failed: its execution time is
+                    // wasted compute, the other side of goodput accounting.
+                    wasted += result.execution_time();
                     if attempt < dag.nodes[i].retries {
                         obs.counter_add("dagman.node_retries", 1);
                         let delay = config.retry.delay_for(attempt + 1, &mut retry_rng);
@@ -316,13 +468,63 @@ pub async fn run_dag(
                             };
                         }
                     } else {
+                        let attempts = attempt + 1;
+                        let last_error = String::from_utf8_lossy(&result.output).to_string();
                         obs.end(node_spans[i]);
-                        obs.end(root);
-                        return Err(CondorError::DagNodeFailed {
-                            node: dag.nodes[i].name.clone(),
-                            attempts: attempt + 1,
-                            last_error: String::from_utf8_lossy(&result.output).to_string(),
-                        });
+                        match config.on_failure {
+                            FailurePolicy::Abort => {
+                                obs.end(root);
+                                let mut done_set = Vec::new();
+                                let mut pending = Vec::new();
+                                let mut running = Vec::new();
+                                for (j, st) in states.iter().enumerate() {
+                                    if j == i {
+                                        continue;
+                                    }
+                                    let name = dag.nodes[j].name.clone();
+                                    match st {
+                                        NodeState::Done => done_set.push(name),
+                                        NodeState::Submitted { .. } | NodeState::Backoff { .. } => {
+                                            running.push(name)
+                                        }
+                                        NodeState::Waiting { .. }
+                                        | NodeState::Ready
+                                        | NodeState::Failed
+                                        | NodeState::Futile => pending.push(name),
+                                    }
+                                }
+                                return Err(CondorError::DagNodeFailed {
+                                    node: dag.nodes[i].name.clone(),
+                                    attempts,
+                                    last_error,
+                                    progress: Box::new(DagProgress {
+                                        done: done_set,
+                                        pending,
+                                        running,
+                                    }),
+                                });
+                            }
+                            FailurePolicy::ContinueOthers => {
+                                obs.counter_add("dagman.node_failures", 1);
+                                failures.insert(i, (attempts, last_error));
+                                states[i] = NodeState::Failed;
+                                done += 1;
+                                in_flight -= 1;
+                                // Everything downstream of the failure can
+                                // never run; settle it as futile so the run
+                                // halts once the independent siblings finish.
+                                // Strict descendants are necessarily still
+                                // Waiting (this node never completed).
+                                let mut stack = dag.children[i].clone();
+                                while let Some(c) = stack.pop() {
+                                    if matches!(states[c], NodeState::Waiting { .. }) {
+                                        states[c] = NodeState::Futile;
+                                        done += 1;
+                                        stack.extend(dag.children[c].iter().copied());
+                                    }
+                                }
+                            }
+                        }
                     }
                 }
                 _ => {}
@@ -331,13 +533,79 @@ pub async fn run_dag(
     }
 
     obs.end(root);
-    Ok(DagReport {
+    let report = DagReport {
         node_results: results,
         started,
         finished: now(),
         jobs_submitted,
+        wasted_compute: wasted,
         root_span: root,
+    };
+    if failures.is_empty() {
+        return Ok(DagRun::Completed(report));
+    }
+    // At least one node failed under continue-others: write the rescue DAG.
+    obs.counter_add("dagman.rescues_written", 1);
+    obs.observe("dagman.wasted_task_s", wasted.as_secs_f64());
+    let nodes = dag
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let outcome = if let Some(result) = report.node_results.get(&n.name) {
+                NodeOutcome::Done {
+                    result: result.clone(),
+                }
+            } else if let Some((attempts, last_error)) = failures.get(&i) {
+                NodeOutcome::Failed {
+                    attempts: *attempts,
+                    last_error: last_error.clone(),
+                }
+            } else {
+                NodeOutcome::Pending
+            };
+            RescueNode {
+                name: n.name.clone(),
+                outcome,
+            }
+        })
+        .collect();
+    Ok(DagRun::Halted {
+        rescue: RescueDag {
+            workflow: dag.name().to_string(),
+            written_at: now(),
+            nodes,
+        },
+        report,
     })
+}
+
+/// A resume must target the same DAG that wrote the rescue: same workflow
+/// name, same node count, same node names in the same order.
+fn check_rescue_matches(dag: &DagSpec, rescue: &RescueDag) -> Result<(), CondorError> {
+    if rescue.workflow != dag.name() {
+        return Err(CondorError::InvalidDag(format!(
+            "rescue dag is for workflow {:?}, not {:?}",
+            rescue.workflow,
+            dag.name()
+        )));
+    }
+    if rescue.nodes.len() != dag.nodes.len() {
+        return Err(CondorError::InvalidDag(format!(
+            "rescue dag has {} nodes, DAG has {}",
+            rescue.nodes.len(),
+            dag.nodes.len()
+        )));
+    }
+    for (i, (r, n)) in rescue.nodes.iter().zip(dag.nodes.iter()).enumerate() {
+        if r.name != n.name {
+            return Err(CondorError::InvalidDag(format!(
+                "rescue dag node {i} is {:?}, DAG has {:?}",
+                r.name, n.name
+            )));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -626,6 +894,197 @@ mod tests {
             // 6 jobs, 2 at a time, 3s each → at least 9s of pure compute.
             assert!((now() - t0).as_secs_f64() >= 9.0);
             assert_eq!(report.node_results.len(), 6);
+        });
+    }
+
+    #[test]
+    fn abort_error_carries_the_node_sets() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let condor = fast_pool();
+            let mut dag = DagSpec::new();
+            // fast -> doomed -> child, with an independent slow sibling that
+            // is still running when doomed exhausts its retries.
+            let fast = dag.add_node("fast", compute_job(0.1));
+            let doomed = dag.add_node(
+                "doomed",
+                JobSpec::new(|_ctx| Box::pin(async { Err("always fails".to_string()) })),
+            );
+            let child = dag.add_node("child", compute_job(0.1));
+            dag.add_node("slow-sibling", compute_job(500.0));
+            dag.add_edge(fast, doomed).unwrap();
+            dag.add_edge(doomed, child).unwrap();
+            let err = run_dag(&condor, &dag, DagmanConfig::default())
+                .await
+                .unwrap_err();
+            match err {
+                CondorError::DagNodeFailed { node, progress, .. } => {
+                    assert_eq!(node, "doomed");
+                    assert_eq!(progress.done, vec!["fast"]);
+                    assert_eq!(progress.pending, vec!["child"]);
+                    assert_eq!(progress.running, vec!["slow-sibling"]);
+                }
+                other => panic!("unexpected {other}"),
+            }
+        });
+    }
+
+    #[test]
+    fn continue_others_runs_independent_siblings_and_writes_a_rescue() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let condor = fast_pool();
+            let mut dag = DagSpec::named("wf-rescue");
+            // doomed -> child (futile); three independent siblings must all
+            // still complete after the failure.
+            let doomed = dag.add_node(
+                "doomed",
+                JobSpec::new(|_ctx| Box::pin(async { Err("always fails".to_string()) })),
+            );
+            let child = dag.add_node("child", compute_job(0.1));
+            dag.add_edge(doomed, child).unwrap();
+            for i in 0..3 {
+                dag.add_node(format!("sib{i}"), compute_job(5.0 + i as f64));
+            }
+            let config = DagmanConfig {
+                on_failure: FailurePolicy::ContinueOthers,
+                ..DagmanConfig::default()
+            };
+            let run = run_dag_resumable(&condor, &dag, config, None)
+                .await
+                .unwrap();
+            let DagRun::Halted { rescue, report } = run else {
+                panic!("expected a halted run");
+            };
+            assert_eq!(rescue.workflow, "wf-rescue");
+            assert_eq!(rescue.done_nodes(), vec!["sib0", "sib1", "sib2"]);
+            assert_eq!(rescue.failed_nodes(), vec!["doomed"]);
+            assert_eq!(rescue.pending_nodes(), vec!["child"]);
+            assert_eq!(report.node_results.len(), 3);
+            // Only the doomed node's single short attempt is wasted.
+            assert!(report.wasted_compute.as_secs_f64() < 1.0);
+            // Round-trips through its JSON text form.
+            let back = RescueDag::parse(&rescue.to_string()).unwrap();
+            assert_eq!(rescue, back);
+        });
+    }
+
+    #[test]
+    fn resume_reexecutes_zero_done_nodes_bit_identically() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let condor = fast_pool();
+            // Per-node execution counters prove what actually ran.
+            let execs: Rc<RefCell<BTreeMap<String, u32>>> = Rc::new(RefCell::new(BTreeMap::new()));
+            // The doomed node fails on its first life and succeeds after
+            // resume (the "operator fixed it" scenario).
+            let fixed = Rc::new(RefCell::new(false));
+            let counted = |name: &str, out: &[u8]| {
+                let execs = Rc::clone(&execs);
+                let name = name.to_string();
+                let out = Bytes::copy_from_slice(out);
+                JobSpec::new(move |ctx: JobContext| {
+                    let execs = Rc::clone(&execs);
+                    let name = name.clone();
+                    let out = out.clone();
+                    Box::pin(async move {
+                        ctx.compute(secs(1.0)).await;
+                        *execs.borrow_mut().entry(name).or_insert(0) += 1;
+                        Ok(out)
+                    })
+                })
+            };
+            let mut dag = DagSpec::named("wf");
+            let a = dag.add_node("a", counted("a", b"\x00\xffout-a"));
+            let fixed2 = Rc::clone(&fixed);
+            let execs2 = Rc::clone(&execs);
+            let b = dag.add_node(
+                "b",
+                JobSpec::new(move |_ctx| {
+                    let fixed = Rc::clone(&fixed2);
+                    let execs = Rc::clone(&execs2);
+                    Box::pin(async move {
+                        *execs.borrow_mut().entry("b".into()).or_insert(0) += 1;
+                        if *fixed.borrow() {
+                            Ok(Bytes::from_static(b"out-b"))
+                        } else {
+                            Err("broken dependency".to_string())
+                        }
+                    })
+                }),
+            );
+            let c = dag.add_node("c", counted("c", b"out-c"));
+            dag.add_edge(a, b).unwrap();
+            dag.add_edge(b, c).unwrap();
+            dag.add_node("side", counted("side", b"out-side"));
+            let config = DagmanConfig {
+                on_failure: FailurePolicy::ContinueOthers,
+                ..DagmanConfig::default()
+            };
+            let DagRun::Halted { rescue, .. } = run_dag_resumable(&condor, &dag, config, None)
+                .await
+                .unwrap()
+            else {
+                panic!("expected a halted first run");
+            };
+            assert_eq!(rescue.done_nodes(), vec!["a", "side"]);
+            let first_execs = execs.borrow().clone();
+            let first_a = rescue.nodes[0].clone();
+
+            // Resume from the persisted JSON text, not the in-memory value:
+            // the round trip is part of what is being proven.
+            *fixed.borrow_mut() = true;
+            let reloaded = RescueDag::parse(&rescue.to_string()).unwrap();
+            let run = run_dag_resumable(&condor, &dag, config, Some(&reloaded))
+                .await
+                .unwrap();
+            let DagRun::Completed(report) = run else {
+                panic!("expected the resumed run to complete");
+            };
+            // Done nodes ran exactly once across both lives...
+            assert_eq!(execs.borrow()["a"], 1);
+            assert_eq!(execs.borrow()["side"], 1);
+            assert_eq!(execs.borrow()["c"], 1);
+            assert_eq!(first_execs["a"], 1);
+            // ...and the salvaged result is bit-identical to the recording,
+            // exact timestamps included.
+            let NodeOutcome::Done { result } = &first_a.outcome else {
+                panic!("node a must be recorded done");
+            };
+            assert_eq!(&report.node_results["a"], result);
+            assert_eq!(&report.node_results["a"].output[..], b"\x00\xffout-a");
+            assert_eq!(report.node_results.len(), 4);
+        });
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_rescue() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let condor = fast_pool();
+            let mut dag = DagSpec::named("wf");
+            dag.add_node("a", compute_job(0.1));
+            let rescue = RescueDag {
+                workflow: "other".into(),
+                written_at: SimTime::from_nanos(0),
+                nodes: vec![RescueNode {
+                    name: "a".into(),
+                    outcome: NodeOutcome::Pending,
+                }],
+            };
+            let err = run_dag_resumable(&condor, &dag, DagmanConfig::default(), Some(&rescue))
+                .await
+                .unwrap_err();
+            assert!(matches!(err, CondorError::InvalidDag(_)));
+            let rescue = RescueDag {
+                workflow: "wf".into(),
+                written_at: SimTime::from_nanos(0),
+                nodes: Vec::new(),
+            };
+            let err = run_dag_resumable(&condor, &dag, DagmanConfig::default(), Some(&rescue))
+                .await
+                .unwrap_err();
+            assert!(matches!(err, CondorError::InvalidDag(_)));
         });
     }
 

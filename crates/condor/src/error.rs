@@ -4,6 +4,24 @@ use std::fmt;
 
 use crate::job::JobId;
 
+/// Snapshot of DAG progress at the instant a node failure surfaced —
+/// what a rescue DAG would record, attached to the abort-style error so
+/// non-resuming callers still see what was lost. Boxed inside
+/// [`CondorError::DagNodeFailed`] to keep the error small on the `Ok`
+/// path.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DagProgress {
+    /// Names of nodes that had completed when the failure surfaced
+    /// (what a rescue DAG would mark DONE).
+    pub done: Vec<String>,
+    /// Names of nodes that had not yet started (waiting on parents, or
+    /// unreachable behind the failure).
+    pub pending: Vec<String>,
+    /// Names of nodes with an attempt in flight (submitted or backing
+    /// off between retries) at failure time.
+    pub running: Vec<String>,
+}
+
 /// Errors from the HTCondor-style substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CondorError {
@@ -27,6 +45,8 @@ pub enum CondorError {
         attempts: u32,
         /// Last error text.
         last_error: String,
+        /// Done/pending/running node sets at failure time.
+        progress: Box<DagProgress>,
     },
 }
 
@@ -43,9 +63,14 @@ impl fmt::Display for CondorError {
                 node,
                 attempts,
                 last_error,
+                progress,
             } => write!(
                 f,
-                "DAG node {node} failed after {attempts} attempts: {last_error}"
+                "DAG node {node} failed after {attempts} attempts \
+                 ({} done, {} pending, {} running): {last_error}",
+                progress.done.len(),
+                progress.pending.len(),
+                progress.running.len()
             ),
         }
     }

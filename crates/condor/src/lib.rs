@@ -20,15 +20,19 @@ pub mod error;
 pub mod job;
 pub mod negotiator;
 pub mod pool;
+pub mod rescue;
 pub mod schedd;
 pub mod startd;
 
 pub use classad::{AdValue, ClassAd, CmpOp, Expr};
 pub use classad_parser::{parse_expr, ParseError};
-pub use dagman::{run_dag, DagNode, DagReport, DagSpec, DagmanConfig};
-pub use error::CondorError;
+pub use dagman::{
+    run_dag, run_dag_resumable, DagNode, DagReport, DagRun, DagSpec, DagmanConfig, FailurePolicy,
+};
+pub use error::{CondorError, DagProgress};
 pub use job::{JobContext, JobFn, JobId, JobResult, JobSpec, JobStatus, LocalBoxFuture};
 pub use negotiator::{Negotiator, NegotiatorConfig};
 pub use pool::{Condor, CondorConfig};
+pub use rescue::{NodeOutcome, RescueDag, RescueNode};
 pub use schedd::Schedd;
 pub use startd::{Startd, StartdConfig};

@@ -1,0 +1,306 @@
+//! Rescue DAGs: the persistent record of a partially completed workflow.
+//!
+//! Real DAGMan writes a *rescue DAG* (`<dag>.rescue001`) whenever a node
+//! exhausts its retries under the continue-others policy: every node that
+//! already completed is marked DONE, and resubmitting the same DAG against
+//! the rescue file re-executes only the failed and never-started nodes.
+//! This module reproduces that artifact as a JSON document that round-trips
+//! bit-exactly (like `swf_chaos::FaultPlan`): completed node results carry
+//! their output bytes and exact start/finish nanosecond timestamps, so a
+//! resumed run can inject them verbatim and provably re-execute nothing.
+
+use bytes::Bytes;
+use serde_json::{Map, Value};
+use swf_cluster::NodeId;
+use swf_simcore::{SimDuration, SimTime};
+
+use crate::job::JobResult;
+
+/// What a rescue DAG records about one node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NodeOutcome {
+    /// The node completed successfully; its result is carried verbatim so a
+    /// resume run injects it instead of re-executing.
+    Done {
+        /// The recorded result (output bytes and exact timestamps).
+        result: JobResult,
+    },
+    /// The node exhausted its retries.
+    Failed {
+        /// Attempts made (first try included).
+        attempts: u32,
+        /// Last error text.
+        last_error: String,
+    },
+    /// The node never ran to completion — either it was still waiting on
+    /// parents, or a failed ancestor made it unreachable.
+    Pending,
+}
+
+impl NodeOutcome {
+    fn tag(&self) -> &'static str {
+        match self {
+            NodeOutcome::Done { .. } => "done",
+            NodeOutcome::Failed { .. } => "failed",
+            NodeOutcome::Pending => "pending",
+        }
+    }
+}
+
+/// One node's entry in a rescue DAG, in DAG insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RescueNode {
+    /// Node name (unique in the DAG).
+    pub name: String,
+    /// What happened to it.
+    pub outcome: NodeOutcome,
+}
+
+/// The rescue DAG: a bit-exact, resumable snapshot of a halted workflow.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RescueDag {
+    /// The workflow name ([`crate::DagSpec::name`]) the rescue belongs to.
+    pub workflow: String,
+    /// Virtual instant the rescue was written (the halt time).
+    pub written_at: SimTime,
+    /// Per-node outcomes, in the DAG's node insertion order.
+    pub nodes: Vec<RescueNode>,
+}
+
+impl RescueDag {
+    /// Names of nodes recorded as done.
+    pub fn done_nodes(&self) -> Vec<&str> {
+        self.select(|o| matches!(o, NodeOutcome::Done { .. }))
+    }
+
+    /// Names of nodes recorded as failed.
+    pub fn failed_nodes(&self) -> Vec<&str> {
+        self.select(|o| matches!(o, NodeOutcome::Failed { .. }))
+    }
+
+    /// Names of nodes recorded as pending.
+    pub fn pending_nodes(&self) -> Vec<&str> {
+        self.select(|o| matches!(o, NodeOutcome::Pending))
+    }
+
+    fn select(&self, f: impl Fn(&NodeOutcome) -> bool) -> Vec<&str> {
+        self.nodes
+            .iter()
+            .filter(|n| f(&n.outcome))
+            .map(|n| n.name.as_str())
+            .collect()
+    }
+
+    /// Total execution time recorded on done nodes — the task-seconds a
+    /// resume run salvages instead of re-spending.
+    pub fn salvaged_compute(&self) -> SimDuration {
+        self.nodes
+            .iter()
+            .filter_map(|n| match &n.outcome {
+                NodeOutcome::Done { result } => Some(result.execution_time()),
+                _ => None,
+            })
+            .fold(SimDuration::ZERO, |acc, d| acc + d)
+    }
+
+    /// Serialize to a JSON tree. Output bytes are hex-encoded and
+    /// timestamps are exact nanosecond integers, so
+    /// `from_json(to_json(r)) == r` bit-for-bit.
+    pub fn to_json(&self) -> Value {
+        let mut root = Map::new();
+        root.insert("workflow", Value::from(self.workflow.clone()));
+        root.insert("written_at_ns", Value::from(self.written_at.as_nanos()));
+        let nodes: Vec<Value> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let mut m = Map::new();
+                m.insert("name", Value::from(n.name.clone()));
+                m.insert("state", Value::from(n.outcome.tag()));
+                match &n.outcome {
+                    NodeOutcome::Done { result } => {
+                        m.insert("success", Value::from(result.success));
+                        m.insert("output_hex", Value::from(to_hex(&result.output)));
+                        m.insert("exec_node", Value::from(result.node.0 as u64));
+                        m.insert("started_ns", Value::from(result.started.as_nanos()));
+                        m.insert("finished_ns", Value::from(result.finished.as_nanos()));
+                    }
+                    NodeOutcome::Failed {
+                        attempts,
+                        last_error,
+                    } => {
+                        m.insert("attempts", Value::from(*attempts));
+                        m.insert("last_error", Value::from(last_error.clone()));
+                    }
+                    NodeOutcome::Pending => {}
+                }
+                Value::Object(m)
+            })
+            .collect();
+        root.insert("nodes", Value::Array(nodes));
+        Value::Object(root)
+    }
+
+    /// Parse a rescue DAG back from [`RescueDag::to_json`] output.
+    pub fn from_json(v: &Value) -> Result<RescueDag, String> {
+        let workflow = get_str(v, "workflow")?.to_string();
+        let written_at = SimTime::from_nanos(get_u64(v, "written_at_ns")?);
+        let nodes = v
+            .get("nodes")
+            .and_then(|n| n.as_array())
+            .ok_or_else(|| "rescue dag: missing nodes array".to_string())?;
+        let mut out = Vec::with_capacity(nodes.len());
+        for n in nodes {
+            let name = get_str(n, "name")?.to_string();
+            let outcome = match get_str(n, "state")? {
+                "done" => NodeOutcome::Done {
+                    result: JobResult {
+                        success: match n.get("success") {
+                            Some(Value::Bool(b)) => *b,
+                            _ => true,
+                        },
+                        output: from_hex(get_str(n, "output_hex")?)?,
+                        node: NodeId(get_u64(n, "exec_node")? as usize),
+                        started: SimTime::from_nanos(get_u64(n, "started_ns")?),
+                        finished: SimTime::from_nanos(get_u64(n, "finished_ns")?),
+                    },
+                },
+                "failed" => NodeOutcome::Failed {
+                    attempts: get_u64(n, "attempts")? as u32,
+                    last_error: get_str(n, "last_error")?.to_string(),
+                },
+                "pending" => NodeOutcome::Pending,
+                other => return Err(format!("rescue dag: unknown node state {other:?}")),
+            };
+            out.push(RescueNode { name, outcome });
+        }
+        Ok(RescueDag {
+            workflow,
+            written_at,
+            nodes: out,
+        })
+    }
+
+    /// Parse a rescue DAG from its JSON text (the printed form).
+    pub fn parse(text: &str) -> Result<RescueDag, String> {
+        let v = serde_json::from_str(text).map_err(|e| format!("rescue dag: {e}"))?;
+        RescueDag::from_json(&v)
+    }
+}
+
+impl std::fmt::Display for RescueDag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_json())
+    }
+}
+
+fn to_hex(b: &Bytes) -> String {
+    use std::fmt::Write;
+    let mut s = String::with_capacity(b.len() * 2);
+    for byte in b.iter() {
+        let _ = write!(s, "{byte:02x}");
+    }
+    s
+}
+
+fn from_hex(s: &str) -> Result<Bytes, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err("rescue dag: odd-length hex output".to_string());
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let chars: Vec<char> = s.chars().collect();
+    for pair in chars.chunks(2) {
+        let hi = pair[0]
+            .to_digit(16)
+            .ok_or_else(|| format!("rescue dag: bad hex digit {:?}", pair[0]))?;
+        let lo = pair[1]
+            .to_digit(16)
+            .ok_or_else(|| format!("rescue dag: bad hex digit {:?}", pair[1]))?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(Bytes::from(out))
+}
+
+fn get_u64(v: &Value, name: &str) -> Result<u64, String> {
+    v.get(name)
+        .and_then(|x| x.as_u64())
+        .ok_or_else(|| format!("rescue dag: missing integer field {name:?}"))
+}
+
+fn get_str<'a>(v: &'a Value, name: &str) -> Result<&'a str, String> {
+    v.get(name)
+        .and_then(|x| x.as_str())
+        .ok_or_else(|| format!("rescue dag: missing string field {name:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RescueDag {
+        RescueDag {
+            workflow: "wf".into(),
+            written_at: SimTime::from_nanos(123_456_789_012),
+            nodes: vec![
+                RescueNode {
+                    name: "a".into(),
+                    outcome: NodeOutcome::Done {
+                        result: JobResult {
+                            success: true,
+                            output: Bytes::from(vec![0x00, 0xff, 0x7f, 0x80, 0x0a]),
+                            node: NodeId(3),
+                            started: SimTime::from_nanos(1),
+                            finished: SimTime::from_nanos(17_000_000_001),
+                        },
+                    },
+                },
+                RescueNode {
+                    name: "b".into(),
+                    outcome: NodeOutcome::Failed {
+                        attempts: 5,
+                        last_error: "boom: \"quoted\" and 🦀".into(),
+                    },
+                },
+                RescueNode {
+                    name: "c".into(),
+                    outcome: NodeOutcome::Pending,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_exact() {
+        let r = sample();
+        let back = RescueDag::parse(&r.to_string()).unwrap();
+        assert_eq!(r, back);
+        // The recorded output bytes survive exactly, including non-UTF8.
+        match &back.nodes[0].outcome {
+            NodeOutcome::Done { result } => {
+                assert_eq!(&result.output[..], &[0x00, 0xff, 0x7f, 0x80, 0x0a]);
+                assert_eq!(result.started.as_nanos(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn selectors_partition_the_nodes() {
+        let r = sample();
+        assert_eq!(r.done_nodes(), vec!["a"]);
+        assert_eq!(r.failed_nodes(), vec!["b"]);
+        assert_eq!(r.pending_nodes(), vec!["c"]);
+        assert_eq!(
+            r.salvaged_compute(),
+            SimDuration::from_nanos(17_000_000_000)
+        );
+    }
+
+    #[test]
+    fn malformed_json_is_a_typed_error() {
+        assert!(RescueDag::parse("{").is_err());
+        assert!(RescueDag::parse("{\"workflow\": \"w\"}").is_err());
+        let bad_hex = sample().to_string().replace("00ff7f800a", "zz");
+        assert!(RescueDag::parse(&bad_hex).is_err());
+    }
+}

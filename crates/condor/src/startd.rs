@@ -226,6 +226,7 @@ impl Startd {
                     node: id.to_string(),
                     attempts: 1,
                     last_error: e,
+                    progress: Box::default(),
                 });
             }
         };

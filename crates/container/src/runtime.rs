@@ -104,6 +104,7 @@ struct RtState {
     created_total: u64,
     removed_total: u64,
     execs_total: u64,
+    crashed_total: u64,
 }
 
 /// The per-node container runtime.
@@ -131,6 +132,7 @@ impl ContainerRuntime {
                 created_total: 0,
                 removed_total: 0,
                 execs_total: 0,
+                crashed_total: 0,
             })),
         }
     }
@@ -252,6 +254,15 @@ impl ContainerRuntime {
         self.set_phase(id, ContainerPhase::Exited)
     }
 
+    /// Crash a running container: it drops to Exited instantly, with no
+    /// orderly-stop overhead. This is the chaos-injection hook a liveness
+    /// probe later detects; it never fires on calm runs.
+    pub fn crash(&self, id: ContainerId) -> Result<(), ContainerError> {
+        self.expect_phase(id, ContainerPhase::Running, "crash")?;
+        self.state.borrow_mut().crashed_total += 1;
+        self.set_phase(id, ContainerPhase::Exited)
+    }
+
     /// Remove a created or exited container, releasing its memory.
     pub async fn remove(&self, id: ContainerId) -> Result<(), ContainerError> {
         {
@@ -327,6 +338,11 @@ impl ContainerRuntime {
     /// Total execs across all containers.
     pub fn execs_total(&self) -> u64 {
         self.state.borrow().execs_total
+    }
+
+    /// Containers ever crashed via [`ContainerRuntime::crash`].
+    pub fn crashed_total(&self) -> u64 {
+        self.state.borrow().crashed_total
     }
 
     fn expect_phase(
@@ -448,6 +464,33 @@ mod tests {
                 err,
                 ContainerError::InvalidState { op: "exec", .. }
             ));
+        });
+    }
+
+    #[test]
+    fn crash_drops_a_running_container_instantly() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (rt, image) = setup();
+            rt.ensure_image(&image).await.unwrap();
+            let id = rt.create(&image, ResourceLimits::default()).await.unwrap();
+            // Crash requires a running container.
+            assert!(matches!(
+                rt.crash(id),
+                Err(ContainerError::InvalidState { op: "crash", .. })
+            ));
+            rt.start(id).await.unwrap();
+            let t0 = now();
+            rt.crash(id).unwrap();
+            assert_eq!(now(), t0, "crash must not consume virtual time");
+            assert_eq!(rt.phase(id).unwrap(), ContainerPhase::Exited);
+            assert_eq!(rt.crashed_total(), 1);
+            // Exec against the carcass is a typed error.
+            let err = rt
+                .exec(id, Workload::synthetic(secs(1.0)))
+                .await
+                .unwrap_err();
+            assert!(matches!(err, ContainerError::InvalidState { .. }));
         });
     }
 

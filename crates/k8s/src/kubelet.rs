@@ -176,6 +176,109 @@ impl Kubelet {
             p.status.container = Some(container);
             p.status.port = port;
         });
+        if let Some(probe) = pod.spec.probe {
+            let this = self.clone();
+            let name = name.to_string();
+            spawn(async move {
+                this.probe_loop(&name, probe).await;
+            });
+        }
+    }
+
+    /// Periodic health probing of a running pod, living as long as the pod
+    /// does. A crashed container first fails readiness (the pod drops out
+    /// of routing), then liveness (the kubelet restarts the container in
+    /// place, keeping the pod object, node binding and port).
+    async fn probe_loop(&self, name: &str, probe: crate::probe::ProbeSpec) {
+        let obs = swf_obs::current();
+        let mut failures = 0u32;
+        loop {
+            sleep(probe.period).await;
+            let Some(pod) = self.api.pods().get(name) else {
+                return;
+            };
+            if pod.meta.deletion_requested || pod.status.phase != PodPhase::Running {
+                return;
+            }
+            let healthy = pod
+                .status
+                .container
+                .map(|c| matches!(self.runtime.phase(c), Ok(ContainerPhase::Running)))
+                .unwrap_or(false);
+            if healthy {
+                failures = 0;
+                if !pod.status.ready {
+                    self.api.pods().update(name, |p| p.status.ready = true);
+                }
+                continue;
+            }
+            failures += 1;
+            if failures == probe.unready_threshold && pod.status.ready {
+                obs.counter_add("k8s.probe_unready", 1);
+                self.api.pods().update(name, |p| p.status.ready = false);
+            }
+            if failures >= probe.failure_threshold {
+                self.restart(name, &pod).await;
+                failures = 0;
+            }
+        }
+    }
+
+    /// Liveness-triggered container restart: replace the backing container
+    /// without touching the pod object. Marks the pod ready again once the
+    /// new container passes its readiness delay.
+    async fn restart(&self, name: &str, pod: &Pod) {
+        let obs = swf_obs::current();
+        let component = format!("{}/kubelet", self.runtime.node().name());
+        let span = obs.span(
+            swf_obs::SpanContext::NONE,
+            &component,
+            format!("pod-restart:{name}"),
+            swf_obs::Category::ColdStart,
+        );
+        obs.counter_add("k8s.pod_restarts", 1);
+        if let Some(old) = pod.status.container {
+            if matches!(self.runtime.phase(old), Ok(ContainerPhase::Running)) {
+                let _ = self.runtime.stop(old).await;
+            }
+            let _ = self.runtime.remove(old).await;
+        }
+        let container = match self
+            .runtime
+            .create(&pod.spec.image, pod.spec.resources)
+            .await
+        {
+            Ok(c) => c,
+            Err(e) => {
+                self.fail(name, &format!("restart create failed: {e}"));
+                return;
+            }
+        };
+        if let Err(e) = self.runtime.start(container).await {
+            self.fail(name, &format!("restart start failed: {e}"));
+            return;
+        }
+        if !pod.spec.readiness_delay.is_zero() {
+            sleep(pod.spec.readiness_delay).await;
+        }
+        drop(span);
+        // The pod may have been deleted or failed over while restarting.
+        let aborted = self
+            .api
+            .pods()
+            .get(name)
+            .map(|p| p.meta.deletion_requested || p.status.phase != PodPhase::Running)
+            .unwrap_or(true);
+        if aborted {
+            let _ = self.runtime.stop(container).await;
+            let _ = self.runtime.remove(container).await;
+            return;
+        }
+        self.api.pods().update(name, |p| {
+            p.status.ready = true;
+            p.status.container = Some(container);
+            p.status.restart_count += 1;
+        });
     }
 
     async fn teardown(&self, name: &str) {
@@ -349,6 +452,81 @@ mod tests {
             let p = api.pods().get("p").unwrap();
             assert_eq!(p.status.phase, PodPhase::Failed);
             assert!(p.status.message.contains("image pull failed"));
+        });
+    }
+
+    #[test]
+    fn liveness_probe_restarts_a_crashed_container() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (api, kubelet, _r, image) = setup();
+            swf_simcore::spawn(kubelet.clone().run());
+            let mut pod = scheduled_pod("p", &image);
+            pod.spec.probe = Some(crate::probe::ProbeSpec {
+                period: secs(2.0),
+                unready_threshold: 1,
+                failure_threshold: 3,
+            });
+            api.create_pod(pod).await.unwrap();
+            sleep(secs(30.0)).await;
+            let before = api.pods().get("p").unwrap();
+            assert!(before.status.ready);
+            let old_container = before.status.container.unwrap();
+            let old_port = before.status.port;
+
+            kubelet.runtime().crash(old_container).unwrap();
+            // One probe period in: readiness fails first, pulling the pod
+            // out of routing before the liveness threshold restarts it.
+            sleep(secs(3.0)).await;
+            let mid = api.pods().get("p").unwrap();
+            assert!(!mid.status.ready, "crashed pod must go unready first");
+            assert_eq!(mid.status.restart_count, 0);
+
+            sleep(secs(30.0)).await;
+            let after = api.pods().get("p").unwrap();
+            assert!(after.status.ready, "restart must restore readiness");
+            assert_eq!(after.status.restart_count, 1);
+            assert_ne!(after.status.container, Some(old_container));
+            assert_eq!(after.status.port, old_port, "port survives the restart");
+            assert_eq!(kubelet.runtime().container_count(), 1);
+        });
+    }
+
+    #[test]
+    fn probe_survives_repeated_crashes() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (api, kubelet, _r, image) = setup();
+            swf_simcore::spawn(kubelet.clone().run());
+            let mut pod = scheduled_pod("p", &image);
+            pod.spec.probe = Some(crate::probe::ProbeSpec::default());
+            api.create_pod(pod).await.unwrap();
+            sleep(secs(30.0)).await;
+            for round in 1..=3u32 {
+                let c = api.pods().get("p").unwrap().status.container.unwrap();
+                kubelet.runtime().crash(c).unwrap();
+                sleep(secs(30.0)).await;
+                let p = api.pods().get("p").unwrap();
+                assert!(p.status.ready);
+                assert_eq!(p.status.restart_count, round);
+            }
+        });
+    }
+
+    #[test]
+    fn deleting_a_probed_pod_stops_the_probe_loop() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (api, kubelet, _r, image) = setup();
+            swf_simcore::spawn(kubelet.clone().run());
+            let mut pod = scheduled_pod("p", &image);
+            pod.spec.probe = Some(crate::probe::ProbeSpec::default());
+            api.create_pod(pod).await.unwrap();
+            sleep(secs(30.0)).await;
+            api.delete_pod("p").await.unwrap();
+            sleep(secs(60.0)).await;
+            assert!(api.pods().get("p").is_none());
+            assert_eq!(kubelet.runtime().container_count(), 0);
         });
     }
 

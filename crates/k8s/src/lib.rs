@@ -22,6 +22,7 @@ pub mod kubelet;
 pub mod meta;
 pub mod nodes;
 pub mod pod;
+pub mod probe;
 pub mod scheduler;
 pub mod service;
 pub mod store;
@@ -35,6 +36,7 @@ pub use kubelet::{Kubelet, KubeletConfig};
 pub use meta::{LabelSelector, ObjectMeta, Uid};
 pub use nodes::{NodeController, NodeStatus};
 pub use pod::{Pod, PodPhase, PodSpec, PodStatus};
+pub use probe::ProbeSpec;
 pub use scheduler::{NodeCapacity, Scheduler, SchedulerConfig};
 pub use service::{Endpoint, Endpoints, RoundRobin, Service};
 pub use store::{Store, Watcher};

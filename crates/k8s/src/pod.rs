@@ -5,6 +5,7 @@ use swf_container::{ContainerId, ImageRef, ResourceLimits};
 use swf_simcore::SimDuration;
 
 use crate::meta::ObjectMeta;
+use crate::probe::ProbeSpec;
 
 /// Desired state of a pod.
 #[derive(Clone, Debug)]
@@ -20,6 +21,9 @@ pub struct PodSpec {
     pub readiness_delay: SimDuration,
     /// TCP port the pod serves on (allocated by the kubelet when zero).
     pub port: u16,
+    /// Health probe run by the kubelet once the pod is Running (`None` =
+    /// no probing, the historical behaviour).
+    pub probe: Option<ProbeSpec>,
 }
 
 impl PodSpec {
@@ -31,6 +35,7 @@ impl PodSpec {
             node_name: None,
             readiness_delay: SimDuration::ZERO,
             port: 0,
+            probe: None,
         }
     }
 
@@ -43,6 +48,12 @@ impl PodSpec {
     /// Set readiness delay (builder style).
     pub fn with_readiness_delay(mut self, d: SimDuration) -> Self {
         self.readiness_delay = d;
+        self
+    }
+
+    /// Attach a health probe (builder style).
+    pub fn with_probe(mut self, probe: ProbeSpec) -> Self {
+        self.probe = Some(probe);
         self
     }
 }
@@ -75,6 +86,8 @@ pub struct PodStatus {
     pub container: Option<ContainerId>,
     /// Port the pod serves on (set by the kubelet).
     pub port: u16,
+    /// Times the kubelet restarted the container after liveness failures.
+    pub restart_count: u32,
     /// Failure/termination message.
     pub message: String,
 }
@@ -87,6 +100,7 @@ impl Default for PodStatus {
             ready: false,
             container: None,
             port: 0,
+            restart_count: 0,
             message: String::new(),
         }
     }

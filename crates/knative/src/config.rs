@@ -47,6 +47,10 @@ pub struct DataPlaneConfig {
     /// Application boot time from container start to readiness (Flask
     /// importing NumPy in the paper's functions).
     pub app_boot: SimDuration,
+    /// Queue-proxy admission bound: requests held beyond
+    /// `containerConcurrency` before new arrivals are shed with a typed
+    /// 503 (`0` = unbounded queue, the historical behaviour).
+    pub queue_depth: u32,
 }
 
 impl Default for DataPlaneConfig {
@@ -59,6 +63,7 @@ impl Default for DataPlaneConfig {
             // Calibrated so the end-to-end cold start with a cached image
             // lands at the paper's 1.48 s (§III-B).
             app_boot: millis(1250),
+            queue_depth: 0,
         }
     }
 }
@@ -83,6 +88,14 @@ pub struct KnativeConfig {
     pub attempt_timeout: Option<SimDuration>,
     /// Seed for the router's retry-jitter stream.
     pub seed: u64,
+    /// Per-revision circuit breaker on the router's invoke path. Disabled
+    /// by default (`failure_threshold == 0`), so calm runs keep the
+    /// historical path bit-for-bit.
+    pub breaker: crate::breaker::BreakerConfig,
+    /// Health probe attached to every revision pod (`None` = no probing,
+    /// the historical behaviour). Chaos experiments enable it so crashed
+    /// containers go unready and get restarted in place.
+    pub pod_probe: Option<swf_k8s::ProbeSpec>,
 }
 
 impl Default for KnativeConfig {
@@ -94,6 +107,8 @@ impl Default for KnativeConfig {
             invoke_retry: RetryPolicy::immediate(8),
             attempt_timeout: None,
             seed: 0,
+            breaker: crate::breaker::BreakerConfig::default(),
+            pod_probe: None,
         }
     }
 }

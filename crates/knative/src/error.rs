@@ -22,6 +22,16 @@ pub enum KnativeError {
         /// The final attempt's failure.
         last: String,
     },
+    /// Every retry hit overload control — queue-proxy 503s or an open
+    /// circuit breaker — rather than a transport failure.
+    Overloaded {
+        /// The KService being invoked.
+        service: String,
+        /// Attempts made (fast-fails included).
+        attempts: u32,
+        /// The final attempt's overload signal.
+        last: String,
+    },
     /// The function itself failed.
     FunctionFailed(String),
     /// Underlying orchestrator failure.
@@ -42,6 +52,14 @@ impl fmt::Display for KnativeError {
             } => write!(
                 f,
                 "{service}: retries exhausted after {attempts} attempts ({last})"
+            ),
+            KnativeError::Overloaded {
+                service,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "{service}: overloaded after {attempts} attempts ({last})"
             ),
             KnativeError::FunctionFailed(s) => write!(f, "function failed: {s}"),
             KnativeError::K8s(s) => write!(f, "orchestrator error: {s}"),

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod autoscaler;
+pub mod breaker;
 pub mod config;
 pub mod error;
 pub mod handlers;
@@ -25,6 +26,7 @@ pub mod router;
 pub mod serving;
 
 pub use autoscaler::{Autoscaler, ScaleDecision};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use config::{
     AutoscalerConfig, DataPlaneConfig, KnativeConfig, INITIAL_SCALE_ANNOTATION,
     MAX_SCALE_ANNOTATION, MIN_SCALE_ANNOTATION, TARGET_ANNOTATION,

@@ -66,6 +66,7 @@ impl Knative {
                 retry: config.invoke_retry,
                 attempt_timeout: config.attempt_timeout,
                 seed: config.seed,
+                breaker: config.breaker,
                 ..RouterConfig::default()
             },
         );
@@ -153,6 +154,11 @@ impl Knative {
     /// The metric hub (demand accounting).
     pub fn metrics(&self) -> &MetricHub {
         &self.hub
+    }
+
+    /// The circuit breaker guarding a revision (created on first use).
+    pub fn breaker(&self, revision: &str) -> std::rc::Rc<crate::breaker::CircuitBreaker> {
+        self.router.breaker(revision)
     }
 
     /// The revision store.
@@ -491,6 +497,162 @@ mod tests {
                 }
                 other => panic!("expected RetriesExhausted, got {other}"),
             }
+        });
+    }
+
+    /// Crash the function pod's container: the liveness probe restarts it
+    /// in place, the router's retries ride through the outage, and the
+    /// invocation still succeeds — end-to-end self-healing.
+    #[test]
+    fn probe_heals_a_crashed_pod_and_invocations_recover() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (_cluster, kn, image) = boot_with(KnativeConfig {
+                pod_probe: Some(swf_k8s::ProbeSpec {
+                    period: secs(1.0),
+                    unready_threshold: 1,
+                    failure_threshold: 2,
+                }),
+                invoke_retry: swf_simcore::RetryPolicy::exponential(12, secs(0.5), secs(4.0)),
+                attempt_timeout: Some(secs(5.0)),
+                ..KnativeConfig::default()
+            });
+            echo_service(
+                &kn,
+                &image,
+                "matmul",
+                KService::new("matmul", image.clone()).with_min_scale(1),
+            );
+            kn.wait_ready("matmul", 1, secs(300.0)).await.unwrap();
+            let resp = kn
+                .invoke(
+                    NodeId(0),
+                    "matmul",
+                    Request::post("/", Bytes::from_static(b"a")),
+                )
+                .await
+                .unwrap();
+            assert!(resp.is_success());
+            // Kill the backing container out from under the pod.
+            let pod = kn
+                .k8s()
+                .api()
+                .pods()
+                .filter(|p| p.status.container.is_some())
+                .into_iter()
+                .next()
+                .unwrap();
+            let node = pod.status.node.unwrap();
+            kn.k8s()
+                .runtime(node)
+                .unwrap()
+                .crash(pod.status.container.unwrap())
+                .unwrap();
+            let resp = kn
+                .invoke(
+                    NodeId(0),
+                    "matmul",
+                    Request::post("/", Bytes::from_static(b"b")),
+                )
+                .await
+                .unwrap();
+            assert!(resp.is_success());
+            assert_eq!(&resp.body[..], b"b");
+            let healed = kn.k8s().api().pods().get(&pod.meta.name).unwrap();
+            assert_eq!(healed.status.restart_count, 1);
+        });
+    }
+
+    /// A bounded queue-proxy sheds overflow with typed 503s, which the
+    /// router surfaces as the typed `Overloaded` error once retries are
+    /// spent — while admitted requests still complete.
+    #[test]
+    fn queue_depth_sheds_overflow_with_typed_overloaded() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (_cluster, kn, image) = boot_with(KnativeConfig {
+                data_plane: crate::config::DataPlaneConfig {
+                    queue_depth: 1,
+                    ..crate::config::DataPlaneConfig::default()
+                },
+                ..KnativeConfig::default()
+            });
+            kn.register_fn(
+                KService::new("slow", image.clone())
+                    .with_min_scale(1)
+                    .with_max_scale(1)
+                    .with_container_concurrency(1),
+                |req| {
+                    let body = req.body.clone();
+                    Workload::new(secs(5.0), move || Ok(body))
+                },
+            );
+            kn.wait_ready("slow", 1, secs(300.0)).await.unwrap();
+            let handles: Vec<_> = (0..6u8)
+                .map(|i| {
+                    let kn = kn.clone();
+                    swf_simcore::spawn(async move {
+                        kn.invoke(NodeId(0), "slow", Request::post("/", Bytes::from(vec![i])))
+                            .await
+                    })
+                })
+                .collect();
+            let results = swf_simcore::join_all(handles).await;
+            let ok = results.iter().filter(|r| r.is_ok()).count();
+            let overloaded = results
+                .iter()
+                .filter(|r| matches!(r, Err(KnativeError::Overloaded { .. })))
+                .count();
+            // Capacity is cc 1 + queue 1 = 2; the other four exhaust their
+            // immediate retries against 503s.
+            assert_eq!(ok, 2, "admitted requests must complete");
+            assert_eq!(overloaded, 4, "overflow must surface as Overloaded");
+        });
+    }
+
+    /// With the breaker enabled, sustained 503s trip the circuit: later
+    /// attempts fast-fail without touching the network.
+    #[test]
+    fn sustained_overload_trips_the_breaker() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (_cluster, kn, image) = boot_with(KnativeConfig {
+                data_plane: crate::config::DataPlaneConfig {
+                    queue_depth: 1,
+                    ..crate::config::DataPlaneConfig::default()
+                },
+                breaker: crate::breaker::BreakerConfig::enabled(3, secs(8.0)),
+                ..KnativeConfig::default()
+            });
+            kn.register_fn(
+                KService::new("slow", image.clone())
+                    .with_min_scale(1)
+                    .with_max_scale(1)
+                    .with_container_concurrency(1),
+                |req| {
+                    let body = req.body.clone();
+                    Workload::new(secs(30.0), move || Ok(body))
+                },
+            );
+            kn.wait_ready("slow", 1, secs(300.0)).await.unwrap();
+            // Saturate: 2 admitted (cc+queue), the rest shed 503s that trip
+            // the breaker after 3 consecutive failures.
+            let handles: Vec<_> = (0..8u8)
+                .map(|i| {
+                    let kn = kn.clone();
+                    swf_simcore::spawn(async move {
+                        kn.invoke(NodeId(0), "slow", Request::post("/", Bytes::from(vec![i])))
+                            .await
+                    })
+                })
+                .collect();
+            let results = swf_simcore::join_all(handles).await;
+            assert!(results
+                .iter()
+                .any(|r| matches!(r, Err(KnativeError::Overloaded { .. }))));
+            let b = kn.breaker("slow-00001");
+            assert!(b.trips() >= 1, "breaker must have tripped");
+            assert_ne!(b.state(), crate::breaker::BreakerState::Closed);
         });
     }
 

@@ -6,7 +6,7 @@
 //! pod's container. This is where the paper's *container reuse* happens: one
 //! container serves many requests without being recreated.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeSet;
 use std::rc::Rc;
 
@@ -94,9 +94,9 @@ impl PodServers {
             return;
         };
         let port = pod.status.port;
-        let Some(container) = pod.status.container else {
+        if pod.status.container.is_none() {
             return;
-        };
+        }
         let Some(runtime) = self.k8s.runtime(node).cloned() else {
             return;
         };
@@ -107,6 +107,16 @@ impl PodServers {
             revision.container_concurrency as usize
         };
         let gate = Semaphore::new(cc);
+        // The queue-proxy breaker: `cc` requests in service plus
+        // `queue_depth` waiting; past that, new arrivals are shed with a
+        // typed 503 instead of queueing unboundedly (queue_depth 0 keeps
+        // the historical unbounded behaviour).
+        let capacity = if self.config.queue_depth == 0 {
+            usize::MAX / 2
+        } else {
+            cc.saturating_add(self.config.queue_depth as usize)
+        };
+        let pending = Rc::new(Cell::new(0usize));
         let mut rx = self.http.listen(node, port);
         let pod_name = pod.meta.name.clone();
         let mut pod_watch = self.k8s.api().pods().watch();
@@ -125,12 +135,25 @@ impl PodServers {
             }
             match race(rx.recv(), pod_watch.changed()).await {
                 Either::Left(Some(incoming)) => {
+                    if pending.get() >= capacity {
+                        swf_obs::current().counter_add("knative.queue_proxy_shed", 1);
+                        incoming.respond(Response {
+                            status: 503,
+                            body: bytes::Bytes::from(format!(
+                                "overloaded: queue-proxy at capacity {capacity}"
+                            )),
+                        });
+                        continue;
+                    }
+                    pending.set(pending.get() + 1);
+                    let pending = Rc::clone(&pending);
                     let this = Rc::clone(self);
                     let gate = gate.clone();
                     let runtime = runtime.clone();
                     let handler = handler.clone();
                     let rev_name = rev_name.clone();
                     let service = revision.service.clone();
+                    let pod_name = pod_name.clone();
                     spawn(async move {
                         // Demand is reported at proxy ingress — queued
                         // requests count toward autoscaler concurrency,
@@ -155,12 +178,22 @@ impl PodServers {
                             format!("exec:{service}"),
                             swf_obs::Category::Compute,
                         );
+                        // Re-resolve the backing container at serve time:
+                        // a liveness restart swaps it while the pod (and
+                        // this proxy) live on.
+                        let container = this
+                            .k8s
+                            .api()
+                            .pods()
+                            .get(&pod_name)
+                            .and_then(|p| p.status.container);
                         let response =
                             Self::serve_one(&runtime, container, handler, &service, &incoming)
                                 .await;
                         drop(exec);
                         incoming.respond(response);
                         drop(guard);
+                        pending.set(pending.get().saturating_sub(1));
                     });
                 }
                 Either::Left(None) => break, // listener torn down
@@ -172,7 +205,7 @@ impl PodServers {
 
     async fn serve_one(
         runtime: &swf_container::ContainerRuntime,
-        container: swf_container::ContainerId,
+        container: Option<swf_container::ContainerId>,
         handler: Option<crate::handlers::Handler>,
         service: &str,
         incoming: &Incoming,
@@ -183,13 +216,27 @@ impl PodServers {
                 body: bytes::Bytes::from(format!("no handler for {service}")),
             };
         };
+        let Some(container) = container else {
+            // Mid-restart: the pod currently has no backing container.
+            return Response {
+                status: 503,
+                body: bytes::Bytes::from(format!("no backing container for {service}")),
+            };
+        };
         let workload = handler(&incoming.request);
         match runtime.exec(container, workload).await {
-            Ok(result) => Response::ok(result.output),
-            Err(e) => Response {
+            // The function itself failed: a real 500, never retried.
+            Err(swf_container::ContainerError::TaskFailed(e)) => Response {
                 status: 500,
-                body: bytes::Bytes::from(e.to_string()),
+                body: bytes::Bytes::from(e),
             },
+            // The container is gone or not running (crashed under the
+            // request): retryable unavailability, not an app failure.
+            Err(e) => Response {
+                status: 503,
+                body: bytes::Bytes::from(format!("container unavailable: {e}")),
+            },
+            Ok(result) => Response::ok(result.output),
         }
     }
 }

@@ -12,8 +12,9 @@ use std::rc::Rc;
 
 use swf_cluster::{ClusterError, HttpStack, NodeId, Request, Response};
 use swf_k8s::{RoundRobin, Store};
-use swf_simcore::{sleep, timeout, DetRng, Elapsed, RetryPolicy, SimDuration};
+use swf_simcore::{millis, sleep, timeout, DetRng, Elapsed, RetryPolicy, SimDuration};
 
+use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::config::DataPlaneConfig;
 use crate::error::KnativeError;
 use crate::ksvc::Revision;
@@ -47,6 +48,8 @@ pub struct RouterConfig {
     pub seed: u64,
     /// Endpoint selection policy.
     pub policy: RoutingPolicy,
+    /// Per-revision circuit breaker (disabled by default — no drift).
+    pub breaker: BreakerConfig,
 }
 
 impl Default for RouterConfig {
@@ -57,6 +60,7 @@ impl Default for RouterConfig {
             attempt_timeout: None,
             seed: 0,
             policy: RoutingPolicy::RoundRobin,
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -72,6 +76,7 @@ pub struct Router {
     config: RouterConfig,
     balancers: Rc<RefCell<BTreeMap<String, RoundRobin>>>,
     retry_rng: Rc<RefCell<DetRng>>,
+    breakers: Rc<RefCell<BTreeMap<String, Rc<CircuitBreaker>>>>,
 }
 
 impl Router {
@@ -93,7 +98,18 @@ impl Router {
             config,
             balancers: Rc::new(RefCell::new(BTreeMap::new())),
             retry_rng: Rc::new(RefCell::new(DetRng::new(config.seed, "router-retry"))),
+            breakers: Rc::new(RefCell::new(BTreeMap::new())),
         }
+    }
+
+    /// The circuit breaker guarding a revision (created on first use).
+    pub fn breaker(&self, revision: &str) -> Rc<CircuitBreaker> {
+        Rc::clone(
+            self.breakers
+                .borrow_mut()
+                .entry(revision.to_string())
+                .or_insert_with(|| Rc::new(CircuitBreaker::new(self.config.breaker))),
+        )
     }
 
     /// Resolve the single active revision of a KService.
@@ -130,8 +146,42 @@ impl Router {
         obs.counter_add("knative.invocations", 1);
         let revision = self.active_revision(service)?;
         let eps_name = revision.k8s_service_name();
+        let breaker = self.breaker(&revision.meta.name);
         let mut attempts = 0;
+        // Whether the final failed attempt was an overload signal (503 or
+        // open circuit); every retryable match arm below assigns it.
+        let mut last_was_overload;
         loop {
+            // Breaker admission precedes endpoint resolution: an open
+            // circuit fast-fails without touching the network.
+            let permit = match breaker.admit() {
+                Ok(p) => p,
+                Err(wait) => {
+                    attempts += 1;
+                    obs.counter_add("knative.breaker_fast_fail", 1);
+                    if attempts >= self.config.retry.attempts() {
+                        return Err(KnativeError::Overloaded {
+                            service: service.to_string(),
+                            attempts,
+                            last: "circuit open".to_string(),
+                        });
+                    }
+                    let delay = self
+                        .config
+                        .retry
+                        .delay_for(attempts, &mut self.retry_rng.borrow_mut());
+                    // An immediate retry policy would spin against an open
+                    // circuit without advancing virtual time; wait out the
+                    // remaining cooldown instead.
+                    sleep(if delay.is_zero() {
+                        wait.max(millis(10))
+                    } else {
+                        delay
+                    })
+                    .await;
+                    continue;
+                }
+            };
             let endpoint = {
                 let eps = self
                     .k8s
@@ -158,11 +208,25 @@ impl Router {
                     };
                     let failure = match outcome {
                         Some(Ok(resp)) if resp.status == 500 => {
+                            // The revision answered; the function itself is
+                            // broken — a transport success for the breaker.
+                            breaker.record(permit, true);
                             return Err(KnativeError::FunctionFailed(
                                 String::from_utf8_lossy(&resp.body).to_string(),
                             ));
                         }
-                        Some(Ok(resp)) => return Ok(resp),
+                        Some(Ok(resp)) if resp.status == 503 => {
+                            // Queue-proxy overload control shed the request;
+                            // retryable, and it counts toward the breaker.
+                            breaker.record(permit, false);
+                            obs.counter_add("knative.overloaded_503", 1);
+                            last_was_overload = true;
+                            String::from_utf8_lossy(&resp.body).to_string()
+                        }
+                        Some(Ok(resp)) => {
+                            breaker.record(permit, true);
+                            return Ok(resp);
+                        }
                         Some(Err(e))
                             if matches!(
                                 e,
@@ -174,18 +238,35 @@ impl Router {
                             // Pod died — or the link dropped — between
                             // endpoint resolution and delivery; retry
                             // against fresh endpoints.
+                            breaker.record(permit, false);
+                            last_was_overload = false;
                             e.to_string()
                         }
-                        Some(Err(e)) => return Err(KnativeError::Unavailable(e.to_string())),
-                        None => "attempt deadline elapsed".to_string(),
+                        Some(Err(e)) => {
+                            breaker.record(permit, false);
+                            return Err(KnativeError::Unavailable(e.to_string()));
+                        }
+                        None => {
+                            breaker.record(permit, false);
+                            last_was_overload = false;
+                            "attempt deadline elapsed".to_string()
+                        }
                     };
                     attempts += 1;
                     obs.counter_add("knative.request_retries", 1);
                     if attempts >= self.config.retry.attempts() {
-                        return Err(KnativeError::RetriesExhausted {
-                            service: service.to_string(),
-                            attempts,
-                            last: failure,
+                        return Err(if last_was_overload {
+                            KnativeError::Overloaded {
+                                service: service.to_string(),
+                                attempts,
+                                last: failure,
+                            }
+                        } else {
+                            KnativeError::RetriesExhausted {
+                                service: service.to_string(),
+                                attempts,
+                                last: failure,
+                            }
                         });
                     }
                     let delay = self
@@ -199,7 +280,10 @@ impl Router {
                     }
                 }
                 None => {
-                    // Cold start: buffer at the activator until ready.
+                    // Cold start: buffer at the activator until ready. No
+                    // forwarding attempt was made, so the permit is
+                    // released without a breaker transition.
+                    breaker.cancel(permit);
                     self.activate(&revision, span.ctx()).await?;
                 }
             }

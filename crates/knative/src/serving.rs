@@ -68,9 +68,12 @@ impl ServingController {
         let pod_labels = ObjectMeta::default()
             .with_label(Revision::pod_label(), &rev.meta.name)
             .with_label("serving.knative.dev/service", &rev.service);
-        let pod_spec = PodSpec::new(rev.image.clone())
+        let mut pod_spec = PodSpec::new(rev.image.clone())
             .with_resources(rev.resources)
             .with_readiness_delay(self.config.data_plane.app_boot);
+        if let Some(probe) = self.config.pod_probe {
+            pod_spec = pod_spec.with_probe(probe);
+        }
         let selector = LabelSelector::eq(Revision::pod_label(), &rev.meta.name);
         let _ = self
             .k8s

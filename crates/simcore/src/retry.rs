@@ -145,4 +145,78 @@ mod tests {
         assert_eq!(RetryPolicy::immediate(0).attempts(), 1);
         assert_eq!(RetryPolicy::immediate(3).attempts(), 3);
     }
+
+    /// Golden values: the exact delay sequences the shipped policies
+    /// produce, pinned to the nanosecond. Any change to the backoff
+    /// arithmetic, the lognormal transform, or the `DetRng` stream layout
+    /// shows up here as a bit-level diff — the same drift contract the
+    /// bench baselines enforce for whole runs, at policy granularity.
+    #[test]
+    fn golden_immediate_sequence() {
+        let p = RetryPolicy::immediate(4);
+        let mut rng = DetRng::new(42, "golden-retry");
+        let seq: Vec<u64> = (1..=4)
+            .map(|r| p.delay_for(r, &mut rng).as_nanos())
+            .collect();
+        assert_eq!(seq, [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn golden_exponential_sequence_unjittered() {
+        let p = RetryPolicy::exponential(6, millis(250), secs(4.0));
+        let mut rng = DetRng::new(42, "golden-retry");
+        let seq: Vec<u64> = (1..=6)
+            .map(|r| p.delay_for(r, &mut rng).as_nanos())
+            .collect();
+        // 0.25 s doubling, capped at 4 s from retry 5 on.
+        assert_eq!(
+            seq,
+            [
+                250_000_000,
+                500_000_000,
+                1_000_000_000,
+                2_000_000_000,
+                4_000_000_000,
+                4_000_000_000
+            ]
+        );
+    }
+
+    #[test]
+    fn golden_exponential_sequence_with_seeded_jitter() {
+        // The cap bounds the *nominal* delay; lognormal jitter (cv 0.25)
+        // then scatters around it, so late draws may exceed 4 s. Two
+        // different seeds pin two different exact sequences.
+        let p = RetryPolicy::exponential(6, millis(250), secs(4.0)).with_jitter(0.25);
+        let mut rng = DetRng::new(42, "golden-retry");
+        let seq: Vec<u64> = (1..=6)
+            .map(|r| p.delay_for(r, &mut rng).as_nanos())
+            .collect();
+        assert_eq!(
+            seq,
+            [
+                428_333_219,
+                499_412_673,
+                970_465_235,
+                2_739_515_161,
+                5_545_389_067,
+                3_038_886_645
+            ]
+        );
+        let mut rng = DetRng::new(7, "golden-retry");
+        let seq: Vec<u64> = (1..=6)
+            .map(|r| p.delay_for(r, &mut rng).as_nanos())
+            .collect();
+        assert_eq!(
+            seq,
+            [
+                304_015_689,
+                737_972_206,
+                1_274_638_566,
+                2_260_333_304,
+                4_448_110_125,
+                3_891_031_406
+            ]
+        );
+    }
 }
