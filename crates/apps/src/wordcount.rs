@@ -1,0 +1,339 @@
+//! Word-count MapReduce: split → map → shuffle → reduce → merge. The
+//! mapper count is decided at runtime from the word count of the cleaned
+//! corpus; each mapper partitions its counts into `reducers` buckets by
+//! word hash, and each reducer's fan-in therefore also depends on the
+//! data (one input file per expanded mapper).
+//!
+//! The shuffle is encoded in the file graph: mapper `i` writes one bucket
+//! file per reducer, and reducer `j` reads bucket `j` of every mapper.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+
+use swf_pegasus::{AbstractJob, Transformation};
+use swf_simcore::DetRng;
+use swf_workloads::ExecEnv;
+
+use crate::dynamic::{DynamicJob, DynamicWorkflow, Expansion, TriggerOn};
+use crate::records::{decode_counts, decode_params, encode_counts, encode_params, fnv1a};
+use crate::{calibrated, AppSpec};
+
+/// Word-count workload parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct WordCountParams {
+    /// Words in the corpus (the input-size knob).
+    pub words: usize,
+    /// Words per map task.
+    pub words_per_map: usize,
+    /// Reducer count (fixed; mapper count is data-derived).
+    pub reducers: usize,
+    /// Venue every job runs in.
+    pub env: ExecEnv,
+}
+
+/// Quick scale: 4 mappers × 3 reducers.
+pub fn quick(env: ExecEnv) -> WordCountParams {
+    WordCountParams {
+        words: 400,
+        words_per_map: 100,
+        reducers: 3,
+        env,
+    }
+}
+
+/// Paper scale: 16 mappers × 4 reducers.
+pub fn paper(env: ExecEnv) -> WordCountParams {
+    WordCountParams {
+        words: 8_000,
+        words_per_map: 500,
+        reducers: 4,
+        env,
+    }
+}
+
+const CORPUS: &str = "wc/corpus.txt";
+const CLEAN: &str = "wc/clean.txt";
+const COUNTS: &str = "wc/counts.rec";
+
+fn bucket_file(mapper: usize, reducer: usize) -> String {
+    format!("wc/m{mapper:03}_r{reducer:02}.rec")
+}
+
+fn reduced_file(reducer: usize) -> String {
+    format!("wc/red_{reducer:02}.rec")
+}
+
+fn param_file(mapper: usize) -> String {
+    format!("wc/map_{mapper:03}.param")
+}
+
+/// A small vocabulary skewed toward common words, so counts are
+/// interesting and collisions across mappers are guaranteed.
+const VOCAB: [&str; 24] = [
+    "the",
+    "of",
+    "and",
+    "to",
+    "in",
+    "workflow",
+    "task",
+    "serverless",
+    "cluster",
+    "function",
+    "container",
+    "node",
+    "pod",
+    "scale",
+    "queue",
+    "latency",
+    "startup",
+    "knative",
+    "condor",
+    "pegasus",
+    "dagman",
+    "trigger",
+    "expand",
+    "merge",
+];
+
+/// Generate the corpus: whitespace-separated words drawn from [`VOCAB`]
+/// with a Zipf-ish skew.
+pub fn generate_corpus(params: &WordCountParams, seed: u64) -> Vec<(String, Bytes)> {
+    let mut rng = DetRng::new(seed, "wordcount-corpus");
+    let mut text = String::new();
+    for i in 0..params.words {
+        if i > 0 {
+            text.push(' ');
+        }
+        // Skew: half the draws come from the first quarter of the vocab.
+        let idx = if rng.chance(0.5) {
+            rng.index(VOCAB.len() / 4)
+        } else {
+            rng.index(VOCAB.len())
+        };
+        text.push_str(VOCAB[idx]);
+    }
+    vec![(CORPUS.to_string(), Bytes::from(text))]
+}
+
+fn corpus_words(data: &Bytes) -> Result<Vec<String>, String> {
+    let text = std::str::from_utf8(data).map_err(|_| "corpus is not UTF-8".to_string())?;
+    Ok(text.split_whitespace().map(str::to_string).collect())
+}
+
+fn merge_tables(inputs: &[Bytes]) -> Result<BTreeMap<String, u64>, String> {
+    let mut merged = BTreeMap::new();
+    for payload in inputs {
+        for (word, n) in decode_counts(payload.clone())? {
+            *merged.entry(word).or_insert(0) += n;
+        }
+    }
+    Ok(merged)
+}
+
+/// The transformations. `wc-map` produces `reducers` outputs per
+/// invocation (the shuffle buckets), so the transformation is built for a
+/// specific reducer count.
+pub fn transformations(params: &WordCountParams) -> Vec<Transformation> {
+    let image = swf_core::ExperimentConfig::image_name();
+    let reducers = params.reducers;
+    let split = Transformation::new("wc-split", calibrated(20.0, 0.6, params.words), |inputs| {
+        let words = corpus_words(&inputs[0])?;
+        if words.is_empty() {
+            return Err("split: empty corpus".into());
+        }
+        Ok(vec![Bytes::from(words.join(" "))])
+    })
+    .with_container(image);
+    let map = Transformation::new(
+        "wc-map",
+        calibrated(15.0, 3.0, params.words_per_map),
+        move |inputs| {
+            let words = corpus_words(&inputs[0])?;
+            let p = decode_params(inputs[1].clone())?;
+            let [_, start, end] = p[..] else {
+                return Err("map: want [mapper, start, end] params".into());
+            };
+            let slice = words
+                .get(start as usize..end as usize)
+                .ok_or("map: word range outside corpus")?;
+            let mut buckets: Vec<BTreeMap<String, u64>> = vec![BTreeMap::new(); reducers];
+            for word in slice {
+                let b = (fnv1a(word.as_bytes()) % reducers as u64) as usize;
+                *buckets[b].entry(word.clone()).or_insert(0) += 1;
+            }
+            Ok(buckets.iter().map(encode_counts).collect())
+        },
+    )
+    .with_container(image);
+    let reduce = Transformation::new(
+        "wc-reduce",
+        calibrated(18.0, 1.5, params.words / params.reducers.max(1)),
+        |inputs| Ok(vec![encode_counts(&merge_tables(&inputs)?)]),
+    )
+    .with_container(image);
+    let merge = Transformation::new(
+        "wc-merge",
+        calibrated(22.0, 0.9, VOCAB.len() * 4),
+        |inputs| Ok(vec![encode_counts(&merge_tables(&inputs)?)]),
+    )
+    .with_container(image);
+    vec![split, map, reduce, merge]
+}
+
+/// Build the dynamic workflow: static split, runtime map fan-out, a
+/// reduce stage whose fan-in follows the expanded mapper count, and the
+/// final merge.
+pub fn workflow(params: &WordCountParams) -> DynamicWorkflow {
+    let env = params.env;
+    let per_map = params.words_per_map;
+    let reducers = params.reducers;
+    let mut dwf = DynamicWorkflow::new("wordcount");
+    dwf.add_job(
+        AbstractJob {
+            name: "split".into(),
+            transformation: "wc-split".into(),
+            inputs: vec![CORPUS.into()],
+            outputs: vec![CLEAN.into()],
+            env,
+        },
+        "split",
+    );
+    dwf.add_trigger(
+        "fanout-map",
+        TriggerOn::JobDone("split".into()),
+        move |ctx| {
+            let clean = ctx
+                .outputs
+                .get(CLEAN)
+                .ok_or("fanout-map: clean corpus missing")?;
+            let words = corpus_words(clean)?.len();
+            let mappers = words.div_ceil(per_map);
+            let mut expansion = Expansion::default();
+            for m in 0..mappers {
+                let start = m * per_map;
+                let end = (start + per_map).min(words);
+                expansion.staged.push((
+                    param_file(m),
+                    encode_params(&[m as u64, start as u64, end as u64]),
+                ));
+                expansion.jobs.push(DynamicJob {
+                    job: AbstractJob {
+                        name: format!("map-{m:03}"),
+                        transformation: "wc-map".into(),
+                        inputs: vec![CLEAN.into(), param_file(m)],
+                        outputs: (0..reducers).map(|r| bucket_file(m, r)).collect(),
+                        env,
+                    },
+                    stage: "map".into(),
+                });
+            }
+            Ok(expansion)
+        },
+    );
+    // The reducers' fan-in is data-dependent: one bucket file per expanded
+    // mapper, recovered here from the map stage's completed outputs.
+    dwf.add_trigger(
+        "shuffle-reduce",
+        TriggerOn::StageDone("map".into()),
+        move |ctx| {
+            let mut expansion = Expansion::default();
+            for r in 0..reducers {
+                let suffix = format!("_r{r:02}.rec");
+                let buckets: Vec<String> = ctx
+                    .outputs
+                    .keys()
+                    .filter(|f| f.ends_with(&suffix))
+                    .cloned()
+                    .collect();
+                if buckets.is_empty() {
+                    return Err(format!("shuffle-reduce: no buckets for reducer {r}"));
+                }
+                expansion.jobs.push(DynamicJob {
+                    job: AbstractJob {
+                        name: format!("reduce-{r:02}"),
+                        transformation: "wc-reduce".into(),
+                        inputs: buckets,
+                        outputs: vec![reduced_file(r)],
+                        env,
+                    },
+                    stage: "reduce".into(),
+                });
+            }
+            Ok(expansion)
+        },
+    );
+    dwf.add_trigger(
+        "merge-counts",
+        TriggerOn::StageDone("reduce".into()),
+        move |ctx| {
+            let reduced: Vec<String> = ctx.outputs.keys().cloned().collect();
+            let mut expansion = Expansion::default();
+            expansion.jobs.push(DynamicJob {
+                job: AbstractJob {
+                    name: "merge".into(),
+                    transformation: "wc-merge".into(),
+                    inputs: reduced,
+                    outputs: vec![COUNTS.into()],
+                    env,
+                },
+                stage: "merge".into(),
+            });
+            Ok(expansion)
+        },
+    );
+    dwf
+}
+
+/// Assemble the full app spec.
+pub fn spec(params: &WordCountParams, seed: u64) -> AppSpec {
+    AppSpec {
+        name: "wordcount".into(),
+        transformations: transformations(params),
+        inputs: generate_corpus(params, seed),
+        workflow: workflow(params),
+        final_output: COUNTS.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::decode_counts;
+
+    #[test]
+    fn map_reduce_counts_every_word_exactly_once() {
+        let params = quick(ExecEnv::Native);
+        let corpus = generate_corpus(&params, 9);
+        let ts = transformations(&params);
+        let clean = (ts[0].logic)(vec![corpus[0].1.clone()]).unwrap();
+        let words = corpus_words(&clean[0]).unwrap();
+        assert_eq!(words.len(), params.words);
+        // Map the whole corpus as one task, reduce each bucket, merge.
+        let p = encode_params(&[0, 0, words.len() as u64]);
+        let buckets = (ts[1].logic)(vec![clean[0].clone(), p]).unwrap();
+        assert_eq!(buckets.len(), params.reducers);
+        let reduced: Vec<_> = buckets
+            .iter()
+            .map(|b| (ts[2].logic)(vec![b.clone()]).unwrap().remove(0))
+            .collect();
+        let merged = (ts[3].logic)(reduced).unwrap();
+        let counts = decode_counts(merged[0].clone()).unwrap();
+        let total: u64 = counts.values().sum();
+        assert_eq!(total, params.words as u64);
+        // Words land in disjoint hash buckets.
+        let per_bucket: usize = buckets
+            .iter()
+            .map(|b| decode_counts(b.clone()).unwrap().len())
+            .sum();
+        assert_eq!(per_bucket, counts.len());
+    }
+
+    #[test]
+    fn corpus_is_seed_deterministic() {
+        let params = quick(ExecEnv::Native);
+        assert_eq!(generate_corpus(&params, 2), generate_corpus(&params, 2));
+        assert_ne!(generate_corpus(&params, 2), generate_corpus(&params, 3));
+    }
+}

@@ -1,0 +1,49 @@
+//! Run the swf-apps dynamic-workflow applications: every application
+//! (FINRA validation, ML training, ML inference, word-count MapReduce) in
+//! every execution venue, printing makespans, expansion fan-outs and the
+//! cross-venue bitwise-equality verdict.
+//!
+//! Usage: `cargo run --release -p swf-bench --bin apps [--quick] [--app <name>] [--trace] [--trace-out <path>] [--json <path>]`
+//!
+//! `--app finra|mltrain|mlinfer|wordcount` runs one application instead
+//! of all four (still across all three venues).
+
+use swf_apps::AppKind;
+use swf_bench::apps::{apps_report, run_apps_only};
+use swf_bench::{dump_observability, emit_scenario_json, install_cli_obs, is_quick, ScenarioMeter};
+
+fn app_filter() -> Vec<AppKind> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        let value = if a == "--app" {
+            args.get(i + 1).cloned()
+        } else {
+            a.strip_prefix("--app=").map(str::to_string)
+        };
+        let Some(name) = value else { continue };
+        match AppKind::ALL.iter().find(|k| k.label() == name) {
+            Some(&kind) => return vec![kind],
+            None => {
+                eprintln!(
+                    "error: unknown app {name:?} (expected one of: {})",
+                    AppKind::ALL.map(|k| k.label()).join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    AppKind::ALL.to_vec()
+}
+
+fn main() {
+    let (_obs, _guard) = install_cli_obs();
+    let kinds = app_filter();
+    let meter = ScenarioMeter::start();
+    let result = run_apps_only(is_quick(), &kinds);
+    println!("{}", apps_report(&result));
+    let owned = result.collectors();
+    let collectors: Vec<(&str, &swf_obs::Obs)> =
+        owned.iter().map(|(l, o)| (l.as_str(), o)).collect();
+    dump_observability(&collectors);
+    emit_scenario_json("apps", is_quick(), result.to_json(), &collectors, meter);
+}

@@ -11,13 +11,18 @@
 //!
 //! Usage:
 //!   cargo run --release -p swf-bench --bin suite -- [--quick] [--label <l>] [--json <path>] [--trace-out <path>]
+//!   cargo run --release -p swf-bench --bin suite -- --list
 //!   cargo run --release -p swf-bench --bin suite -- compare <old.json> <new.json> [--noise <frac>] [--fail-on-regression]
+//!
+//! `--label apps` runs the swf-apps scenario set (every application ×
+//! every venue) instead of the figure scenarios, writing
+//! `BENCH_apps.json`. `--list` enumerates every label and its scenarios.
 //!
 //! `--trace-out` additionally writes the whole suite as one Chrome-trace
 //! file (the same export as the figure binaries' `--trace` flags).
 
 use swf_bench::record::{json_out, workspace_root};
-use swf_bench::suite::run_suite;
+use swf_bench::suite::{run_suite, scenario_names};
 use swf_bench::{is_quick, trace_out, write_chrome_trace};
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
@@ -45,7 +50,24 @@ fn main() {
         compare_main(&args[2..]);
         return;
     }
+    if args.iter().any(|a| a == "--list") {
+        list_main();
+        return;
+    }
     run_main(&args);
+}
+
+fn list_main() {
+    println!("## suite — labels and their scenarios");
+    for (label, note) in [
+        ("quick", "figure scenarios at CI scale (--quick default)"),
+        ("paper", "figure scenarios at paper scale (default)"),
+        ("apps", "swf-apps: every application × every venue"),
+    ] {
+        println!("  {label:<6} {}", scenario_names(label).join(", "));
+        println!("  {:<6}   {note}", "");
+    }
+    println!("run one with: suite [--quick] --label <label>");
 }
 
 fn run_main(args: &[String]) {

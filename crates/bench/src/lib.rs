@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod apps;
 pub mod record;
 pub mod suite;
 

@@ -122,22 +122,48 @@ fn scenario_ablations(quick: bool) -> (serde_json::Value, Vec<(String, swf_obs::
     (r.to_json(), collectors)
 }
 
-/// Run every figure scenario and assemble the benchmark document.
-/// `on_scenario` is called with each scenario's name as it starts, so
-/// callers can narrate progress.
+fn scenario_apps(quick: bool) -> (serde_json::Value, Vec<(String, swf_obs::Obs)>) {
+    let r = crate::apps::run_apps(quick);
+    let collectors = r.collectors();
+    (r.to_json(), collectors)
+}
+
+type ScenarioFn = fn(bool) -> (serde_json::Value, Vec<(String, swf_obs::Obs)>);
+
+/// The default (figure) scenario set, run under the `quick`/`paper`
+/// labels. The `apps` label runs the swf-apps scenario on its own so its
+/// document never perturbs the figure baselines.
+const FIGURE_SCENARIOS: [(&str, ScenarioFn); 6] = [
+    ("fig1", scenario_fig1),
+    ("fig2", scenario_fig2),
+    ("fig5", scenario_fig5),
+    ("fig6", scenario_fig6),
+    ("coldstart", scenario_coldstart),
+    ("ablations", scenario_ablations),
+];
+
+const APPS_SCENARIOS: [(&str, ScenarioFn); 1] = [("apps", scenario_apps)];
+
+fn scenarios_for(label: &str) -> &'static [(&'static str, ScenarioFn)] {
+    if label == "apps" {
+        &APPS_SCENARIOS
+    } else {
+        &FIGURE_SCENARIOS
+    }
+}
+
+/// The scenario names the given suite label runs (`--list` support).
+pub fn scenario_names(label: &str) -> Vec<&'static str> {
+    scenarios_for(label).iter().map(|(n, _)| *n).collect()
+}
+
+/// Run every scenario of the given label and assemble the benchmark
+/// document. `on_scenario` is called with each scenario's name as it
+/// starts, so callers can narrate progress.
 pub fn run_suite(label: &str, quick: bool, mut on_scenario: impl FnMut(&str)) -> SuiteRun {
-    type ScenarioFn = fn(bool) -> (serde_json::Value, Vec<(String, swf_obs::Obs)>);
-    let scenarios: [(&str, ScenarioFn); 6] = [
-        ("fig1", scenario_fig1),
-        ("fig2", scenario_fig2),
-        ("fig5", scenario_fig5),
-        ("fig6", scenario_fig6),
-        ("coldstart", scenario_coldstart),
-        ("ablations", scenario_ablations),
-    ];
     let mut entries = Vec::new();
     let mut all_collectors = Vec::new();
-    for (name, run) in scenarios {
+    for &(name, run) in scenarios_for(label) {
         on_scenario(name);
         let meter = ScenarioMeter::start();
         let (virtual_section, collectors) = run(quick);

@@ -75,13 +75,16 @@ pub enum Category {
     Serialize,
     /// Real kernel compute.
     Compute,
+    /// Runtime DAG expansion: a dynamic-workflow trigger reading completed
+    /// outputs and deciding successor jobs (swf-apps).
+    Expand,
     /// Anything else (structural/bookkeeping spans).
     Other,
 }
 
 impl Category {
     /// Every category, in display order.
-    pub const ALL: [Category; 11] = [
+    pub const ALL: [Category; 12] = [
         Category::Queue,
         Category::Negotiate,
         Category::Activation,
@@ -92,6 +95,7 @@ impl Category {
         Category::Destroy,
         Category::Serialize,
         Category::Compute,
+        Category::Expand,
         Category::Other,
     ];
 
@@ -108,6 +112,7 @@ impl Category {
             Category::Destroy => "destroy",
             Category::Serialize => "serialize",
             Category::Compute => "compute",
+            Category::Expand => "expand",
             Category::Other => "other",
         }
     }

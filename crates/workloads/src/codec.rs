@@ -61,7 +61,12 @@ pub fn decode(mut data: Bytes) -> Result<Matrix, CodecError> {
     data.advance(4);
     let rows = data.get_u32_le() as usize;
     let cols = data.get_u32_le() as usize;
-    let expected = rows * cols * 8;
+    // A crafted header can claim up to (2³²−1)² cells; the byte count must
+    // be computed checked or a hostile payload panics the decoder.
+    let expected = rows
+        .checked_mul(cols)
+        .and_then(|cells| cells.checked_mul(8))
+        .ok_or(CodecError::BadHeader)?;
     if data.len() != expected {
         return Err(CodecError::Truncated {
             expected,
@@ -172,6 +177,29 @@ mod tests {
         ));
     }
 
+    #[test]
+    fn degenerate_shapes_roundtrip() {
+        for (r, c) in [(0, 0), (0, 5), (5, 0), (1, 1)] {
+            let m = Matrix::from_vec(r, c, vec![7; r * c]);
+            let dec = decode(encode(&m)).unwrap();
+            assert_eq!(dec.rows(), r);
+            assert_eq!(dec.cols(), c);
+            assert_eq!(dec, m);
+        }
+    }
+
+    #[test]
+    fn huge_claimed_shape_is_an_error_not_a_panic() {
+        // Header claims u32::MAX × u32::MAX cells: expected-byte arithmetic
+        // would overflow usize without checked math.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(u32::MAX);
+        buf.put_u32_le(u32::MAX);
+        buf.put_i64_le(1);
+        assert_eq!(decode(buf.freeze()), Err(CodecError::BadHeader));
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
         #[test]
@@ -179,6 +207,45 @@ mod tests {
             let mut rng = DetRng::new(seed, "rt");
             let m = Matrix::random(r, c, &mut rng, i64::MIN / 4, i64::MAX / 4);
             prop_assert_eq!(decode(encode(&m)).unwrap(), m);
+        }
+
+        #[test]
+        fn nonsquare_roundtrip_prop(seed in 0u64..500, r in 0usize..24, c in 0usize..24) {
+            // Includes empty and 1×1 shapes; rows ≠ cols most of the time.
+            let mut rng = DetRng::new(seed, "rt-nsq");
+            let m = Matrix::random(r, c, &mut rng, -1000, 1000);
+            let enc = encode(&m);
+            prop_assert_eq!(enc.len(), encoded_size(r, c));
+            prop_assert_eq!(decode(enc).unwrap(), m);
+        }
+
+        #[test]
+        fn truncation_never_panics(seed in 0u64..500, r in 0usize..12, c in 0usize..12, cut in 1usize..64) {
+            // Every proper prefix of a valid encoding decodes to an error,
+            // never a panic or a bogus matrix.
+            let mut rng = DetRng::new(seed, "rt-cut");
+            let m = Matrix::random(r, c, &mut rng, -10, 10);
+            let enc = encode(&m);
+            let keep = enc.len().saturating_sub(cut);
+            prop_assert!(decode(enc.slice(0..keep)).is_err());
+        }
+
+        #[test]
+        fn random_bytes_never_panic(seed in 0u64..500, len in 0usize..96) {
+            let mut rng = DetRng::new(seed, "rt-junk");
+            let junk: Vec<u8> = (0..len).map(|_| rng.uniform_u64(0, 255) as u8).collect();
+            // Any result is fine — the decoder just must not panic.
+            let _ = decode(Bytes::from(junk));
+        }
+
+        #[test]
+        fn pair_truncation_never_panics(seed in 0u64..200, cut in 1usize..48) {
+            let mut rng = DetRng::new(seed, "pair-cut");
+            let a = Matrix::random(3, 4, &mut rng, -10, 10);
+            let b = Matrix::random(4, 2, &mut rng, -10, 10);
+            let enc = encode_pair(&a, &b);
+            let keep = enc.len().saturating_sub(cut);
+            prop_assert!(decode_pair(enc.slice(0..keep)).is_err());
         }
     }
 }

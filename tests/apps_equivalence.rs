@@ -1,0 +1,132 @@
+//! Cross-environment equivalence and expansion determinism for swf-apps.
+//!
+//! Every application must produce bitwise-identical final outputs whether
+//! its jobs run native, in per-job containers, or as Knative functions;
+//! dynamic expansion must be a pure function of the input data (same seed
+//! → same DAG shape, different input size → different shape under the
+//! same plan).
+
+use swf_apps::{build_app, run_app, AppKind, AppRun};
+use swf_workloads::ExecEnv;
+
+const ENVS: [ExecEnv; 3] = [ExecEnv::Native, ExecEnv::Container, ExecEnv::Serverless];
+
+/// All four apps complete in all three environments with bitwise-equal
+/// final outputs, and every app demonstrably expands at runtime.
+#[test]
+fn apps_are_bitwise_equal_across_environments() {
+    for kind in AppKind::ALL {
+        let mut outcomes = Vec::new();
+        for env in ENVS {
+            let outcome = run_app(&AppRun::quick(kind, env))
+                .unwrap_or_else(|e| panic!("{kind} in {env}: {e}"));
+            assert!(
+                !outcome.report.expansions.is_empty(),
+                "{kind} in {env}: no runtime expansion happened"
+            );
+            assert!(outcome.report.rounds.len() >= 2, "{kind} in {env}");
+            outcomes.push((env, outcome));
+        }
+        let (_, reference) = &outcomes[0];
+        for (env, outcome) in &outcomes[1..] {
+            assert_eq!(
+                outcome.output, reference.output,
+                "{kind}: {env} output differs from native"
+            );
+            assert_eq!(outcome.output_fingerprint, reference.output_fingerprint);
+            // The expanded DAG shape is also venue-independent.
+            assert_eq!(
+                outcome.report.shape_fingerprint(),
+                reference.report.shape_fingerprint(),
+                "{kind}: {env} expanded to a different DAG shape"
+            );
+        }
+    }
+}
+
+/// Two runs with the same seed expand to the same DAG (shape fingerprint
+/// and output fingerprint both match bit for bit).
+#[test]
+fn dynamic_expansion_is_deterministic_across_runs() {
+    for kind in [AppKind::Finra, AppKind::WordCount] {
+        let run = AppRun::quick(kind, ExecEnv::Native);
+        let a = run_app(&run).unwrap();
+        let b = run_app(&run).unwrap();
+        assert_eq!(a.report.shape, b.report.shape, "{kind}");
+        assert_eq!(a.report.shape_fingerprint(), b.report.shape_fingerprint());
+        assert_eq!(a.output_fingerprint, b.output_fingerprint, "{kind}");
+        assert_eq!(a.report.makespan, b.report.makespan, "{kind}");
+    }
+}
+
+/// The fan-out is provably derived from the input data: a bigger input
+/// expands into a different (wider) DAG under the exact same plan, and the
+/// expansion degree matches what the data dictates.
+#[test]
+fn different_inputs_yield_different_dag_shapes() {
+    // FINRA quick: 300 trades / 64 per shard → 5 validators.
+    let finra = run_app(&AppRun::quick(AppKind::Finra, ExecEnv::Native)).unwrap();
+    let fanout = finra
+        .report
+        .expansions
+        .iter()
+        .find(|e| e.trigger == "fanout-validate")
+        .expect("finra fired its fan-out trigger");
+    assert_eq!(fanout.jobs_added, 5, "300 trades / 64 per shard");
+
+    // Same plan, doubled feed: the trigger must derive 10 validators.
+    let mut big = AppRun::quick(AppKind::Finra, ExecEnv::Native);
+    big.seed += 1;
+    let bigger = swf_apps::run_app_with(&big, |spec| {
+        let params = swf_apps::finra::FinraParams {
+            trades: 600,
+            shard: 64,
+            env: ExecEnv::Native,
+        };
+        spec.inputs = swf_apps::finra::generate_feed(&params, 42);
+    })
+    .unwrap();
+    let big_fanout = bigger
+        .report
+        .expansions
+        .iter()
+        .find(|e| e.trigger == "fanout-validate")
+        .unwrap();
+    assert_eq!(big_fanout.jobs_added, 10, "600 trades / 64 per shard");
+    assert_ne!(
+        finra.report.shape_fingerprint(),
+        bigger.report.shape_fingerprint(),
+        "bigger input must expand to a different DAG shape"
+    );
+
+    // Word count: 400 words / 100 per map → 4 mappers; reducer fan-in
+    // follows the mapper count.
+    let wc = run_app(&AppRun::quick(AppKind::WordCount, ExecEnv::Native)).unwrap();
+    let map = wc
+        .report
+        .expansions
+        .iter()
+        .find(|e| e.trigger == "fanout-map")
+        .unwrap();
+    assert_eq!(map.jobs_added, 4, "400 words / 100 per map");
+    let reduce_inputs = wc
+        .report
+        .shape
+        .iter()
+        .filter(|l| l.contains(" reduce-00 "))
+        .count();
+    assert_eq!(reduce_inputs, 1);
+}
+
+/// The built specs themselves are deterministic: building twice yields the
+/// same staged input bytes.
+#[test]
+fn app_inputs_are_seed_deterministic() {
+    for kind in AppKind::ALL {
+        let a = build_app(kind, ExecEnv::Native, 7, true);
+        let b = build_app(kind, ExecEnv::Native, 7, true);
+        assert_eq!(a.inputs, b.inputs, "{kind}");
+        let c = build_app(kind, ExecEnv::Native, 8, true);
+        assert_ne!(a.inputs, c.inputs, "{kind}: seed must matter");
+    }
+}
