@@ -61,9 +61,9 @@ pub struct Trade {
 
 /// Encode a trade batch: magic `SWFT`, u32 count, 24 B per record.
 pub fn encode_trades(trades: &[Trade]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(8 + trades.len() * 24);
+    let mut buf = BytesMut::with_capacity(trades.len().saturating_mul(24).saturating_add(8));
     buf.put_slice(b"SWFT");
-    buf.put_u32_le(trades.len() as u32);
+    buf.put_u32_le(u32::try_from(trades.len()).unwrap_or(u32::MAX));
     for t in trades {
         buf.put_u32_le(t.symbol);
         buf.put_i64_le(t.price_cents);
@@ -125,9 +125,15 @@ impl SampleSet {
 
 /// Encode a sample set: magic `SWFS`, u32 rows, u32 feats, labels, rows.
 pub fn encode_samples(s: &SampleSet) -> Bytes {
-    let mut buf = BytesMut::with_capacity(12 + (s.labels.len() + s.features.len()) * 8);
+    let mut buf = BytesMut::with_capacity(
+        s.labels
+            .len()
+            .saturating_add(s.features.len())
+            .saturating_mul(8)
+            .saturating_add(12),
+    );
     buf.put_slice(b"SWFS");
-    buf.put_u32_le(s.labels.len() as u32);
+    buf.put_u32_le(u32::try_from(s.labels.len()).unwrap_or(u32::MAX));
     buf.put_u32_le(s.feats as u32);
     for &l in &s.labels {
         buf.put_i64_le(l);
@@ -174,9 +180,9 @@ pub fn decode_samples(mut data: Bytes) -> Result<SampleSet, String> {
 /// Encode a list of u64 parameters: magic `SWFP`, u32 count, values.
 /// Used for shard parameter files and numeric summary records.
 pub fn encode_params(values: &[u64]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(8 + values.len() * 8);
+    let mut buf = BytesMut::with_capacity(values.len().saturating_mul(8).saturating_add(8));
     buf.put_slice(b"SWFP");
-    buf.put_u32_le(values.len() as u32);
+    buf.put_u32_le(u32::try_from(values.len()).unwrap_or(u32::MAX));
     for &v in values {
         buf.put_u64_le(v);
     }
@@ -200,9 +206,9 @@ pub fn decode_params(mut data: Bytes) -> Result<Vec<u64>, String> {
 /// Encode a list of i64 values: magic `SWFI`, u32 count, values. Used for
 /// model weights and prediction vectors.
 pub fn encode_i64s(values: &[i64]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(8 + values.len() * 8);
+    let mut buf = BytesMut::with_capacity(values.len().saturating_mul(8).saturating_add(8));
     buf.put_slice(b"SWFI");
-    buf.put_u32_le(values.len() as u32);
+    buf.put_u32_le(u32::try_from(values.len()).unwrap_or(u32::MAX));
     for &v in values {
         buf.put_i64_le(v);
     }
@@ -229,9 +235,9 @@ pub fn decode_i64s(mut data: Bytes) -> Result<Vec<i64>, String> {
 pub fn encode_counts(counts: &BTreeMap<String, u64>) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_slice(b"SWFC");
-    buf.put_u32_le(counts.len() as u32);
+    buf.put_u32_le(u32::try_from(counts.len()).unwrap_or(u32::MAX));
     for (word, &n) in counts {
-        buf.put_u32_le(word.len() as u32);
+        buf.put_u32_le(u32::try_from(word.len()).unwrap_or(u32::MAX));
         buf.put_slice(word.as_bytes());
         buf.put_u64_le(n);
     }

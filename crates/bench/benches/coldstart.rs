@@ -10,7 +10,7 @@ fn cold_start(c: &mut Criterion) {
     config.matrix_dim = 16;
     c.bench_function("coldstart/deferred_function", |b| {
         b.iter(|| {
-            let r = coldstart::run(&config);
+            let r = coldstart::run(&config).unwrap();
             assert!(r.cold_start > 1.0);
             r.cold_start
         })

@@ -23,7 +23,7 @@ fn fig1_reuse(c: &mut Criterion) {
             &tasks,
             |b, &n| {
                 b.iter(|| {
-                    let r = fig1::run(&config, &[n]);
+                    let r = fig1::run(&config, &[n]).unwrap();
                     assert!(r.rows[0].docker_total > 0.0);
                     r.rows[0].knative_total
                 })

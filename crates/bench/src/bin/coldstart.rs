@@ -13,7 +13,13 @@ fn main() {
     let (obs, _guard) = install_cli_obs();
     println!("{}", setup_header(&config));
     let meter = ScenarioMeter::start();
-    let r = coldstart::run(&config);
+    let r = match coldstart::run(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("coldstart: experiment failed: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("## §III-B cold start");
     println!("first request (cold): {:.3} s", r.first_request);
     println!(

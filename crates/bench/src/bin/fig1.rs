@@ -20,7 +20,13 @@ fn main() {
         vec![10, 20, 40, 80, 120, 160]
     };
     let meter = ScenarioMeter::start();
-    let result = fig1::run(&config, &counts);
+    let result = match fig1::run(&config, &counts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fig1: experiment failed: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("{}", fig1_report(&result));
     dump_observability(&[("fig1", &obs)]);
     emit_scenario_json(

@@ -50,7 +50,7 @@ fn scenario_fig1(quick: bool) -> (serde_json::Value, Vec<(String, swf_obs::Obs)>
     } else {
         vec![10, 20, 40, 80, 120, 160]
     };
-    let r = fig1::run(&config, &counts);
+    let r = fig1::run(&config, &counts).expect("fig1 scenario failed");
     (fig1_json(&r), vec![("fig1".to_string(), obs)])
 }
 
@@ -108,7 +108,7 @@ fn scenario_coldstart(quick: bool) -> (serde_json::Value, Vec<(String, swf_obs::
     let config = suite_config(quick);
     let obs = swf_obs::Obs::enabled();
     let _guard = swf_obs::install(obs.clone());
-    let r = coldstart::run(&config);
+    let r = coldstart::run(&config).expect("coldstart scenario failed");
     (coldstart_json(&r), vec![("coldstart".to_string(), obs)])
 }
 

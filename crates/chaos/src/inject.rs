@@ -163,6 +163,8 @@ impl Injector {
             Self::apply(&ev.kind, &stack, disruptor.as_ref()).await;
             Self::track_outage(&ev.kind, &mut open, &obs);
             obs.counter_add("chaos.injected", 1);
+            // tidy: allow(metric-unknown) — per-kind counter; the name set is the
+            // closed FaultKind::label() list, not free-form runtime input
             obs.counter_add(&format!("chaos.{label}"), 1);
             injected += 1;
         }
@@ -192,6 +194,8 @@ impl Injector {
         if is_start {
             open.insert(key, now());
         } else if let Some(opened) = open.remove(&key) {
+            // tidy: allow(metric-unknown) — per-class histogram; `class` is the
+            // closed outage-class set matched directly above, not runtime input
             obs.observe(
                 &format!("chaos.outage_s.{class}"),
                 (now() - opened).as_secs_f64(),

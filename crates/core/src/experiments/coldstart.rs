@@ -6,6 +6,7 @@ use swf_simcore::{now, secs, Sim};
 use swf_workloads::{encode, Matrix};
 
 use crate::config::{ExperimentConfig, Provisioning};
+use crate::error::ExperimentError;
 use crate::function::{encode_payload, register_matmul};
 use crate::testbed::TestBed;
 
@@ -21,7 +22,7 @@ pub struct ColdStartResult {
 }
 
 /// Measure one cold start followed by one warm request.
-pub fn run(config: &ExperimentConfig) -> ColdStartResult {
+pub fn run(config: &ExperimentConfig) -> Result<ColdStartResult, ExperimentError> {
     let sim = Sim::new();
     let mut config = config.clone();
     config.provisioning = Provisioning::Deferred;
@@ -32,7 +33,7 @@ pub fn run(config: &ExperimentConfig) -> ColdStartResult {
         let bed = TestBed::boot(&config);
         // Image cached on workers; pods deferred — §III-B's setup.
         for node in bed.k8s.schedulable_nodes() {
-            bed.registry.pull(node, &bed.image).await.unwrap();
+            bed.registry.pull(node, &bed.image).await?;
         }
         register_matmul(&bed.knative, &config);
         swf_simcore::sleep(secs(1.0)).await;
@@ -50,22 +51,20 @@ pub fn run(config: &ExperimentConfig) -> ColdStartResult {
                 "matmul",
                 Request::post("/invoke", payload.clone()),
             )
-            .await
-            .unwrap();
+            .await?;
         let first_request = (now() - t0).as_secs_f64();
 
         let t1 = now();
         bed.knative
             .invoke(NodeId(0), "matmul", Request::post("/invoke", payload))
-            .await
-            .unwrap();
+            .await?;
         let warm_request = (now() - t1).as_secs_f64();
 
-        ColdStartResult {
+        Ok(ColdStartResult {
             first_request,
             cold_start: first_request - compute,
             warm_request,
-        }
+        })
     })
 }
 
@@ -77,7 +76,7 @@ mod tests {
     fn cold_start_is_near_paper_and_warm_is_cheap() {
         let mut config = ExperimentConfig::quick();
         config.matrix_dim = 8;
-        let r = run(&config);
+        let r = run(&config).unwrap();
         assert!(
             (r.cold_start - 1.48).abs() < 0.25,
             "cold start {:.3}s",

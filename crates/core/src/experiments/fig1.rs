@@ -12,6 +12,7 @@ use swf_simcore::{now, secs, DetRng, Sim};
 use swf_workloads::{encode, Kernel, Matrix};
 
 use crate::config::{ExperimentConfig, Provisioning};
+use crate::error::ExperimentError;
 use crate::testbed::TestBed;
 
 /// One measured row of Fig. 1.
@@ -45,15 +46,19 @@ pub struct Fig1Result {
 }
 
 /// Run the Docker arm: N sequential `docker run` invocations on a worker.
-fn docker_arm(config: &ExperimentConfig, n: usize) -> (f64, f64) {
+fn docker_arm(config: &ExperimentConfig, n: usize) -> Result<(f64, f64), ExperimentError> {
     let sim = Sim::new();
     let config = config.clone();
     sim.block_on(async move {
         let bed = TestBed::boot(&config);
         let node = bed.cluster.worker_nodes()[0].clone();
-        let runtime = bed.k8s.runtime(node.id()).cloned().expect("worker runtime");
+        let runtime = bed
+            .k8s
+            .runtime(node.id())
+            .cloned()
+            .ok_or_else(|| ExperimentError::MissingRuntime(node.name().to_string()))?;
         // Image present before the measured loop (as in the paper's setup).
-        runtime.ensure_image(&bed.image).await.unwrap();
+        runtime.ensure_image(&bed.image).await?;
         let cli = DockerCli::new(runtime);
         // Stage the two input matrices on the node's local disk.
         let mut rng = DetRng::new(config.seed, "fig1-inputs");
@@ -68,8 +73,8 @@ fn docker_arm(config: &ExperimentConfig, n: usize) -> (f64, f64) {
         for i in 0..n {
             let fs = node.fs().clone();
             let out_name = format!("out_{i}.mat");
-            let ea = fs.read("in_a.mat").await.unwrap();
-            let eb = fs.read("in_b.mat").await.unwrap();
+            let ea = fs.read("in_a.mat").await?;
+            let eb = fs.read("in_b.mat").await?;
             let report = cli
                 .run(
                     &bed.image,
@@ -79,18 +84,17 @@ fn docker_arm(config: &ExperimentConfig, n: usize) -> (f64, f64) {
                     }),
                     PullPolicy::IfNotPresent,
                 )
-                .await
-                .unwrap();
+                .await?;
             fs.write(out_name, report.exec.output).await;
             exec_time += report.exec.busy.as_secs_f64();
         }
-        ((now() - t0).as_secs_f64(), exec_time / n as f64)
+        Ok(((now() - t0).as_secs_f64(), exec_time / n as f64))
     })
 }
 
 /// Run the Knative arm: one deferred-start function, N sequential HTTP
 /// invocations from the submit node. Returns (total, mean exec, cold start).
-fn knative_arm(config: &ExperimentConfig, n: usize) -> (f64, f64, f64) {
+fn knative_arm(config: &ExperimentConfig, n: usize) -> Result<(f64, f64, f64), ExperimentError> {
     let sim = Sim::new();
     let mut config = config.clone();
     // The §III-B measurement defers provisioning so the first request pays
@@ -102,7 +106,7 @@ fn knative_arm(config: &ExperimentConfig, n: usize) -> (f64, f64, f64) {
     sim.block_on(async move {
         let bed = TestBed::boot(&config);
         for node in bed.k8s.schedulable_nodes() {
-            bed.registry.pull(node, &bed.image).await.unwrap();
+            bed.registry.pull(node, &bed.image).await?;
         }
         // Register a function whose inputs live on the node (captured at
         // registration), exactly like the paper's Fig. 1 Knative setup.
@@ -139,25 +143,29 @@ fn knative_arm(config: &ExperimentConfig, n: usize) -> (f64, f64, f64) {
                     "matmul",
                     Request::post("/invoke", payload.clone()),
                 )
-                .await
-                .unwrap();
-            assert!(resp.is_success());
+                .await?;
+            if !resp.is_success() {
+                return Err(ExperimentError::FailedResponse {
+                    service: "matmul".into(),
+                    status: resp.status,
+                });
+            }
             if i == 0 {
                 cold_start = (now() - t_req).as_secs_f64() - compute;
             }
         }
         let total = (now() - t0).as_secs_f64();
-        ((total), compute, cold_start)
+        Ok((total, compute, cold_start))
     })
 }
 
 /// Run Fig. 1 over the given task counts.
-pub fn run(config: &ExperimentConfig, counts: &[usize]) -> Fig1Result {
+pub fn run(config: &ExperimentConfig, counts: &[usize]) -> Result<Fig1Result, ExperimentError> {
     let mut rows = Vec::new();
     let mut cold_start = 0.0;
     for &n in counts {
-        let (docker_total, docker_exec) = docker_arm(config, n);
-        let (knative_total, knative_exec, cs) = knative_arm(config, n);
+        let (docker_total, docker_exec) = docker_arm(config, n)?;
+        let (knative_total, knative_exec, cs) = knative_arm(config, n)?;
         cold_start = cs;
         rows.push(Fig1Row {
             tasks: n,
@@ -175,13 +183,13 @@ pub fn run(config: &ExperimentConfig, counts: &[usize]) -> Fig1Result {
         .iter()
         .map(|r| (r.tasks as f64, r.knative_total))
         .collect::<Vec<_>>());
-    Fig1Result {
+    Ok(Fig1Result {
         slope_reduction: knative_fit.slope_reduction_vs(&docker_fit),
         rows,
         docker_fit,
         knative_fit,
         cold_start,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -192,7 +200,7 @@ mod tests {
     fn knative_wins_at_scale_and_cold_start_matches_paper() {
         let mut config = ExperimentConfig::quick();
         config.matrix_dim = 8;
-        let result = run(&config, &[5, 20, 40]);
+        let result = run(&config, &[5, 20, 40]).unwrap();
         assert_eq!(result.rows.len(), 3);
         // Fig. 1's shape: Docker wins at tiny counts (the one cold start
         // dominates), Knative wins once reuse amortizes it.

@@ -37,6 +37,7 @@
 pub mod breakdown;
 pub mod builder;
 pub mod config;
+pub mod error;
 pub mod experiments;
 pub mod factory;
 pub mod function;
@@ -47,6 +48,7 @@ pub use breakdown::{
 };
 pub use builder::{matmul_transformation, stage_chain_workflow};
 pub use config::{ContainerStaging, ExperimentConfig, Provisioning};
+pub use error::ExperimentError;
 pub use factory::IntegratedFactory;
 pub use function::{register_matmul, FunctionBuilder};
 pub use testbed::TestBed;

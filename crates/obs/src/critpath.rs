@@ -222,9 +222,10 @@ impl<'a> Analyzer<'a> {
                             secs_of(c.start),
                         )
                     };
-                    key(a)
-                        .partial_cmp(&key(b))
-                        .unwrap_or(std::cmp::Ordering::Equal)
+                    let (ka, kb) = (key(a), key(b));
+                    ka.0.total_cmp(&kb.0)
+                        .then(ka.1.total_cmp(&kb.1))
+                        .then(ka.2.total_cmp(&kb.2))
                         .then(a.id.cmp(&b.id))
                 })
                 .copied();

@@ -104,4 +104,38 @@ mod tests {
         let b = Baseline::parse("# header\n\n2 crates/a.rs\n").unwrap();
         assert_eq!(b.counts["crates/a.rs"], 2);
     }
+
+    #[test]
+    fn parse_errors_name_the_offending_line() {
+        // The error must carry the 1-based line number so a corrupt
+        // baseline points straight at the edit that broke it.
+        let err = Baseline::parse("# header\n3 a.rs\nnonsense").unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+        let err = Baseline::parse("x crates/a.rs").unwrap_err();
+        assert!(err.contains("bad count `x`"), "{err}");
+        let err = Baseline::parse("3 a.rs\n# gap\n2 a.rs").unwrap_err();
+        assert!(err.contains("duplicate path `a.rs`"), "{err}");
+        assert!(err.contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn negative_and_overflowing_counts_are_rejected() {
+        assert!(Baseline::parse("-1 a.rs").is_err());
+        assert!(Baseline::parse("99999999999999999999999999 a.rs").is_err());
+    }
+
+    #[test]
+    fn count_without_a_path_errors() {
+        // `split_once(' ')` needs a separator: a bare count is malformed.
+        let err = Baseline::parse("7").unwrap_err();
+        assert!(err.contains("expected `<count> <path>`"), "{err}");
+    }
+
+    #[test]
+    fn load_distinguishes_missing_from_unreadable() {
+        let missing = Path::new("/nonexistent/definitely/not/here.baseline");
+        assert_eq!(Baseline::load(missing).unwrap(), Baseline::default());
+        // A directory is readable as a path but not as a file: loud error.
+        assert!(Baseline::load(Path::new("/")).is_err());
+    }
 }

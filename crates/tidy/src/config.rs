@@ -18,6 +18,17 @@ pub struct Config {
     pub rng_exempt: Vec<String>,
     /// Run the structural S-rules (crate docs, bench `--trace`).
     pub check_structure: bool,
+    /// Path substrings that opt a file into the C-rules (checked
+    /// arithmetic): codec/records/registry-style files where size
+    /// arithmetic feeds wire formats.
+    pub arith_paths: Vec<String>,
+    /// Workspace-relative path of the metric-name registry manifest;
+    /// `None` disables the M-rule registry cross-check.
+    pub metrics_registry: Option<String>,
+    /// Declared layer order, bottom first. Crate directory names; every
+    /// dependency edge must point strictly downward. Empty disables the
+    /// L-rules.
+    pub layers: Vec<Vec<String>>,
 }
 
 impl Config {
@@ -38,6 +49,7 @@ impl Config {
                 "obs",
                 "core",
                 "chaos",
+                "apps",
             ]
             .iter()
             .map(|s| s.to_string())
@@ -45,6 +57,32 @@ impl Config {
             baseline: "tidy.baseline".to_string(),
             rng_exempt: vec!["crates/simcore/src/rng.rs".to_string()],
             check_structure: true,
+            arith_paths: ["codec", "records", "registry", "record"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            metrics_registry: Some("metrics.registry".to_string()),
+            layers: [
+                // Bottom: the event loop, the metric math, and the linter
+                // itself — nothing here may look upward.
+                &["simcore", "metrics", "tidy"][..],
+                // Infrastructure primitives over virtual time.
+                &["obs", "cluster", "workloads"],
+                // Single-venue execution managers.
+                &["condor", "container"],
+                &["k8s"],
+                // Venue compositions (knative rides k8s, pegasus rides
+                // condor).
+                &["knative", "pegasus"],
+                // The cross-venue testbed and experiments.
+                &["core"],
+                // Consumers of the full stack.
+                &["chaos", "apps"],
+                &["bench"],
+            ]
+            .iter()
+            .map(|layer| layer.iter().map(|s| s.to_string()).collect())
+            .collect(),
         }
     }
 

@@ -152,24 +152,35 @@ fn is_test_attr(lexed: &Lexed, i: usize) -> bool {
     false
 }
 
-/// Parse `tidy: allow(<rule>)` waivers out of the comment stream.
+/// Parse `tidy: allow(<rule>)` waivers out of the comment stream. A waiver
+/// inside a multi-line block comment is attributed to the line it actually
+/// sits on (not the comment's first line), so its coverage window lands on
+/// the code directly below it.
 fn waivers(lexed: &Lexed) -> Vec<Waiver> {
     let mut out = Vec::new();
     for c in &lexed.comments {
         let mut rest = c.text.as_str();
+        let mut offset = 0usize; // byte offset of `rest` within `c.text`
         while let Some(pos) = rest.find("tidy: allow(") {
+            let line_in_comment = c.text[..offset + pos].matches('\n').count() as u32;
             let after = &rest[pos + "tidy: allow(".len()..];
             let Some(close) = after.find(')') else { break };
             let rule = after[..close].trim().to_string();
-            let reason = after[close + 1..]
+            // The reason runs to the end of the waiver's own line (a block
+            // comment may continue with unrelated text on later lines).
+            let tail = &after[close + 1..];
+            let reason_text = tail.split('\n').next().unwrap_or("");
+            let reason = reason_text
                 .trim_start_matches([' ', '—', '-', ':', '–'])
+                .trim_end_matches("*/")
                 .trim();
             out.push(Waiver {
-                line: c.line,
+                line: c.line + line_in_comment,
                 rule,
                 has_reason: reason.len() >= 3,
             });
-            rest = &after[close + 1..];
+            offset += pos + "tidy: allow(".len() + close + 1;
+            rest = tail;
         }
     }
     out
@@ -209,6 +220,44 @@ mod tests {
         assert!(!ctx.waivers[1].has_reason);
         assert!(ctx.is_waived("map-iter", 2).is_some());
         assert!(ctx.is_waived("map-iter", 5).is_none());
+    }
+
+    #[test]
+    fn waiver_inside_multi_line_block_comment_lands_on_its_own_line() {
+        let src = "/* Explanation paragraph.\n\
+                    tidy: allow(map-iter) — drained into a sorted Vec below\n\
+                    more prose */\n\
+                    let x = 1;\n";
+        let ctx = FileContext::build(&lex(src));
+        assert_eq!(ctx.waivers.len(), 1);
+        let w = &ctx.waivers[0];
+        assert_eq!(w.line, 2);
+        assert!(w.has_reason);
+        // Coverage window: the waiver's own line + two below.
+        assert!(ctx.is_waived("map-iter", 4).is_some());
+        assert!(ctx.is_waived("map-iter", 5).is_none());
+    }
+
+    #[test]
+    fn block_comment_waiver_reason_stops_at_line_end() {
+        // No reason on the waiver's line; prose on the next line must not
+        // count as one.
+        let src = "/*\ntidy: allow(unwrap)\nunrelated trailing prose\n*/\nlet x = 1;\n";
+        let ctx = FileContext::build(&lex(src));
+        assert_eq!(ctx.waivers.len(), 1);
+        assert!(!ctx.waivers[0].has_reason);
+        assert_eq!(ctx.waivers[0].line, 2);
+    }
+
+    #[test]
+    fn two_waivers_in_one_block_comment() {
+        let src = "/* tidy: allow(wall-clock) — host profiling only\n\
+                    tidy: allow(unwrap) — poisoned lock is unrecoverable */\nf();\n";
+        let ctx = FileContext::build(&lex(src));
+        assert_eq!(ctx.waivers.len(), 2);
+        assert_eq!(ctx.waivers[0].line, 1);
+        assert_eq!(ctx.waivers[1].line, 2);
+        assert!(ctx.waivers.iter().all(|w| w.has_reason));
     }
 
     #[test]

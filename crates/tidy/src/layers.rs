@@ -1,0 +1,109 @@
+//! L-rules: cross-crate layering. The workspace has a declared layer
+//! order (simcore at the bottom, bench at the top — see
+//! [`crate::Config::repo`]); every `swf_*` reference in non-test code is a
+//! dependency edge, and every edge must point *strictly downward*. This is
+//! what keeps "the executor grows a convenience import of the scheduler"
+//! from quietly turning the DAG into a ball: the first upward or lateral
+//! edge fails CI with the two layer numbers in the message.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::Config;
+use crate::context::FileContext;
+use crate::lexer::{lex, TokenKind};
+use crate::rules::{Violation, LAYERING};
+
+/// Check every crate's `src/` tree against the declared layer order.
+/// Appends one violation per offending (crate, dependency) pair, at the
+/// first reference site.
+pub fn check_layers(config: &Config, violations: &mut Vec<Violation>) {
+    if config.layers.is_empty() {
+        return;
+    }
+    let mut layer_of: BTreeMap<&str, usize> = BTreeMap::new();
+    for (idx, layer) in config.layers.iter().enumerate() {
+        for name in layer {
+            layer_of.insert(name.as_str(), idx);
+        }
+    }
+
+    let crates_dir = config.root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+        return;
+    };
+    let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    dirs.sort();
+
+    for dir in dirs {
+        if !dir.join("src").is_dir() {
+            continue;
+        }
+        let krate = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let mut seen_deps: BTreeSet<String> = BTreeSet::new();
+        let mut unassigned_reported = false;
+
+        for path in crate::rust_files(&dir.join("src")) {
+            let Ok(source) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let rel_path = crate::rel(&config.root, &path);
+            let lexed = lex(&source);
+            let ctx = FileContext::build(&lexed);
+            for t in &lexed.tokens {
+                if t.kind != TokenKind::Ident || !t.text.starts_with("swf_") {
+                    continue;
+                }
+                if ctx.is_test_line(t.line) {
+                    continue; // unit tests may reach across layers
+                }
+                let dep = &t.text["swf_".len()..];
+                if dep == krate || !seen_deps.insert(dep.to_string()) {
+                    continue;
+                }
+                let Some(&crate_layer) = layer_of.get(krate.as_str()) else {
+                    if !unassigned_reported {
+                        unassigned_reported = true;
+                        violations.push(Violation {
+                            rule: LAYERING,
+                            file: rel_path.clone(),
+                            line: t.line,
+                            message: format!(
+                                "crate `{krate}` is not assigned to a layer — add it to \
+                                 the layer order in swf-tidy's `Config::repo`"
+                            ),
+                        });
+                    }
+                    continue;
+                };
+                let Some(&dep_layer) = layer_of.get(dep) else {
+                    violations.push(Violation {
+                        rule: LAYERING,
+                        file: rel_path.clone(),
+                        line: t.line,
+                        message: format!(
+                            "`{krate}` depends on `{dep}`, which is not assigned to a \
+                             layer — add it to the layer order in swf-tidy's \
+                             `Config::repo`"
+                        ),
+                    });
+                    continue;
+                };
+                if dep_layer >= crate_layer {
+                    violations.push(Violation {
+                        rule: LAYERING,
+                        file: rel_path.clone(),
+                        line: t.line,
+                        message: format!(
+                            "`{krate}` (layer {crate_layer}) must not depend on `{dep}` \
+                             (layer {dep_layer}) — dependencies point strictly downward; \
+                             move the shared piece below both crates or invert the edge"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -183,6 +183,31 @@ pub fn lex(source: &str) -> Lexed {
                     line,
                 });
             }
+            // Raw identifier `r#type`: one identifier token, full text kept
+            // (so rules can match on the escaped keyword if they care).
+            b'r' if cur.peek_at(1) == Some(b'#') && cur.peek_at(2).is_some_and(is_ident_start) => {
+                cur.bump();
+                cur.bump();
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: source[start..cur.pos].to_string(),
+                    line,
+                });
+            }
+            // Byte-char literal `b'x'` / `b'\n'`: one literal token, not an
+            // ident `b` followed by a char.
+            b'b' if cur.peek_at(1) == Some(b'\'') => {
+                cur.bump(); // 'b'
+                lex_char_body(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: source[start..cur.pos].to_string(),
+                    line,
+                });
+            }
             b'\'' => {
                 // Lifetime vs char literal: `'ident` not followed by a
                 // closing quote is a lifetime.
@@ -199,16 +224,7 @@ pub fn lex(source: &str) -> Lexed {
                         line,
                     });
                 } else {
-                    cur.bump();
-                    if cur.peek() == Some(b'\\') {
-                        cur.bump();
-                        cur.bump();
-                    } else {
-                        cur.bump();
-                    }
-                    if cur.peek() == Some(b'\'') {
-                        cur.bump();
-                    }
+                    lex_char_body(&mut cur);
                     out.tokens.push(Token {
                         kind: TokenKind::Literal,
                         text: source[start..cur.pos].to_string(),
@@ -256,6 +272,31 @@ pub fn lex(source: &str) -> Lexed {
         }
     }
     out
+}
+
+/// Consume a char literal starting at its opening quote. Escapes may be
+/// multi-byte (`'\x41'`, `'\u{1F600}'`): scan to the closing quote honoring
+/// backslash escapes, bounded so a stray quote cannot eat the file.
+fn lex_char_body(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    let mut budget = 12;
+    while budget > 0 {
+        match cur.peek() {
+            Some(b'\\') => {
+                cur.bump();
+                cur.bump();
+            }
+            Some(b'\'') => {
+                cur.bump();
+                return;
+            }
+            Some(_) => {
+                cur.bump();
+            }
+            None => return,
+        }
+        budget -= 1;
+    }
 }
 
 fn starts_raw_or_byte_string(cur: &Cursor<'_>) -> bool {
@@ -398,6 +439,77 @@ mod tests {
         let l = lex("a /* outer /* inner */ still outer */ b");
         assert_eq!(texts("a /* outer /* inner */ still */ b"), vec!["a", "b"]);
         assert_eq!(l.tokens.len(), 2);
+    }
+
+    #[test]
+    fn multi_byte_char_escapes_do_not_derail_the_stream() {
+        // `'\u{1F600}'` and `'\x41'` are single literals; the tokens after
+        // them must still classify correctly.
+        let l = lex("let a = '\\u{1F600}'; let b = '\\x41'; tail");
+        assert_eq!(l.tokens.last().unwrap().text, "tail");
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn byte_char_literal_is_one_token() {
+        let l = lex("let nl = b'\\n'; let sp = b' '; tail");
+        assert_eq!(l.tokens.last().unwrap().text, "tail");
+        // No stray `b` identifier tokens from the byte-char prefixes.
+        assert!(!l.tokens.iter().any(|t| t.text == "b"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_idents() {
+        let l = lex("let r#type = r#match.call(); tail");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "r#type"));
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "r#match"));
+        assert_eq!(l.tokens.last().unwrap().text, "tail");
+    }
+
+    #[test]
+    fn raw_string_with_hash_containing_quotes_and_comment_sigils() {
+        let l = lex("let s = br#\"// not a comment \" /* nor this */\"#; tail");
+        assert!(l.comments.is_empty());
+        assert_eq!(l.tokens.last().unwrap().text, "tail");
+    }
+
+    #[test]
+    fn unterminated_nested_block_comment_is_tolerated() {
+        let l = lex("a /* outer /* inner */ never closed");
+        assert_eq!(l.tokens.len(), 1);
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn lifetime_adjacent_to_char_literal() {
+        // `<'a>` then `'b'`: one lifetime, one literal, no confusion.
+        let l = lex("fn f<'a>(x: &'a u8) { let c: char = 'b'; }");
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            1
+        );
     }
 
     #[test]

@@ -32,8 +32,16 @@
 pub mod baseline;
 pub mod config;
 pub mod context;
+pub mod layers;
 pub mod lexer;
+pub mod registry;
 pub mod rules;
+pub mod rules_arith;
+pub mod rules_async;
+pub mod rules_float;
+pub mod rules_metrics;
+pub mod sarif;
+pub mod tree;
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -41,12 +49,13 @@ use std::path::Path;
 pub use baseline::Baseline;
 pub use config::Config;
 pub use rules::{ScanOptions, Violation};
+pub use sarif::to_sarif;
 
 /// The outcome of one full `check` pass.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
-    /// All violations (D-rules, R1 baseline deltas, S-rules), sorted by
-    /// file then line.
+    /// All violations (A/D/C/M/L-rules, R1 baseline deltas, S-rules),
+    /// sorted by file then line.
     pub violations: Vec<Violation>,
     /// Files scanned under the D/R rules.
     pub files_scanned: usize,
@@ -54,6 +63,9 @@ pub struct Report {
     pub unwrap_counts: BTreeMap<String, usize>,
     /// Total panic-family sites across all scanned files.
     pub unwrap_total: usize,
+    /// Every literal metric name emitted in non-test code, sorted and
+    /// deduplicated (input to `--bless` for `metrics.registry`).
+    pub metric_names: std::collections::BTreeSet<String>,
 }
 
 impl Report {
@@ -91,7 +103,7 @@ impl Report {
 }
 
 /// Minimal JSON string escaping (the only JSON we emit).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -142,6 +154,7 @@ pub fn run_check(config: &Config) -> Result<Report, String> {
     let mut report = Report::default();
     let baseline = Baseline::load(&config.root.join(&config.baseline))?;
     let mut scanned = std::collections::BTreeSet::new();
+    let mut metric_uses: Vec<(String, rules_metrics::MetricUse)> = Vec::new();
 
     for krate in &config.sim_crates {
         let src = config.root.join("crates").join(krate).join("src");
@@ -151,6 +164,7 @@ pub fn run_check(config: &Config) -> Result<Report, String> {
                 .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
             let opts = ScanOptions {
                 check_ambient_rng: !config.rng_exempt.contains(&rel_path),
+                check_arith: config.arith_paths.iter().any(|p| rel_path.contains(p)),
             };
             let mut scan = rules::scan_file(&rel_path, &source, opts);
             report.files_scanned += 1;
@@ -161,9 +175,17 @@ pub fn run_check(config: &Config) -> Result<Report, String> {
                     .unwrap_counts
                     .insert(rel_path.clone(), scan.unwrap_count);
             }
+            for u in std::mem::take(&mut scan.metric_uses) {
+                report.metric_names.insert(u.name.clone());
+                metric_uses.push((rel_path.clone(), u));
+            }
             check_against_baseline(&rel_path, &scan, &baseline, &mut report.violations);
             scanned.insert(rel_path);
         }
+    }
+
+    if let Some(reg_path) = &config.metrics_registry {
+        check_metric_registry(config, reg_path, &metric_uses, &mut report.violations);
     }
 
     // Baseline entries for files that no longer exist.
@@ -185,10 +207,62 @@ pub fn run_check(config: &Config) -> Result<Report, String> {
         check_structure(config, &mut report.violations);
     }
 
+    layers::check_layers(config, &mut report.violations);
+
     report
         .violations
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(report)
+}
+
+/// M-rules, global half: cross-check the harvested literal names against
+/// the `metrics.registry` manifest, both directions.
+fn check_metric_registry(
+    config: &Config,
+    reg_path: &str,
+    metric_uses: &[(String, rules_metrics::MetricUse)],
+    violations: &mut Vec<Violation>,
+) {
+    let registry = registry::Registry::load(&config.root.join(reg_path));
+    for (file, u) in metric_uses {
+        if registry.entries.contains_key(&u.name) || u.unknown_waived {
+            continue;
+        }
+        violations.push(Violation {
+            rule: rules::METRIC_UNKNOWN,
+            file: file.clone(),
+            line: u.line,
+            message: format!(
+                "metric `{}` is not in {reg_path} — a typo'd name means a silently-empty \
+                 dashboard panel; fix the name or run `cargo run -p swf-tidy -- check \
+                 --bless` to register it",
+                u.name
+            ),
+        });
+    }
+    let used: std::collections::BTreeSet<&str> =
+        metric_uses.iter().map(|(_, u)| u.name.as_str()).collect();
+    for (name, line) in &registry.entries {
+        if !used.contains(name.as_str()) {
+            violations.push(Violation {
+                rule: rules::METRIC_DEAD,
+                file: reg_path.to_string(),
+                line: *line,
+                message: format!(
+                    "registry entry `{name}` is no longer emitted anywhere — remove it \
+                     (or run `--bless`) so dashboards don't reference dead series"
+                ),
+            });
+        }
+    }
+    for (name, line) in &registry.duplicates {
+        violations.push(Violation {
+            rule: rules::METRIC_DEAD,
+            file: reg_path.to_string(),
+            line: *line,
+            message: format!("duplicate registry entry `{name}`"),
+        });
+    }
 }
 
 /// Compare one file's R1 count against the baseline.
@@ -327,8 +401,9 @@ fn check_structure(config: &Config, violations: &mut Vec<Violation>) {
     }
 }
 
-/// Regenerate the baseline from the current counts. Returns the rendered
-/// content that was written.
+/// Regenerate the ratchet files from the current tree: the R1 unwrap
+/// baseline and (when configured) the metric-name registry. Returns the
+/// rendered baseline content that was written.
 pub fn bless(config: &Config) -> Result<String, String> {
     let mut probe = config.clone();
     probe.check_structure = false;
@@ -336,5 +411,10 @@ pub fn bless(config: &Config) -> Result<String, String> {
     let content = Baseline::render(&report.unwrap_counts);
     let path = config.root.join(&config.baseline);
     std::fs::write(&path, &content).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    if let Some(reg_path) = &config.metrics_registry {
+        let reg = registry::Registry::render(report.metric_names.iter().map(String::as_str));
+        let path = config.root.join(reg_path);
+        std::fs::write(&path, reg).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
     Ok(content)
 }

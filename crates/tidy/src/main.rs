@@ -1,8 +1,9 @@
-//! CLI entry point: `cargo run -p swf-tidy -- check [--json] [--bless]`.
+//! CLI entry point: `cargo run -p swf-tidy -- check [--format json|sarif]
+//! [--bless]`.
 
 use std::process::ExitCode;
 
-use swf_tidy::{bless, run_check, Config};
+use swf_tidy::{bless, run_check, to_sarif, Config};
 
 const USAGE: &str = "\
 swf-tidy — determinism & robustness linter for the simulated stack
@@ -11,8 +12,10 @@ USAGE:
     cargo run -p swf-tidy -- check [OPTIONS]
 
 OPTIONS:
-    --json          machine-readable JSON report on stdout
-    --bless         regenerate the R1 unwrap baseline from current counts
+    --format <FMT>  output format: text (default), json, or sarif
+    --json          shorthand for --format json
+    --bless         regenerate the ratchet files (R1 unwrap baseline and
+                    the metric-name registry) from the current tree
     --root <DIR>    workspace root (default: auto-detected)
     -h, --help      this help
 
@@ -22,17 +25,39 @@ EXIT CODES:
     2  usage or I/O error
 ";
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command = None;
-    let mut json = false;
+    let mut format = Format::Text;
     let mut do_bless = false;
     let mut root = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "check" if command.is_none() => command = Some("check"),
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => {
+                i += 1;
+                format = match args.get(i).map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    other => {
+                        eprintln!(
+                            "error: --format expects text, json or sarif (got {})",
+                            other.unwrap_or("nothing")
+                        );
+                        return ExitCode::from(2);
+                    }
+                };
+            }
             "--bless" => do_bless = true,
             "--root" => {
                 i += 1;
@@ -80,6 +105,9 @@ fn main() -> ExitCode {
                     "blessed {} → {entries} files carrying R1 debt",
                     config.baseline
                 );
+                if let Some(reg) = &config.metrics_registry {
+                    eprintln!("blessed {reg} from the tree's literal metric names");
+                }
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -91,23 +119,26 @@ fn main() -> ExitCode {
 
     match run_check(&config) {
         Ok(report) => {
-            if json {
-                print!("{}", report.to_json());
-            } else if report.ok() {
-                eprintln!(
-                    "tidy: {} files clean ({} baselined panic-family sites)",
-                    report.files_scanned, report.unwrap_total
-                );
-            } else {
-                for v in &report.violations {
-                    eprintln!("{}", v.render());
+            match format {
+                Format::Json => print!("{}", report.to_json()),
+                Format::Sarif => print!("{}", to_sarif(&report)),
+                Format::Text if report.ok() => {
+                    eprintln!(
+                        "tidy: {} files clean ({} baselined panic-family sites)",
+                        report.files_scanned, report.unwrap_total
+                    );
                 }
-                eprintln!(
-                    "\ntidy: {} violation(s) in {} files scanned — see DESIGN.md \
-                     \"Determinism contract\" for the rules and waiver format",
-                    report.violations.len(),
-                    report.files_scanned
-                );
+                Format::Text => {
+                    for v in &report.violations {
+                        eprintln!("{}", v.render());
+                    }
+                    eprintln!(
+                        "\ntidy: {} violation(s) in {} files scanned — see DESIGN.md \
+                         \"Static analysis architecture\" for the rules and waiver format",
+                        report.violations.len(),
+                        report.files_scanned
+                    );
+                }
             }
             if report.ok() {
                 ExitCode::SUCCESS

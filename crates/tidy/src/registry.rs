@@ -1,0 +1,98 @@
+//! The checked-in metric-name manifest (`metrics.registry`).
+//!
+//! Every metric name the simulation emits (`counter_add` / `gauge_set` /
+//! `observe` with a literal name) must appear here, and every entry here
+//! must still be emitted somewhere — the manifest and the tree round-trip.
+//! This is what makes a typo'd metric name (`knative.cold_stars`) a CI
+//! failure instead of a silently-empty dashboard panel: the name check is
+//! exact, both directions, and `--bless` regenerates the file from the
+//! tree so the diff review shows exactly which names appeared or died.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One parsed `metrics.registry` manifest.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    /// Metric name → 1-based line of its entry.
+    pub entries: BTreeMap<String, u32>,
+    /// Duplicate entries: (name, line of the duplicate).
+    pub duplicates: Vec<(String, u32)>,
+}
+
+impl Registry {
+    /// Parse manifest text. Blank lines and `#` comments are ignored; every
+    /// other line is one metric name.
+    pub fn parse(text: &str) -> Registry {
+        let mut reg = Registry::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx as u32 + 1;
+            let name = raw.trim();
+            if name.is_empty() || name.starts_with('#') {
+                continue;
+            }
+            if reg.entries.contains_key(name) {
+                reg.duplicates.push((name.to_string(), line));
+            } else {
+                reg.entries.insert(name.to_string(), line);
+            }
+        }
+        reg
+    }
+
+    /// Load a manifest from disk. A missing file parses as empty (the
+    /// caller reports every emitted name as unknown, which points straight
+    /// at `--bless`).
+    pub fn load(path: &Path) -> Registry {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Registry::parse(&text),
+            Err(_) => Registry::default(),
+        }
+    }
+
+    /// Render a manifest from a sorted name set (the `--bless` output).
+    pub fn render<'a>(names: impl IntoIterator<Item = &'a str>) -> String {
+        let mut out = String::from(
+            "# Metric-name registry — every literal name passed to counter_add /\n\
+             # gauge_set / observe in a simulation crate, one per line. Checked both\n\
+             # ways by `swf-tidy` (M-rules): an emitted name missing here is\n\
+             # `metric-unknown`, an entry no longer emitted is `metric-dead`.\n\
+             # Regenerate with `cargo run -p swf-tidy -- check --bless`.\n",
+        );
+        for name in names {
+            out.push_str(name);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let reg = Registry::parse("# header\n\napps.fanout\nk8s.pods_started\n");
+        assert_eq!(reg.entries.len(), 2);
+        assert_eq!(reg.entries["apps.fanout"], 3);
+        assert!(reg.duplicates.is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_reported_with_their_line() {
+        let reg = Registry::parse("a.b\na.b\n");
+        assert_eq!(reg.entries.len(), 1);
+        assert_eq!(reg.duplicates, vec![("a.b".to_string(), 2)]);
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        let names = ["apps.fanout", "k8s.pods_started"];
+        let reg = Registry::parse(&Registry::render(names.iter().copied()));
+        assert_eq!(
+            reg.entries.keys().map(String::as_str).collect::<Vec<_>>(),
+            names
+        );
+    }
+}

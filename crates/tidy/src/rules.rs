@@ -29,6 +29,24 @@ pub const CRATE_DOCS: &str = "crate-docs";
 pub const BENCH_TRACE: &str = "bench-trace";
 /// S3: every bench binary wires the uniform `--json` record flag.
 pub const BENCH_JSON: &str = "bench-json";
+/// A1: no `.await` while a `RefCell` borrow / lock guard is live.
+pub const AWAIT_BORROW: &str = "await-borrow";
+/// D4: no float accumulation over hash-ordered iterators.
+pub const FLOAT_ACCUM: &str = "float-accum";
+/// D4: no `partial_cmp` comparators in sorts — use `total_cmp`.
+pub const PARTIAL_CMP_SORT: &str = "partial-cmp-sort";
+/// C1: no truncating `as` casts on length/size expressions.
+pub const TRUNC_CAST: &str = "trunc-cast";
+/// C2: no unchecked `*`/`+` on length/size expressions.
+pub const UNCHECKED_ARITH: &str = "unchecked-arith";
+/// M1: every emitted metric name must appear in `metrics.registry`.
+pub const METRIC_UNKNOWN: &str = "metric-unknown";
+/// M2: every `metrics.registry` entry must be emitted somewhere.
+pub const METRIC_DEAD: &str = "metric-dead";
+/// M3: metric names carry a dot-separated subsystem prefix.
+pub const METRIC_PREFIX: &str = "metric-prefix";
+/// L1: cross-crate dependencies must respect the declared layer order.
+pub const LAYERING: &str = "layering";
 /// Meta-rule: a waiver comment must carry a reason.
 pub const WAIVER_REASON: &str = "waiver-reason";
 
@@ -87,6 +105,9 @@ pub struct FileScan {
     /// Lines of the counted R1 sites (for `--list-unwraps` style output
     /// and pointed diagnostics when a file exceeds its baseline).
     pub unwrap_lines: Vec<u32>,
+    /// Literal metric names emitted by this file (input to the M-rule
+    /// registry cross-check, which needs the whole-tree view).
+    pub metric_uses: Vec<crate::rules_metrics::MetricUse>,
 }
 
 /// Options controlling which rule families apply to a file.
@@ -94,12 +115,16 @@ pub struct FileScan {
 pub struct ScanOptions {
     /// Apply D3 (the one file implementing the seeded RNG is exempt).
     pub check_ambient_rng: bool,
+    /// Apply the C-rules (checked arithmetic) — gated to codec/records/
+    /// registry-style paths where size arithmetic feeds wire formats.
+    pub check_arith: bool,
 }
 
 impl Default for ScanOptions {
     fn default() -> Self {
         ScanOptions {
             check_ambient_rng: true,
+            check_arith: false,
         }
     }
 }
@@ -145,6 +170,20 @@ pub fn scan_file(rel_path: &str, source: &str, opts: ScanOptions) -> FileScan {
             push(rule, line, msg, &mut violations)
         });
     }
+    crate::rules_async::scan_await_borrow(&lexed, &mut |line, msg| {
+        push(AWAIT_BORROW, line, msg, &mut violations)
+    });
+    crate::rules_float::scan_float(&lexed, &mut |rule, line, msg| {
+        push(rule, line, msg, &mut violations)
+    });
+    if opts.check_arith {
+        crate::rules_arith::scan_arith(&lexed, &mut |rule, line, msg| {
+            push(rule, line, msg, &mut violations)
+        });
+    }
+    let metric_uses = crate::rules_metrics::scan_metrics(&lexed, &ctx, &mut |rule, line, msg| {
+        push(rule, line, msg, &mut violations)
+    });
 
     let mut unwrap_lines = Vec::new();
     scan_unwraps(&lexed, &mut |line| {
@@ -162,6 +201,7 @@ pub fn scan_file(rel_path: &str, source: &str, opts: ScanOptions) -> FileScan {
         violations,
         unwrap_count: unwrap_lines.len(),
         unwrap_lines,
+        metric_uses,
     }
 }
 
@@ -298,6 +338,135 @@ fn scan_ambient_rng(lexed: &Lexed, emit: &mut dyn FnMut(&'static str, u32, Strin
 /// order-observing method (`iter`, `keys`, `values`, `drain`, ...).
 fn scan_map_iter(lexed: &Lexed, emit: &mut dyn FnMut(&'static str, u32, String)) {
     let toks = &lexed.tokens;
+    let hash_names = collect_hash_names(lexed);
+    if hash_names.is_empty() {
+        return;
+    }
+
+    // Pass 2a: `for <pat> in <expr> {` where expr mentions a hash name.
+    for i in 0..toks.len() {
+        if !lexed.is_ident(i, "for") || lexed.is_punct(i + 1, "<") {
+            continue;
+        }
+        if let Some((name, line)) = for_loop_hash_source(lexed, i, &hash_names) {
+            emit(
+                MAP_ITER,
+                line,
+                format!(
+                    "`for` loop over hash-ordered `{name}` — iteration order \
+                     depends on the hasher; use BTreeMap/BTreeSet or collect \
+                     & sort first"
+                ),
+            );
+        }
+    }
+
+    // Pass 2b: method chains `name.<passthrough>*.<iter-method>(`.
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || !hash_names.contains(&t.text) {
+            continue;
+        }
+        // Don't re-fire on the declaration site `name: HashMap<...>`.
+        if lexed.is_punct(i + 1, ":") {
+            continue;
+        }
+        let mut j = i + 1;
+        loop {
+            if !lexed.is_punct(j, ".") {
+                break;
+            }
+            let Some(m) = toks.get(j + 1) else { break };
+            if m.kind != TokenKind::Ident {
+                break;
+            }
+            if ITER_METHODS.contains(&m.text.as_str()) {
+                emit(
+                    MAP_ITER,
+                    m.line,
+                    format!(
+                        "`.{}()` on hash-ordered `{}` — iteration order depends on the \
+                         hasher; use BTreeMap/BTreeSet or collect & sort first",
+                        m.text, t.text
+                    ),
+                );
+                break;
+            }
+            if !PASSTHROUGH_METHODS.contains(&m.text.as_str()) {
+                break;
+            }
+            // Skip the call parens of the passthrough method.
+            let mut k = j + 2;
+            if lexed.is_punct(k, "(") {
+                let mut depth = 1;
+                k += 1;
+                while k < toks.len() && depth > 0 {
+                    match toks[k].text.as_str() {
+                        "(" => depth += 1,
+                        ")" => depth -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+            j = k;
+        }
+    }
+}
+
+/// If the `for` loop headed at token `i` iterates an expression mentioning
+/// one of `hash_names`, return that name and its line.
+pub(crate) fn for_loop_hash_source(
+    lexed: &Lexed,
+    i: usize,
+    hash_names: &BTreeSet<String>,
+) -> Option<(String, u32)> {
+    let toks = &lexed.tokens;
+    // Find `in` at depth 0, then scan the iterated expression up to the
+    // loop body `{` at depth 0.
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    let mut in_pos = None;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" | "[" | "{" | "<" => depth += 1,
+            ")" | "]" | "}" | ">" => depth -= 1,
+            "in" if depth == 0 && toks[j].kind == TokenKind::Ident => {
+                in_pos = Some(j);
+                break;
+            }
+            ";" => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    let in_pos = in_pos?;
+    let mut depth = 0i32;
+    let mut j = in_pos + 1;
+    while j < toks.len() {
+        let t = &toks[j];
+        match t.text.as_str() {
+            "(" | "[" | "<" => depth += 1,
+            ")" | "]" | ">" => depth -= 1,
+            "{" if depth == 0 => return None,
+            "{" => depth += 1,
+            "}" => depth -= 1,
+            _ => {
+                if t.kind == TokenKind::Ident && hash_names.contains(&t.text) {
+                    return Some((t.text.clone(), t.line));
+                }
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Collect the names of bindings, fields and type aliases whose declared
+/// or constructed type mentions `HashMap`/`HashSet`. Shared by D2
+/// (map-iter) and D4 (float-accum).
+pub(crate) fn collect_hash_names(lexed: &Lexed) -> BTreeSet<String> {
+    let toks = &lexed.tokens;
     let mut hash_types: BTreeSet<String> = ["HashMap", "HashSet"]
         .iter()
         .map(|s| s.to_string())
@@ -402,114 +571,7 @@ fn scan_map_iter(lexed: &Lexed, emit: &mut dyn FnMut(&'static str, u32, String))
         }
     }
 
-    if hash_names.is_empty() {
-        return;
-    }
-
-    // Pass 2a: `for <pat> in <expr> {` where expr mentions a hash name.
-    for i in 0..toks.len() {
-        if !lexed.is_ident(i, "for") || lexed.is_punct(i + 1, "<") {
-            continue;
-        }
-        // Find `in` at depth 0, then the loop body `{` at depth 0.
-        let mut depth = 0i32;
-        let mut j = i + 1;
-        let mut in_pos = None;
-        while j < toks.len() {
-            match toks[j].text.as_str() {
-                "(" | "[" | "{" | "<" => depth += 1,
-                ")" | "]" | "}" | ">" => depth -= 1,
-                "in" if depth == 0 && toks[j].kind == TokenKind::Ident => {
-                    in_pos = Some(j);
-                    break;
-                }
-                ";" => break,
-                _ => {}
-            }
-            j += 1;
-        }
-        let Some(in_pos) = in_pos else { continue };
-        let mut depth = 0i32;
-        let mut j = in_pos + 1;
-        while j < toks.len() {
-            let t = &toks[j];
-            match t.text.as_str() {
-                "(" | "[" | "<" => depth += 1,
-                ")" | "]" | ">" => depth -= 1,
-                "{" if depth == 0 => break,
-                "{" => depth += 1,
-                "}" => depth -= 1,
-                _ => {
-                    if t.kind == TokenKind::Ident && hash_names.contains(&t.text) {
-                        emit(
-                            MAP_ITER,
-                            t.line,
-                            format!(
-                                "`for` loop over hash-ordered `{}` — iteration order \
-                                 depends on the hasher; use BTreeMap/BTreeSet or collect \
-                                 & sort first",
-                                t.text
-                            ),
-                        );
-                        break;
-                    }
-                }
-            }
-            j += 1;
-        }
-    }
-
-    // Pass 2b: method chains `name.<passthrough>*.<iter-method>(`.
-    for i in 0..toks.len() {
-        let t = &toks[i];
-        if t.kind != TokenKind::Ident || !hash_names.contains(&t.text) {
-            continue;
-        }
-        // Don't re-fire on the declaration site `name: HashMap<...>`.
-        if lexed.is_punct(i + 1, ":") {
-            continue;
-        }
-        let mut j = i + 1;
-        loop {
-            if !lexed.is_punct(j, ".") {
-                break;
-            }
-            let Some(m) = toks.get(j + 1) else { break };
-            if m.kind != TokenKind::Ident {
-                break;
-            }
-            if ITER_METHODS.contains(&m.text.as_str()) {
-                emit(
-                    MAP_ITER,
-                    m.line,
-                    format!(
-                        "`.{}()` on hash-ordered `{}` — iteration order depends on the \
-                         hasher; use BTreeMap/BTreeSet or collect & sort first",
-                        m.text, t.text
-                    ),
-                );
-                break;
-            }
-            if !PASSTHROUGH_METHODS.contains(&m.text.as_str()) {
-                break;
-            }
-            // Skip the call parens of the passthrough method.
-            let mut k = j + 2;
-            if lexed.is_punct(k, "(") {
-                let mut depth = 1;
-                k += 1;
-                while k < toks.len() && depth > 0 {
-                    match toks[k].text.as_str() {
-                        "(" => depth += 1,
-                        ")" => depth -= 1,
-                        _ => {}
-                    }
-                    k += 1;
-                }
-            }
-            j = k;
-        }
-    }
+    hash_names
 }
 
 /// R1: panic-family sites.

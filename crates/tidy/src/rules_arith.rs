@@ -1,0 +1,201 @@
+//! C-rules: checked arithmetic on size expressions. Scoped to
+//! codec/records/registry-style paths (see `Config::arith_paths`), where a
+//! length feeds a wire format: PR 6 fixed a real `(2³²−1)²` overflow in
+//! exactly this class, and these rules keep the class extinct.
+//!
+//! - `trunc-cast`: `… .len() … as u32` (or `u16`/`u8`) silently truncates
+//!   on huge inputs — use `u32::try_from(len)` and surface the error.
+//! - `unchecked-arith`: `a.len() * b` / `a.len() + b` can overflow `usize`
+//!   arithmetic before any bound check runs — use `checked_mul`/
+//!   `checked_add` (decode paths) or `saturating_*` (capacity hints).
+
+use crate::lexer::{Lexed, TokenKind};
+use crate::rules::{TRUNC_CAST, UNCHECKED_ARITH};
+
+/// Identifiers that mark a value as a length/size/byte-count.
+const SIZE_IDENTS: &[&str] = &["len", "size", "count", "capacity"];
+
+fn is_size_ident(text: &str) -> bool {
+    SIZE_IDENTS.contains(&text)
+        || text.ends_with("_len")
+        || text.starts_with("len_")
+        || text.ends_with("_size")
+        || text.ends_with("_count")
+        || text.ends_with("_bytes")
+}
+
+/// Scan one file for C-rule violations.
+pub fn scan_arith(lexed: &Lexed, emit: &mut dyn FnMut(&'static str, u32, String)) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        // C1: `<expr mentioning a size> as u8|u16|u32`.
+        if lexed.is_ident(i, "as") {
+            let Some(target) = toks.get(i + 1) else {
+                continue;
+            };
+            if target.kind == TokenKind::Ident
+                && matches!(target.text.as_str(), "u8" | "u16" | "u32")
+                && expr_before_mentions_size(lexed, i)
+            {
+                emit(
+                    TRUNC_CAST,
+                    toks[i].line,
+                    format!(
+                        "truncating `as {}` on a length/size expression — silently wraps \
+                         on huge inputs; use `{}::try_from(..)` and surface the error",
+                        target.text, target.text
+                    ),
+                );
+            }
+        }
+
+        // C2: `.len() *` / `.len() +` (and the mirrored `* x.len()`).
+        let t = &toks[i];
+        if t.kind == TokenKind::Punct && (t.text == "*" || t.text == "+") {
+            // `*` as deref / `+` in generic bounds never follow `)`.
+            let op = t.text.clone();
+            let follows_size_call = i >= 3
+                && lexed.is_punct(i - 1, ")")
+                && lexed.is_punct(i - 2, "(")
+                && toks
+                    .get(i - 3)
+                    .is_some_and(|t| t.kind == TokenKind::Ident && is_size_ident(&t.text));
+            let precedes_size_call = (1..=4).any(|d| {
+                toks.get(i + d)
+                    .is_some_and(|t| t.kind == TokenKind::Ident && is_size_ident(&t.text))
+                    && lexed.is_punct(i + d + 1, "(")
+                    && lexed.is_punct(i + d + 2, ")")
+            });
+            if follows_size_call || precedes_size_call {
+                let (checked, saturating) = if op == "*" {
+                    ("checked_mul", "saturating_mul")
+                } else {
+                    ("checked_add", "saturating_add")
+                };
+                emit(
+                    UNCHECKED_ARITH,
+                    t.line,
+                    format!(
+                        "unchecked `{op}` on a length expression — can overflow before \
+                         any bound check runs; use `{checked}` (decode paths) or \
+                         `{saturating}` (capacity hints)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Walk back from the `as` at token `i` to the start of the cast operand
+/// (bounded) looking for a size-ish identifier.
+fn expr_before_mentions_size(lexed: &Lexed, i: usize) -> bool {
+    let toks = &lexed.tokens;
+    let mut j = i;
+    let mut budget = 16;
+    let mut depth = 0i32; // counts closers seen walking backwards
+    while j > 0 && budget > 0 {
+        j -= 1;
+        budget -= 1;
+        let t = &toks[j];
+        match t.text.as_str() {
+            ")" | "]" => depth += 1,
+            "(" | "[" => {
+                if depth == 0 {
+                    return false; // left the operand expression
+                }
+                depth -= 1;
+            }
+            ";" | "=" | "," | "{" | "}" => {
+                if depth == 0 {
+                    return false;
+                }
+            }
+            _ => {
+                if t.kind == TokenKind::Ident && is_size_ident(&t.text) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn hits(src: &str) -> Vec<(&'static str, u32)> {
+        let lexed = lex(src);
+        let mut out = Vec::new();
+        scan_arith(&lexed, &mut |rule, line, _| out.push((rule, line)));
+        out
+    }
+
+    #[test]
+    fn len_as_u32_flagged() {
+        assert_eq!(
+            hits("fn f(v: &[u8]) -> u32 { v.len() as u32 }"),
+            vec![(TRUNC_CAST, 1)]
+        );
+    }
+
+    #[test]
+    fn len_as_u64_is_fine() {
+        // usize → u64 never truncates on supported targets.
+        assert!(hits("fn f(v: &[u8]) -> u64 { v.len() as u64 }").is_empty());
+    }
+
+    #[test]
+    fn non_size_cast_is_fine() {
+        assert!(hits("fn f(x: char) -> u32 { x as u32 }").is_empty());
+    }
+
+    #[test]
+    fn try_from_is_the_clean_form() {
+        assert!(hits("fn f(v: &[u8]) -> Option<u32> { u32::try_from(v.len()).ok() }").is_empty());
+    }
+
+    #[test]
+    fn len_times_constant_flagged() {
+        assert_eq!(
+            hits("fn f(v: &[u8]) -> usize { v.len() * 24 }"),
+            vec![(UNCHECKED_ARITH, 1)]
+        );
+    }
+
+    #[test]
+    fn constant_times_len_flagged() {
+        assert_eq!(
+            hits("fn f(v: &[u8]) -> usize { 24 * v.len() }"),
+            vec![(UNCHECKED_ARITH, 1)]
+        );
+    }
+
+    #[test]
+    fn len_plus_header_flagged() {
+        assert_eq!(
+            hits("fn f(v: &[u8]) -> usize { v.len() + 8 }"),
+            vec![(UNCHECKED_ARITH, 1)]
+        );
+    }
+
+    #[test]
+    fn checked_and_saturating_are_clean() {
+        assert!(hits("fn f(v: &[u8]) -> Option<usize> { v.len().checked_mul(24) }").is_empty());
+        assert!(hits("fn f(v: &[u8]) -> usize { v.len().saturating_add(8) }").is_empty());
+    }
+
+    #[test]
+    fn derived_size_names_count() {
+        assert_eq!(
+            hits("fn f(row_len: usize) -> u32 { row_len as u32 }"),
+            vec![(TRUNC_CAST, 1)]
+        );
+    }
+
+    #[test]
+    fn generic_bounds_plus_is_not_arith() {
+        assert!(hits("fn f<T: Clone + Send>(x: T) -> T { x }").is_empty());
+    }
+}

@@ -1,0 +1,561 @@
+//! A-rules: async-safety. A `.await` reached while a `RefCell` borrow (or
+//! lock guard) from the same or an enclosing block is still live is the
+//! single-threaded-DES equivalent of a data race: any other task woken
+//! during the await that touches the same cell panics with
+//! `BorrowMutError`. The scan reconstructs block scopes from the token
+//! tree and tracks guard liveness:
+//!
+//! - `let g = x.borrow_mut();` makes `g` live until its block ends, it is
+//!   shadowed, or `drop(g)` runs;
+//! - a guard call anywhere in a statement creates a *temporary* that lives
+//!   to the end of that statement — `f(x.borrow().v).await` holds the
+//!   borrow across the await;
+//! - `match`/`for`/`if let`/`while let` scrutinee temporaries live through
+//!   the body (plain `if`/`while` conditions drop theirs before the block,
+//!   mirroring Rust's drop rules);
+//! - closure and `async` block bodies are liveness boundaries: guards from
+//!   the enclosing scope are not provably held at their awaits.
+
+use crate::lexer::{Lexed, TokenKind};
+use crate::tree::{self, Node};
+
+/// Methods whose return value is a liveness-scoped guard.
+const GUARD_METHODS: &[&str] = &[
+    "borrow",
+    "borrow_mut",
+    "try_borrow",
+    "try_borrow_mut",
+    "lock",
+    "try_lock",
+];
+
+/// One live guard binding (or scrutinee temporary).
+#[derive(Clone, Debug)]
+struct Guard {
+    /// Binding name (`"<temporary>"` for scrutinee temporaries).
+    name: String,
+    /// Line of the guard-creating call.
+    line: u32,
+    /// The creating method (`borrow_mut`, `lock`, …).
+    method: String,
+}
+
+/// Head keyword of the statement currently being scanned, for scrutinee
+/// temporary handling at its body brace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum HeadKw {
+    /// `match <expr> { … }`: scrutinee temporaries live through the arms.
+    Match,
+    /// `for <pat> in <expr> { … }`: iterator temporaries live for the loop.
+    For,
+    /// `if let` / `while let`: scrutinee temporaries live through the body.
+    CondLet,
+    /// Plain `if` / `while`: condition temporaries drop before the block.
+    Plain,
+}
+
+struct AsyncScan<'a> {
+    lexed: &'a Lexed,
+    /// Live guards, innermost last. `boundary` indexes into this stack.
+    live: Vec<Guard>,
+}
+
+/// Per-sequence statement state.
+#[derive(Default)]
+struct Stmt {
+    /// A guard-creating call ran in this statement (temporary guard).
+    temp: Option<(u32, String)>,
+    /// This statement is `let [mut] <name> = …` (name captured).
+    let_name: Option<String>,
+    /// The statement's top-level chain currently ends with a guard call.
+    guard_tail: Option<(u32, String)>,
+    /// Head keyword state for the next `{` body at this level.
+    head: Option<HeadKw>,
+    /// The previous head keyword was `if`/`while` and we are watching for
+    /// a following `let`.
+    head_expect_let: bool,
+}
+
+/// Scan one file for A-rule violations. `emit(rule, line, message)`.
+pub fn scan_await_borrow(lexed: &Lexed, emit: &mut dyn FnMut(u32, String)) {
+    let nodes = tree::build(lexed);
+    let mut scan = AsyncScan {
+        lexed,
+        live: Vec::new(),
+    };
+    scan.seq(&nodes, 0, &mut Stmt::default(), emit);
+}
+
+impl<'a> AsyncScan<'a> {
+    fn tok_text(&self, i: usize) -> &str {
+        &self.lexed.tokens[i].text
+    }
+
+    fn is_guard_method(&self, i: usize) -> bool {
+        let t = &self.lexed.tokens[i];
+        t.kind == TokenKind::Ident && GUARD_METHODS.contains(&t.text.as_str())
+    }
+
+    /// Scan a node sequence (block body, paren group interior, or the top
+    /// level). `boundary` is the index into `self.live` below which guards
+    /// belong to an enclosing closure/async context and are not counted.
+    fn seq(
+        &mut self,
+        nodes: &[Node],
+        boundary: usize,
+        stmt: &mut Stmt,
+        emit: &mut dyn FnMut(u32, String),
+    ) {
+        let mut prev: Option<usize> = None; // previous leaf token index at this level
+        let mut i = 0;
+        while i < nodes.len() {
+            match &nodes[i] {
+                Node::Tok(t) => {
+                    let ti = *t;
+                    let text = self.tok_text(ti).to_string();
+                    match text.as_str() {
+                        ";" => {
+                            // Statement end: activate a named guard, drop
+                            // the temporary.
+                            if let Some(name) = stmt.let_name.take() {
+                                // Shadowing: a re-`let` of the same name in
+                                // this scope replaces (or retires) the old
+                                // guard, whatever the new value is.
+                                self.live.retain(|g| g.name != name);
+                                if let Some((line, method)) = stmt.guard_tail.take() {
+                                    self.live.push(Guard { name, line, method });
+                                }
+                            }
+                            *stmt = Stmt::default();
+                        }
+                        "let" => {
+                            if stmt.head_expect_let {
+                                stmt.head = Some(HeadKw::CondLet);
+                                stmt.head_expect_let = false;
+                            } else if stmt.let_name.is_none() {
+                                stmt.let_name = self.let_binding_name(nodes, i);
+                            }
+                        }
+                        "match" => {
+                            stmt.head = Some(HeadKw::Match);
+                            stmt.head_expect_let = false;
+                        }
+                        "for" => {
+                            // `impl Trait for T` also says `for`; a head
+                            // guard only arises from a guard call after it,
+                            // which an impl header cannot contain.
+                            stmt.head = Some(HeadKw::For);
+                            stmt.head_expect_let = false;
+                        }
+                        "if" | "while" => {
+                            stmt.head = Some(HeadKw::Plain);
+                            stmt.head_expect_let = true;
+                        }
+                        "else" | "loop" | "unsafe" => {
+                            if !matches!(stmt.head, Some(HeadKw::CondLet)) {
+                                stmt.head = Some(HeadKw::Plain);
+                            }
+                            stmt.head_expect_let = false;
+                        }
+                        "await" if prev.is_some_and(|p| self.tok_text(p) == ".") => {
+                            self.check_await(ti, boundary, stmt, emit);
+                        }
+                        "drop" => {
+                            // `drop(name)`: the guard dies here.
+                            if let Some(Node::Group(g)) = nodes.get(i + 1) {
+                                if g.delim == '(' && g.children.len() == 1 {
+                                    if let Node::Tok(n) = &g.children[0] {
+                                        let name = self.tok_text(*n).to_string();
+                                        if let Some(pos) =
+                                            self.live.iter().rposition(|gd| gd.name == name)
+                                        {
+                                            self.live.remove(pos);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                    // The `if`/`while` ↦ `let` window is one token wide:
+                    // anything else between them means a plain condition.
+                    if !matches!(text.as_str(), "let" | "if" | "while") {
+                        stmt.head_expect_let = false;
+                    }
+                    // Any token after a guard-tail call breaks the tail
+                    // (except `?`, which unwraps `try_borrow` results).
+                    if text != "?" && text != ";" {
+                        stmt.guard_tail = None;
+                    }
+                    prev = Some(ti);
+                }
+                Node::Group(g) => {
+                    match g.delim {
+                        '(' | '[' => {
+                            // A guard call completes here: `. method ( … )`.
+                            let is_guard_call = g.delim == '('
+                                && prev.is_some_and(|p| self.is_guard_method(p))
+                                && self.prev_is_dot_before(nodes, i);
+                            // Recurse into the group as expression context:
+                            // same statement, same boundary.
+                            self.expr_group(&g.children, boundary, stmt, emit);
+                            if is_guard_call {
+                                let line = self.lexed.tokens[g.open].line;
+                                let method = prev.map(|p| self.tok_text(p).to_string());
+                                let method = method.unwrap_or_default();
+                                stmt.temp = Some((line, method.clone()));
+                                stmt.guard_tail = Some((line, method));
+                            } else {
+                                stmt.guard_tail = None;
+                            }
+                        }
+                        _ => {
+                            // `{ … }`: classify the block.
+                            let len = self.live.len();
+                            let is_boundary = self.brace_is_boundary(nodes, i, prev);
+                            if is_boundary {
+                                let mut inner = Stmt::default();
+                                self.seq(&g.children, self.live.len(), &mut inner, emit);
+                            } else {
+                                let keep_scrutinee = matches!(
+                                    stmt.head,
+                                    Some(HeadKw::Match) | Some(HeadKw::For) | Some(HeadKw::CondLet)
+                                );
+                                if keep_scrutinee {
+                                    if let Some((line, method)) = stmt.temp.clone() {
+                                        self.live.push(Guard {
+                                            name: "<scrutinee temporary>".into(),
+                                            line,
+                                            method,
+                                        });
+                                    }
+                                }
+                                let mut inner = Stmt::default();
+                                self.seq(&g.children, boundary, &mut inner, emit);
+                            }
+                            self.live.truncate(len);
+                            // After a body brace the statement-temporary
+                            // window closes for everything except a match
+                            // used as an expression (its scrutinee lives to
+                            // the end of the full statement).
+                            let was_match = matches!(stmt.head, Some(HeadKw::Match));
+                            let temp = stmt.temp.take();
+                            let let_name = stmt.let_name.take();
+                            *stmt = Stmt::default();
+                            if was_match {
+                                stmt.temp = temp;
+                                stmt.let_name = let_name;
+                            }
+                        }
+                    }
+                    prev = None;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Expression context: parens/brackets share the enclosing statement.
+    fn expr_group(
+        &mut self,
+        nodes: &[Node],
+        boundary: usize,
+        stmt: &mut Stmt,
+        emit: &mut dyn FnMut(u32, String),
+    ) {
+        let mut prev: Option<usize> = None;
+        for (i, node) in nodes.iter().enumerate() {
+            match node {
+                Node::Tok(t) => {
+                    let ti = *t;
+                    if self.tok_text(ti) == "await" && prev.is_some_and(|p| self.tok_text(p) == ".")
+                    {
+                        self.check_await(ti, boundary, stmt, emit);
+                    }
+                    prev = Some(ti);
+                }
+                Node::Group(g) => {
+                    match g.delim {
+                        '(' | '[' => {
+                            let is_guard_call = g.delim == '('
+                                && prev.is_some_and(|p| self.is_guard_method(p))
+                                && self.prev_is_dot_before(nodes, i);
+                            self.expr_group(&g.children, boundary, stmt, emit);
+                            if is_guard_call {
+                                let line = self.lexed.tokens[g.open].line;
+                                let method = prev
+                                    .map(|p| self.tok_text(p).to_string())
+                                    .unwrap_or_default();
+                                stmt.temp = Some((line, method));
+                            }
+                        }
+                        _ => {
+                            // Block inside an expression (closure body,
+                            // async block, match body…): classify the same
+                            // way as at statement level.
+                            let len = self.live.len();
+                            if self.brace_is_boundary(nodes, i, prev) {
+                                let mut inner = Stmt::default();
+                                self.seq(&g.children, self.live.len(), &mut inner, emit);
+                            } else {
+                                let mut inner = Stmt::default();
+                                self.seq(&g.children, boundary, &mut inner, emit);
+                            }
+                            self.live.truncate(len);
+                        }
+                    }
+                    prev = None;
+                }
+            }
+        }
+    }
+
+    /// Is the brace group at `nodes[i]` a liveness boundary (closure body
+    /// or `async` block)?
+    fn brace_is_boundary(&self, nodes: &[Node], i: usize, prev: Option<usize>) -> bool {
+        // `async { … }` / `async move { … }` / `move { … }` (closure tail)
+        // / `| … | { … }` (prev leaf is the closing pipe).
+        if let Some(p) = prev {
+            let t = self.tok_text(p);
+            if t == "|" {
+                return true;
+            }
+            if t == "move" || t == "async" {
+                return true;
+            }
+        }
+        // `|args| { … }` where args contained groups: look back two nodes.
+        if i >= 1 {
+            if let Node::Tok(p) = &nodes[i - 1] {
+                let t = self.tok_text(*p);
+                if t == "|" || t == "move" || t == "async" {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Does a `.` token directly precede the method ident before group `i`?
+    fn prev_is_dot_before(&self, nodes: &[Node], i: usize) -> bool {
+        if i < 2 {
+            return false;
+        }
+        if let (Node::Tok(dot), Node::Tok(_)) = (&nodes[i - 2], &nodes[i - 1]) {
+            return self.tok_text(*dot) == ".";
+        }
+        false
+    }
+
+    /// Extract the binding name of `let [mut] <name> = …` (also accepting
+    /// `let Ok(name)` / `let Some(name)` single-binding patterns).
+    fn let_binding_name(&self, nodes: &[Node], let_idx: usize) -> Option<String> {
+        let mut j = let_idx + 1;
+        if let Some(Node::Tok(t)) = nodes.get(j) {
+            if self.tok_text(*t) == "mut" {
+                j += 1;
+            }
+        }
+        match nodes.get(j)? {
+            Node::Tok(t) if self.lexed.tokens[*t].kind == TokenKind::Ident => {
+                // `Ok(name)` / `Some(name)` wrapper pattern.
+                if let Some(Node::Group(g)) = nodes.get(j + 1) {
+                    if g.delim == '(' && g.close.is_some() {
+                        if let Some(Node::Tok(inner)) = g.children.first() {
+                            if self.lexed.tokens[*inner].kind == TokenKind::Ident {
+                                return Some(self.tok_text(*inner).to_string());
+                            }
+                        }
+                    }
+                }
+                Some(self.tok_text(*t).to_string())
+            }
+            _ => None,
+        }
+    }
+
+    fn check_await(
+        &self,
+        await_tok: usize,
+        boundary: usize,
+        stmt: &Stmt,
+        emit: &mut dyn FnMut(u32, String),
+    ) {
+        let line = self.lexed.tokens[await_tok].line;
+        let held: Vec<&Guard> = self.live[boundary.min(self.live.len())..].iter().collect();
+        if !held.is_empty() {
+            let list = held
+                .iter()
+                .map(|g| format!("`{}` (.{}() on line {})", g.name, g.method, g.line))
+                .collect::<Vec<_>>()
+                .join(", ");
+            emit(
+                line,
+                format!(
+                    ".await while {list} is still live — any task woken during the await \
+                     that touches the same cell panics with BorrowMutError; end the borrow \
+                     (inner scope or drop()) before awaiting"
+                ),
+            );
+        } else if let Some((bline, method)) = &stmt.temp {
+            emit(
+                line,
+                format!(
+                    ".await while the .{method}() temporary from line {bline} is still \
+                     live (temporaries last to the end of the statement) — bind the \
+                     needed value first, then await"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn hits(src: &str) -> Vec<u32> {
+        let lexed = lex(src);
+        let mut out = Vec::new();
+        scan_await_borrow(&lexed, &mut |line, _| out.push(line));
+        out
+    }
+
+    #[test]
+    fn named_guard_across_await_flagged() {
+        let src = "async fn f(c: &RefCell<u32>) {\n\
+                   let g = c.borrow_mut();\n\
+                   tick().await;\n\
+                   use_it(g);\n}";
+        assert_eq!(hits(src), vec![3]);
+    }
+
+    #[test]
+    fn guard_dropped_before_await_is_clean() {
+        let src = "async fn f(c: &RefCell<u32>) {\n\
+                   let g = c.borrow_mut();\n\
+                   drop(g);\n\
+                   tick().await;\n}";
+        assert!(hits(src).is_empty());
+    }
+
+    #[test]
+    fn guard_scoped_out_before_await_is_clean() {
+        let src = "async fn f(c: &RefCell<u32>) {\n\
+                   { let g = c.borrow_mut(); g.push(1); }\n\
+                   tick().await;\n}";
+        assert!(hits(src).is_empty());
+    }
+
+    #[test]
+    fn value_extracted_from_borrow_is_clean() {
+        // The chain does not end in the guard: `g` is a plain value.
+        let src = "async fn f(c: &RefCell<Vec<u32>>) {\n\
+                   let n = c.borrow().len();\n\
+                   tick().await;\n}";
+        assert!(hits(src).is_empty());
+    }
+
+    #[test]
+    fn same_statement_temporary_across_await_flagged() {
+        let src = "async fn f(c: &RefCell<u32>) {\n\
+                   send(*c.borrow()).await;\n}";
+        assert_eq!(hits(src), vec![2]);
+    }
+
+    #[test]
+    fn plain_if_condition_borrow_is_dropped_before_body() {
+        let src = "async fn f(c: &RefCell<bool>) {\n\
+                   if *c.borrow() {\n\
+                   tick().await;\n\
+                   }\n}";
+        assert!(hits(src).is_empty());
+    }
+
+    #[test]
+    fn match_scrutinee_borrow_lives_through_arms() {
+        let src = "async fn f(c: &RefCell<State>) {\n\
+                   match c.borrow().kind {\n\
+                   Kind::A => tick().await,\n\
+                   _ => {}\n\
+                   }\n}";
+        assert_eq!(hits(src), vec![3]);
+    }
+
+    #[test]
+    fn for_loop_over_borrow_lives_through_body() {
+        let src = "async fn f(c: &RefCell<Vec<u32>>) {\n\
+                   for x in c.borrow().clone() {\n\
+                   handle(x).await;\n\
+                   }\n}";
+        assert_eq!(hits(src), vec![3]);
+    }
+
+    #[test]
+    fn guard_in_enclosing_block_still_counts_in_nested_block() {
+        let src = "async fn f(c: &RefCell<u32>) {\n\
+                   let g = c.borrow_mut();\n\
+                   if ready {\n\
+                   tick().await;\n\
+                   }\n}";
+        assert_eq!(hits(src), vec![4]);
+    }
+
+    #[test]
+    fn async_block_is_a_liveness_boundary() {
+        // The guard is created outside; the async block body runs later —
+        // not provably held there (and flagging it would FP on spawn()).
+        let src = "fn f(c: &RefCell<u32>) {\n\
+                   let g = c.borrow_mut();\n\
+                   spawn(async move {\n\
+                   tick().await;\n\
+                   });\n}";
+        assert!(hits(src).is_empty());
+    }
+
+    #[test]
+    fn guard_inside_async_block_flagged() {
+        let src = "fn f(c: Rc<RefCell<u32>>) {\n\
+                   spawn(async move {\n\
+                   let g = c.borrow_mut();\n\
+                   tick().await;\n\
+                   });\n}";
+        assert_eq!(hits(src), vec![4]);
+    }
+
+    #[test]
+    fn try_borrow_question_mark_guard_flagged() {
+        let src = "async fn f(c: &RefCell<u32>) -> Result<(), E> {\n\
+                   let g = c.try_borrow_mut()?;\n\
+                   tick().await;\n\
+                   Ok(())\n}";
+        assert_eq!(hits(src), vec![3]);
+    }
+
+    #[test]
+    fn shadowing_replaces_the_guard() {
+        let src = "async fn f(c: &RefCell<u32>) {\n\
+                   let g = c.borrow_mut();\n\
+                   let g = read(g);\n\
+                   tick().await;\n}";
+        assert!(hits(src).is_empty());
+    }
+
+    #[test]
+    fn await_with_no_guards_is_clean() {
+        let src = "async fn f() { tick().await; other().await; }";
+        assert!(hits(src).is_empty());
+    }
+
+    #[test]
+    fn if_let_scrutinee_borrow_lives_through_body() {
+        // Unlike a plain `if` condition, an `if let` scrutinee temporary
+        // lives through the body (Rust's temporary-lifetime rules).
+        let src = "async fn f(c: &RefCell<Option<u32>>) {\n\
+                   if let Some(v) = c.borrow().as_ref() {\n\
+                   tick().await;\n\
+                   }\n}";
+        assert_eq!(hits(src), vec![3]);
+    }
+}

@@ -1,0 +1,333 @@
+//! D4: float non-determinism. IEEE-754 addition is not associative, so any
+//! float reduction whose operand *order* is not fixed can change the final
+//! bits from run to run — exactly the drift `suite compare` exists to
+//! catch. Two patterns:
+//!
+//! - `float-accum`: accumulation (`sum::<f32/f64>()`, `fold(0.0, …)`,
+//!   `product`, `+=` with a float operand) over a hash-ordered source. The
+//!   D2 rule already bans the iteration itself; this rule names the
+//!   *consequence* so a `map-iter` waiver cannot quietly launder a float
+//!   reduction through.
+//! - `partial-cmp-sort`: `sort_by`/`max_by`/`min_by` comparators built on
+//!   `partial_cmp` — `NaN` makes the comparator non-total, and totality
+//!   violations make `sort_by` order (and thus downstream floats)
+//!   unspecified. Use `f64::total_cmp`.
+
+use crate::lexer::{Lexed, TokenKind};
+use crate::rules::{collect_hash_names, for_loop_hash_source, FLOAT_ACCUM, PARTIAL_CMP_SORT};
+
+/// Reduction methods that fold an iterator into one value.
+const ACCUM_METHODS: &[&str] = &["sum", "product", "fold"];
+
+/// Sort/extremum methods that take a comparator closure.
+const CMP_METHODS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "max_by",
+    "min_by",
+    "binary_search_by",
+];
+
+/// Scan one file for D4 violations.
+pub fn scan_float(lexed: &Lexed, emit: &mut dyn FnMut(&'static str, u32, String)) {
+    scan_partial_cmp(lexed, emit);
+    scan_hash_accum(lexed, emit);
+}
+
+/// `sort_by(|a, b| a.partial_cmp(b).unwrap())` and friends.
+fn scan_partial_cmp(lexed: &Lexed, emit: &mut dyn FnMut(&'static str, u32, String)) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident
+            || !CMP_METHODS.contains(&t.text.as_str())
+            || !lexed.is_punct(i + 1, "(")
+        {
+            continue;
+        }
+        // Scan the argument list for `partial_cmp`.
+        let mut depth = 1i32;
+        let mut j = i + 2;
+        while j < toks.len() && depth > 0 {
+            match toks[j].text.as_str() {
+                "(" => depth += 1,
+                ")" => depth -= 1,
+                "partial_cmp" if toks[j].kind == TokenKind::Ident => {
+                    emit(
+                        PARTIAL_CMP_SORT,
+                        toks[j].line,
+                        format!(
+                            "`{}` comparator built on `partial_cmp` — NaN makes it \
+                             non-total and the resulting order unspecified; use \
+                             `total_cmp` for floats",
+                            t.text
+                        ),
+                    );
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Float reductions over hash-ordered sources.
+fn scan_hash_accum(lexed: &Lexed, emit: &mut dyn FnMut(&'static str, u32, String)) {
+    let toks = &lexed.tokens;
+    let hash_names = collect_hash_names(lexed);
+    if hash_names.is_empty() {
+        return;
+    }
+
+    // (a) method chains rooted at a hash name reaching `sum`/`fold`/
+    // `product` with float evidence. The chain walk is permissive: any
+    // `.ident(...)` link keeps us on the same statement's chain.
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || !hash_names.contains(&t.text) || lexed.is_punct(i + 1, ":")
+        {
+            continue;
+        }
+        let mut j = i + 1;
+        let mut hops = 0;
+        while lexed.is_punct(j, ".") && hops < 8 {
+            let Some(m) = toks.get(j + 1) else { break };
+            if m.kind != TokenKind::Ident {
+                break;
+            }
+            if ACCUM_METHODS.contains(&m.text.as_str()) && is_float_reduction(lexed, j + 2) {
+                emit(
+                    FLOAT_ACCUM,
+                    m.line,
+                    format!(
+                        "float `.{}()` over hash-ordered `{}` — IEEE-754 addition is \
+                         not associative, so hasher order changes the result bits; \
+                         reduce over a BTree or sorted Vec instead",
+                        m.text, t.text
+                    ),
+                );
+                break;
+            }
+            // Step over an optional turbofish and the call parens.
+            let mut k = j + 2;
+            if lexed.is_punct(k, ":") && lexed.is_punct(k + 1, ":") && lexed.is_punct(k + 2, "<") {
+                let mut d = 1;
+                k += 3;
+                while k < toks.len() && d > 0 {
+                    match toks[k].text.as_str() {
+                        "<" => d += 1,
+                        ">" => d -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+            if lexed.is_punct(k, "(") {
+                let mut d = 1;
+                k += 1;
+                while k < toks.len() && d > 0 {
+                    match toks[k].text.as_str() {
+                        "(" => d += 1,
+                        ")" => d -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+            j = k;
+            hops += 1;
+        }
+    }
+
+    // (b) `+=` with a float operand inside a `for` loop over a hash name.
+    for i in 0..toks.len() {
+        if !lexed.is_ident(i, "for") || lexed.is_punct(i + 1, "<") {
+            continue;
+        }
+        let Some((name, _)) = for_loop_hash_source(lexed, i, &hash_names) else {
+            continue;
+        };
+        // Find the loop body `{` and scan its extent for `+=` statements
+        // with a float literal in the same statement.
+        let mut j = i + 1;
+        while j < toks.len() && !lexed.is_punct(j, "{") {
+            j += 1;
+        }
+        let mut depth = 1i32;
+        j += 1;
+        while j < toks.len() && depth > 0 {
+            match toks[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => depth -= 1,
+                "+" if lexed.is_punct(j + 1, "=") && stmt_has_float(lexed, j) => {
+                    emit(
+                        FLOAT_ACCUM,
+                        toks[j].line,
+                        format!(
+                            "float `+=` accumulation inside a loop over hash-ordered \
+                             `{name}` — IEEE-754 addition is not associative, so hasher \
+                             order changes the result bits"
+                        ),
+                    );
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Float evidence for a reduction at the token just past the method name:
+/// a `::<f32/f64>` turbofish, or a float literal / `f32`/`f64` ident among
+/// the call arguments (`fold(0.0, …)`).
+fn is_float_reduction(lexed: &Lexed, mut k: usize) -> bool {
+    let toks = &lexed.tokens;
+    if lexed.is_punct(k, ":") && lexed.is_punct(k + 1, ":") && lexed.is_punct(k + 2, "<") {
+        let mut d = 1;
+        let mut j = k + 3;
+        while j < toks.len() && d > 0 {
+            match toks[j].text.as_str() {
+                "<" => d += 1,
+                ">" => d -= 1,
+                "f32" | "f64" => return true,
+                _ => {}
+            }
+            j += 1;
+        }
+        k = j;
+    }
+    if !lexed.is_punct(k, "(") {
+        return false;
+    }
+    let mut d = 1;
+    let mut j = k + 1;
+    while j < toks.len() && d > 0 {
+        let t = &toks[j];
+        match t.text.as_str() {
+            "(" => d += 1,
+            ")" => d -= 1,
+            "f32" | "f64" => return true,
+            _ => {
+                if t.kind == TokenKind::Literal && is_float_literal(&t.text) {
+                    return true;
+                }
+            }
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Does the statement containing the `+=` at token `j` mention a float
+/// literal? Scans from the previous `;`/`{` to the next `;`.
+fn stmt_has_float(lexed: &Lexed, j: usize) -> bool {
+    let toks = &lexed.tokens;
+    let start = (0..j)
+        .rev()
+        .find(|&k| matches!(toks[k].text.as_str(), ";" | "{" | "}"))
+        .map_or(0, |k| k + 1);
+    let mut k = start;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.text == ";" && k > j {
+            break;
+        }
+        if t.kind == TokenKind::Literal && is_float_literal(&t.text) {
+            return true;
+        }
+        if t.kind == TokenKind::Ident && (t.text == "f32" || t.text == "f64") {
+            return true;
+        }
+        k += 1;
+    }
+    false
+}
+
+/// `1.0`, `0.5f64`, `1e-3` — numeric literals with a fractional/exponent
+/// part (and not a range like `0..10`, which lexes as separate tokens).
+fn is_float_literal(text: &str) -> bool {
+    let b = text.as_bytes();
+    if b.first().is_none_or(|c| !c.is_ascii_digit()) {
+        return false;
+    }
+    text.contains('.')
+        || text.contains("e-")
+        || text.contains("e+")
+        || text.ends_with("f64")
+        || text.ends_with("f32")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn hits(src: &str) -> Vec<(&'static str, u32)> {
+        let lexed = lex(src);
+        let mut out = Vec::new();
+        scan_float(&lexed, &mut |rule, line, _| out.push((rule, line)));
+        out
+    }
+
+    #[test]
+    fn partial_cmp_sort_flagged() {
+        let src = "fn f(v: &mut Vec<f64>) {\n\
+                   v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}";
+        assert_eq!(hits(src), vec![(PARTIAL_CMP_SORT, 2)]);
+    }
+
+    #[test]
+    fn total_cmp_sort_is_clean() {
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); }";
+        assert!(hits(src).is_empty());
+    }
+
+    #[test]
+    fn float_sum_over_hashmap_values_flagged() {
+        let src = "fn f(m: &HashMap<String, f64>) -> f64 {\n\
+                   m.values().sum::<f64>()\n}";
+        assert_eq!(hits(src), vec![(FLOAT_ACCUM, 2)]);
+    }
+
+    #[test]
+    fn float_fold_over_hashmap_flagged() {
+        let src = "fn f(m: &HashMap<String, f64>) -> f64 {\n\
+                   m.values().fold(0.0, |a, b| a + b)\n}";
+        assert_eq!(hits(src), vec![(FLOAT_ACCUM, 2)]);
+    }
+
+    #[test]
+    fn int_sum_over_hashmap_is_not_float_accum() {
+        // Order-independent: integer addition is associative.
+        let src = "fn f(m: &HashMap<String, u64>) -> u64 { m.values().sum::<u64>() }";
+        assert!(hits(src).is_empty());
+    }
+
+    #[test]
+    fn float_sum_over_vec_is_clean() {
+        let src = "fn f(v: &Vec<f64>) -> f64 { v.iter().sum::<f64>() }";
+        assert!(hits(src).is_empty());
+    }
+
+    #[test]
+    fn float_plus_eq_in_hash_loop_flagged() {
+        let src = "fn f(m: &HashMap<String, f64>) -> f64 {\n\
+                   let mut acc = 0.0;\n\
+                   for v in m.values() {\n\
+                   acc += v * 2.0;\n\
+                   }\n\
+                   acc\n}";
+        let h = hits(src);
+        assert!(h.contains(&(FLOAT_ACCUM, 4)), "{h:?}");
+    }
+
+    #[test]
+    fn int_counter_in_hash_loop_is_clean_for_d4() {
+        let src = "fn f(m: &HashMap<String, u64>) -> u64 {\n\
+                   let mut n = 0;\n\
+                   for _ in m.keys() { n += 1; }\n\
+                   n\n}";
+        assert!(hits(src).is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! M-rules: metric-name hygiene at the emission site.
+//!
+//! This file handles the *local* half — harvesting literal names and the
+//! syntactic checks (`metric-prefix` for names without a dot-separated
+//! subsystem prefix, `metric-unknown` for dynamic names the registry can
+//! never vouch for). The *global* half — cross-checking harvested names
+//! against `metrics.registry` in both directions — runs in
+//! [`crate::run_check`] once every file has been scanned.
+
+use crate::context::FileContext;
+use crate::lexer::{Lexed, TokenKind};
+use crate::rules::{METRIC_PREFIX, METRIC_UNKNOWN};
+
+/// Emission methods whose first argument is the metric name.
+const EMIT_METHODS: &[&str] = &["counter_add", "gauge_set", "observe"];
+
+/// One harvested literal metric name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricUse {
+    /// The name with its quotes stripped.
+    pub name: String,
+    /// 1-based line of the call.
+    pub line: u32,
+    /// A `tidy: allow(metric-unknown)` waiver (with reason) covers this
+    /// call — the registry cross-check must not re-flag it.
+    pub unknown_waived: bool,
+}
+
+/// Scan one file: emit local M violations through `emit` and return the
+/// harvested literal names for the registry cross-check. Test code is
+/// skipped entirely — unit tests emit throwaway names into throwaway
+/// collectors, and those must not pollute the registry.
+pub fn scan_metrics(
+    lexed: &Lexed,
+    ctx: &FileContext,
+    emit: &mut dyn FnMut(&'static str, u32, String),
+) -> Vec<MetricUse> {
+    let toks = &lexed.tokens;
+    let mut uses = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident
+            || !EMIT_METHODS.contains(&t.text.as_str())
+            || i == 0
+            || !lexed.is_punct(i - 1, ".")
+            || !lexed.is_punct(i + 1, "(")
+        {
+            continue;
+        }
+        if ctx.is_test_line(t.line) {
+            continue;
+        }
+        let Some(arg) = toks.get(i + 2) else { continue };
+        if arg.kind == TokenKind::Literal && arg.text.starts_with('"') {
+            let name = arg.text.trim_matches('"').to_string();
+            if !name.contains('.') {
+                emit(
+                    METRIC_PREFIX,
+                    t.line,
+                    format!(
+                        "metric `{name}` has no dot-separated subsystem prefix — name it \
+                         `<subsystem>.{name}` so dashboards can group by origin"
+                    ),
+                );
+            }
+            uses.push(MetricUse {
+                name,
+                line: t.line,
+                unknown_waived: ctx
+                    .is_waived(METRIC_UNKNOWN, t.line)
+                    .is_some_and(|w| w.has_reason),
+            });
+        } else if lexed.is_ident(i + 2, "name") && lexed.is_punct(i + 3, ",") {
+            // `fn counter_add(&self, name: &str, ..)` forwarding wrappers
+            // (the obs API itself) pass the parameter straight through —
+            // that is the implementation, not an emission site.
+        } else {
+            emit(
+                METRIC_UNKNOWN,
+                t.line,
+                format!(
+                    "dynamic metric name passed to `{}` — the registry cannot vouch for \
+                     names built at runtime; use a literal, or waive with the closed set \
+                     of names this expands to",
+                    t.text
+                ),
+            );
+        }
+    }
+    uses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scan(src: &str) -> (Vec<MetricUse>, Vec<(&'static str, u32)>) {
+        let lexed = lex(src);
+        let ctx = FileContext::build(&lexed);
+        let mut v = Vec::new();
+        let uses = scan_metrics(&lexed, &ctx, &mut |rule, line, _| v.push((rule, line)));
+        (uses, v)
+    }
+
+    #[test]
+    fn literal_names_are_harvested() {
+        let (uses, v) = scan("fn f() { obs.counter_add(\"k8s.pods_started\", 1); }");
+        assert_eq!(uses.len(), 1);
+        assert_eq!(uses[0].name, "k8s.pods_started");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn missing_prefix_flagged() {
+        let (uses, v) = scan("fn f() { obs.observe(\"latency\", 0.5); }");
+        assert_eq!(v, vec![(METRIC_PREFIX, 1)]);
+        assert_eq!(uses.len(), 1); // still harvested for the registry check
+    }
+
+    #[test]
+    fn dynamic_name_flagged() {
+        let (uses, v) = scan("fn f(k: &str) { obs.counter_add(&format!(\"c.{k}\"), 1); }");
+        assert_eq!(v, vec![(METRIC_UNKNOWN, 1)]);
+        assert!(uses.is_empty());
+    }
+
+    #[test]
+    fn forwarding_wrapper_is_not_an_emission_site() {
+        let (uses, v) = scan(
+            "impl Obs { pub fn counter_add(&self, name: &str, d: u64) {\n\
+             self.inner.counter_add(name, d);\n} }",
+        );
+        assert!(uses.is_empty());
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn test_code_names_are_ignored() {
+        let (uses, v) =
+            scan("#[cfg(test)]\nmod tests {\n fn t() { obs.counter_add(\"throwaway\", 1); }\n}");
+        assert!(uses.is_empty());
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn waived_unknown_is_recorded() {
+        let (uses, _) = scan(
+            "fn f() {\n\
+             // tidy: allow(metric-unknown) — closed set, documented in the registry\n\
+             obs.observe(\"legacy.x\", 1.0); }",
+        );
+        assert!(uses[0].unknown_waived);
+    }
+}

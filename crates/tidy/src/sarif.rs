@@ -1,0 +1,86 @@
+//! SARIF 2.1.0 output — the interchange format GitHub code scanning
+//! ingests to annotate PR diffs. Minimal but valid: one run, one driver,
+//! a `rules` table of the rule ids that fired, and one `result` per
+//! violation with a physical location. Hand-rolled like the JSON emitter
+//! (stable key order, zero dependencies).
+
+use crate::rules::Violation;
+use crate::{json_str, Report};
+
+/// Render a report as a SARIF 2.1.0 document.
+pub fn to_sarif(report: &Report) -> String {
+    let mut rule_ids: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+    rule_ids.sort_unstable();
+    rule_ids.dedup();
+
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+         \"driver\": {\n          \"name\": \"swf-tidy\",\n          \
+         \"informationUri\": \"https://github.com/\",\n          \"rules\": [",
+    );
+    for (i, id) in rule_ids.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+            json_str(id),
+            json_str(id)
+        ));
+    }
+    if !rule_ids.is_empty() {
+        out.push_str("\n          ");
+    }
+    out.push_str("]\n        }\n      },\n      \"results\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&result_json(v));
+    }
+    if !report.violations.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+fn result_json(v: &Violation) -> String {
+    format!(
+        "\n        {{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": {}}}, \
+         \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+         \"region\": {{\"startLine\": {}}}}}}}]}}",
+        json_str(v.rule),
+        json_str(&v.message),
+        json_str(&v.file),
+        v.line.max(1)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_valid_sarif_shell() {
+        let s = to_sarif(&Report::default());
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"results\": []"));
+    }
+
+    #[test]
+    fn violations_become_results_with_clamped_lines() {
+        let mut r = Report::default();
+        r.violations.push(Violation {
+            rule: crate::rules::UNWRAP,
+            file: "crates/x/src/lib.rs".into(),
+            line: 0, // whole-file finding: SARIF requires startLine >= 1
+            message: "baseline is stale".into(),
+        });
+        let s = to_sarif(&r);
+        assert!(s.contains("\"ruleId\": \"unwrap\""));
+        assert!(s.contains("\"startLine\": 1"));
+        assert!(s.contains("crates/x/src/lib.rs"));
+    }
+}

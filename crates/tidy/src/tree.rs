@@ -1,0 +1,149 @@
+//! Nesting-aware token trees: the scope layer on top of the flat lexer.
+//!
+//! The flat token stream is enough for token-pattern rules (D1–D3), but the
+//! scope-sensitive families (A-rules: guard liveness across `.await`;
+//! let-binding classification for D4/C-rules) need to know *where blocks
+//! begin and end*. This module groups the flat stream into a token tree:
+//! every `(…)`, `[…]` and `{…}` becomes a [`Node::Group`] whose children
+//! are the tokens and groups inside it, in source order. Unbalanced input
+//! is tolerated — a stray closer is kept as a plain token, an unterminated
+//! group simply runs to end of file — because a linter must never panic on
+//! a half-edited tree.
+
+use crate::lexer::Lexed;
+
+/// One node of the token tree.
+#[derive(Clone, Debug)]
+pub enum Node {
+    /// A leaf: index into `Lexed::tokens`.
+    Tok(usize),
+    /// A delimited group.
+    Group(Group),
+}
+
+/// A delimited group: `(…)`, `[…]` or `{…}`.
+#[derive(Clone, Debug)]
+pub struct Group {
+    /// Opening delimiter: `(`, `[` or `{`.
+    pub delim: char,
+    /// Token index of the opening delimiter.
+    pub open: usize,
+    /// Token index of the closing delimiter (`None` if unterminated).
+    pub close: Option<usize>,
+    /// Children in source order.
+    pub children: Vec<Node>,
+}
+
+impl Node {
+    /// The 1-based source line this node starts on.
+    pub fn line(&self, lexed: &Lexed) -> u32 {
+        match self {
+            Node::Tok(i) => lexed.tokens[*i].line,
+            Node::Group(g) => lexed.tokens[g.open].line,
+        }
+    }
+}
+
+fn closer_for(open: char) -> &'static str {
+    match open {
+        '(' => ")",
+        '[' => "]",
+        _ => "}",
+    }
+}
+
+/// Build the token tree for a lexed file.
+pub fn build(lexed: &Lexed) -> Vec<Node> {
+    let mut i = 0;
+    parse_nodes(lexed, &mut i, None)
+}
+
+fn parse_nodes(lexed: &Lexed, i: &mut usize, until: Option<&str>) -> Vec<Node> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    while *i < toks.len() {
+        let t = &toks[*i];
+        let text = t.text.as_str();
+        if let Some(closer) = until {
+            if text == closer {
+                return out;
+            }
+        }
+        match text {
+            "(" | "[" | "{" => {
+                let open = *i;
+                let delim = text.chars().next().unwrap_or('(');
+                *i += 1;
+                let children = parse_nodes(lexed, i, Some(closer_for(delim)));
+                let close = if *i < toks.len() && toks[*i].text == closer_for(delim) {
+                    let c = *i;
+                    *i += 1;
+                    Some(c)
+                } else {
+                    None
+                };
+                out.push(Node::Group(Group {
+                    delim,
+                    open,
+                    close,
+                    children,
+                }));
+            }
+            // A closer that doesn't match the expected one: treat it as a
+            // plain token so the rest of the file still gets a tree.
+            ")" | "]" | "}" => {
+                out.push(Node::Tok(*i));
+                *i += 1;
+            }
+            _ => {
+                out.push(Node::Tok(*i));
+                *i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree(src: &str) -> (Lexed, Vec<Node>) {
+        let l = lex(src);
+        let t = build(&l);
+        (l, t)
+    }
+
+    #[test]
+    fn groups_nest() {
+        let (l, t) = tree("fn f(a: u8) { g(a); }");
+        // fn, f, (…), {…}
+        assert_eq!(t.len(), 4);
+        let Node::Group(body) = &t[3] else {
+            panic!("expected body group, got {:?}", t[3])
+        };
+        assert_eq!(body.delim, '{');
+        assert!(body.close.is_some());
+        // body children: g, (…), ;
+        assert_eq!(body.children.len(), 3);
+        assert_eq!(t[3].line(&l), 1);
+    }
+
+    #[test]
+    fn unbalanced_input_is_tolerated() {
+        let (_, t) = tree("fn f() { let x = (1; }");
+        assert!(!t.is_empty());
+        let (_, t) = tree(") } ]");
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn unterminated_group_runs_to_eof() {
+        let (_, t) = tree("fn f() { a(b");
+        let Node::Group(body) = &t[3] else {
+            panic!("expected body group")
+        };
+        assert!(body.close.is_none());
+    }
+}

@@ -29,6 +29,9 @@ fn fixture_root(name: &str) -> Config {
         baseline: "tidy.baseline".into(),
         rng_exempt: Vec::new(),
         check_structure: false,
+        arith_paths: Vec::new(),
+        metrics_registry: None,
+        layers: Vec::new(),
     }
 }
 
@@ -96,9 +99,95 @@ fn d3_exemption_skips_the_rng_implementation_itself() {
         include_str!("fixtures/d3_ambient_rng.rs"),
         ScanOptions {
             check_ambient_rng: false,
+            ..ScanOptions::default()
         },
     );
     assert!(scan.violations.is_empty());
+}
+
+#[test]
+fn a_rules_flag_live_guards_across_awaits_only() {
+    let scan = scan_fixture(include_str!("fixtures/a_await_borrow.rs"));
+    let hits = hits(&scan);
+    // The named guard and the same-statement temporary fire; the dropped,
+    // scoped, value-extracted, and waived forms stay clean.
+    assert_eq!(
+        hits,
+        BTreeSet::from([(rules::AWAIT_BORROW, 8), (rules::AWAIT_BORROW, 13)]),
+        "{hits:?}"
+    );
+}
+
+#[test]
+fn d4_flags_partial_cmp_sorts_and_hash_ordered_float_reductions() {
+    let scan = scan_fixture(include_str!("fixtures/d4_float.rs"));
+    let hits = hits(&scan);
+    assert!(hits.contains(&(rules::PARTIAL_CMP_SORT, 12)), "{hits:?}");
+    assert!(hits.contains(&(rules::FLOAT_ACCUM, 21)), "{hits:?}");
+    assert!(hits.contains(&(rules::FLOAT_ACCUM, 27)), "{hits:?}");
+    // The BTreeMap reduction is clean under D4.
+    let d4: Vec<_> = hits
+        .iter()
+        .filter(|(r, _)| *r == rules::FLOAT_ACCUM || *r == rules::PARTIAL_CMP_SORT)
+        .collect();
+    assert_eq!(d4.len(), 3, "{hits:?}");
+}
+
+#[test]
+fn c_rules_flag_truncation_and_unchecked_size_arithmetic_when_gated_in() {
+    let scan = scan_file(
+        "crates/sim/src/codec.rs",
+        include_str!("fixtures/c_arith.rs"),
+        ScanOptions {
+            check_arith: true,
+            ..ScanOptions::default()
+        },
+    );
+    let hits = hits(&scan);
+    assert_eq!(
+        hits,
+        BTreeSet::from([(rules::TRUNC_CAST, 6), (rules::UNCHECKED_ARITH, 10)]),
+        "{hits:?}"
+    );
+    // Outside the gated paths the C-rules do not apply at all.
+    let ungated = scan_fixture(include_str!("fixtures/c_arith.rs"));
+    assert!(ungated.violations.is_empty(), "{:?}", ungated.violations);
+}
+
+#[test]
+fn metric_registry_round_trip_flags_unknown_dead_and_unprefixed_names() {
+    let mut config = fixture_root("miniroot_metrics");
+    config.metrics_registry = Some("metrics.registry".into());
+    let report = run_check(&config).unwrap();
+    let hits: Vec<(&str, &str, u32)> = report
+        .violations
+        .iter()
+        .map(|v| (v.rule, v.file.as_str(), v.line))
+        .collect();
+    assert_eq!(
+        hits,
+        vec![
+            (rules::METRIC_UNKNOWN, "crates/sim/src/lib.rs", 5),
+            (rules::METRIC_PREFIX, "crates/sim/src/lib.rs", 6),
+            (rules::METRIC_DEAD, "metrics.registry", 3),
+        ],
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn layering_flags_the_upward_edge_only() {
+    let mut config = fixture_root("miniroot_layers");
+    config.sim_crates = vec!["low".into(), "high".into()];
+    config.layers = vec![vec!["low".into()], vec!["high".into()]];
+    let report = run_check(&config).unwrap();
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    let v = &report.violations[0];
+    assert_eq!(v.rule, rules::LAYERING);
+    assert_eq!(v.file, "crates/low/src/lib.rs");
+    assert_eq!(v.line, 4);
+    assert!(v.message.contains("strictly downward"), "{}", v.message);
 }
 
 #[test]
@@ -196,6 +285,9 @@ fn bless_writes_a_baseline_that_makes_the_check_pass() {
         baseline: "tidy.baseline".into(),
         rng_exempt: Vec::new(),
         check_structure: false,
+        arith_paths: Vec::new(),
+        metrics_registry: None,
+        layers: Vec::new(),
     };
 
     // No baseline yet: the two sites overshoot the implicit zero.

@@ -1,0 +1,40 @@
+//! Fixture: RefCell borrows and lock guards held across `.await` (A-rules)
+//! next to the clean forms the analyzer must not flag.
+
+use std::cell::RefCell;
+
+async fn bad_named_guard(cell: &RefCell<u32>) {
+    let g = cell.borrow_mut();
+    tick().await;
+    drop(g);
+}
+
+async fn bad_same_statement_temporary(cell: &RefCell<u32>) {
+    send(*cell.borrow()).await;
+}
+
+async fn ok_dropped_first(cell: &RefCell<u32>) {
+    let g = cell.borrow_mut();
+    drop(g);
+    tick().await;
+}
+
+async fn ok_inner_scope(cell: &RefCell<Vec<u32>>) {
+    {
+        let mut g = cell.borrow_mut();
+        g.push(1);
+    }
+    tick().await;
+}
+
+async fn ok_value_extracted(cell: &RefCell<Vec<u32>>) {
+    let n = cell.borrow().len();
+    handle(n).await;
+}
+
+async fn waived_guard(cell: &RefCell<u32>) {
+    let g = cell.borrow_mut();
+    // tidy: allow(await-borrow) — single-task section: nothing else polls here
+    tick().await;
+    drop(g);
+}

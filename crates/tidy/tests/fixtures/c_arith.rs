@@ -1,0 +1,23 @@
+//! Fixture: checked arithmetic (C-rules) — truncating casts and unchecked
+//! size arithmetic as they appear in wire-format encoders, next to the
+//! checked forms.
+
+fn bad_trunc_cast(buf: &mut Vec<u8>, payload: &[u8]) {
+    put_u32_le(buf, payload.len() as u32);
+}
+
+fn bad_capacity_math(items: &[u64]) -> Vec<u8> {
+    Vec::with_capacity(8 + items.len() * 8)
+}
+
+fn good_checked_cast(buf: &mut Vec<u8>, payload: &[u8]) {
+    put_u32_le(buf, u32::try_from(payload.len()).unwrap_or(u32::MAX));
+}
+
+fn good_saturating_math(items: &[u64]) -> Vec<u8> {
+    Vec::with_capacity(items.len().saturating_mul(8).saturating_add(8))
+}
+
+fn ok_widening_cast(payload: &[u8]) -> u64 {
+    payload.len() as u64
+}

@@ -1,0 +1,35 @@
+//! Fixture: float determinism (D4) — `partial_cmp` comparators and float
+//! reductions over hash-ordered sources, next to the allowed forms.
+
+use std::collections::{BTreeMap, HashMap};
+
+struct Metrics {
+    samples: HashMap<String, f64>,
+    ordered: BTreeMap<String, f64>,
+}
+
+fn bad_sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn good_sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+
+impl Metrics {
+    fn bad_sum(&self) -> f64 {
+        self.samples.values().sum::<f64>()
+    }
+
+    fn bad_loop(&self) -> f64 {
+        let mut acc = 0.0;
+        for v in self.samples.values() {
+            acc += v * 2.0;
+        }
+        acc
+    }
+
+    fn ok_btree_sum(&self) -> f64 {
+        self.ordered.values().sum::<f64>()
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture crate on the top layer depending *downward* — allowed.
+
+use swf_low::Base;
+
+pub fn wrap(b: Base) -> Base {
+    b
+}

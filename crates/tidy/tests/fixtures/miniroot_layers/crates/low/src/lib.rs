@@ -1,0 +1,8 @@
+//! Fixture crate on the bottom layer reaching *upward* — the L-rule must
+//! flag the `swf_high` reference as an inverted dependency edge.
+
+use swf_high::Widget;
+
+pub fn build() -> Widget {
+    swf_high::make()
+}

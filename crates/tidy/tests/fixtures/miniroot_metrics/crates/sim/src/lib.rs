@@ -1,0 +1,7 @@
+//! Fixture crate: metric emission sites for the M-rule registry check.
+
+fn emit(obs: &Obs) {
+    obs.counter_add("sim.ticks", 1);
+    obs.counter_add("sim.not_registered", 1);
+    obs.gauge_set("plainname", 2.0);
+}

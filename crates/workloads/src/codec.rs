@@ -43,7 +43,7 @@ impl std::error::Error for CodecError {}
 
 /// Encode a matrix.
 pub fn encode(m: &Matrix) -> Bytes {
-    let mut buf = BytesMut::with_capacity(12 + m.as_slice().len() * 8);
+    let mut buf = BytesMut::with_capacity(m.as_slice().len().saturating_mul(8).saturating_add(12));
     buf.put_slice(MAGIC);
     buf.put_u32_le(m.rows() as u32);
     buf.put_u32_le(m.cols() as u32);
@@ -90,7 +90,7 @@ pub const fn encoded_size(r: usize, c: usize) -> usize {
 pub fn encode_pair(a: &Matrix, b: &Matrix) -> Bytes {
     let ea = encode(a);
     let eb = encode(b);
-    let mut buf = BytesMut::with_capacity(8 + ea.len() + eb.len());
+    let mut buf = BytesMut::with_capacity(ea.len().saturating_add(eb.len()).saturating_add(8));
     buf.put_u64_le(ea.len() as u64);
     buf.put_slice(&ea);
     buf.put_slice(&eb);
