@@ -10,7 +10,7 @@
 //! improvement (wall-clock beyond the noise threshold), or info.
 //!
 //! Usage:
-//!   cargo run --release -p swf-bench --bin suite -- [--quick] [--label <l>] [--json <path>] [--trace-out <path>]
+//!   cargo run --release -p swf-bench --bin suite -- [--quick] [--label <l>] [--json <path>] [--trace-out <path>] [--spans-out <path>] [--series-out <path>]
 //!   cargo run --release -p swf-bench --bin suite -- --list
 //!   cargo run --release -p swf-bench --bin suite -- compare <old.json> <new.json> [--noise <frac>] [--fail-on-regression]
 //!
@@ -20,6 +20,10 @@
 //!
 //! `--trace-out` additionally writes the whole suite as one Chrome-trace
 //! file (the same export as the figure binaries' `--trace` flags).
+//! `--spans-out` writes the lossless `swf-spans/v1` export — the `obsq`
+//! query CLI's input. `--series-out` writes every scenario's sampled
+//! telemetry time series. All three are deterministic: running the suite
+//! twice produces byte-identical files.
 
 use swf_bench::record::{json_out, workspace_root};
 use swf_bench::suite::{run_suite, scenario_names};
@@ -121,12 +125,12 @@ fn run_main(args: &[String]) {
     }
     println!("bench record written to {path}");
 
+    let refs: Vec<(&str, &swf_obs::Obs)> = run
+        .collectors
+        .iter()
+        .map(|(l, o)| (l.as_str(), o))
+        .collect();
     if let Some(trace_path) = trace_out() {
-        let refs: Vec<(&str, &swf_obs::Obs)> = run
-            .collectors
-            .iter()
-            .map(|(l, o)| (l.as_str(), o))
-            .collect();
         match write_chrome_trace(&trace_path, &refs) {
             Ok(()) => println!("chrome trace written to {trace_path}"),
             Err(e) => {
@@ -134,6 +138,22 @@ fn run_main(args: &[String]) {
                 std::process::exit(1);
             }
         }
+    }
+    if let Some(spans_path) = flag_value(args, "--spans-out") {
+        let doc = swf_obs::spans_to_json(&refs);
+        if let Err(e) = std::fs::write(&spans_path, doc.to_string()) {
+            eprintln!("error: failed to write spans to {spans_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("span export written to {spans_path}");
+    }
+    if let Some(series_path) = flag_value(args, "--series-out") {
+        let doc = swf_bench::record::series_json(&refs);
+        if let Err(e) = std::fs::write(&series_path, doc.to_string()) {
+            eprintln!("error: failed to write series to {series_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("series export written to {series_path}");
     }
 }
 

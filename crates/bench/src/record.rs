@@ -229,15 +229,50 @@ pub fn obs_json(collectors: &[(&str, &swf_obs::Obs)]) -> serde_json::Value {
     serde_json::Value::Object(obj)
 }
 
-/// Assemble one scenario entry from its three sections.
+/// Render labelled collectors as the `slo` section: the suite's default
+/// SLO spec evaluated against each collector's finished run. Like
+/// `virtual` and `obs`, this is a pure function of the simulated program
+/// — `suite compare` treats any bitwise difference as drift.
+pub fn slo_json(collectors: &[(&str, &swf_obs::Obs)]) -> serde_json::Value {
+    let spec = swf_obs::SloSpec::suite_default();
+    let mut reports = serde_json::Map::new();
+    for (label, obs) in collectors {
+        if !obs.is_enabled() {
+            continue;
+        }
+        let report = swf_obs::evaluate_slo(&spec, &obs.metrics(), &obs.spans());
+        reports.insert(label.to_string(), report.to_json());
+    }
+    let mut obj = serde_json::Map::new();
+    obj.insert("spec", spec.to_json());
+    obj.insert("reports", serde_json::Value::Object(reports));
+    serde_json::Value::Object(obj)
+}
+
+/// Render labelled collectors' sampled time series, keyed by label.
+/// Collectors that never sampled are omitted, so runs without a series
+/// interval produce an empty object.
+pub fn series_json(collectors: &[(&str, &swf_obs::Obs)]) -> serde_json::Value {
+    let mut obj = serde_json::Map::new();
+    for (label, obs) in collectors {
+        if obs.has_series() {
+            obj.insert(label.to_string(), obs.series_json());
+        }
+    }
+    serde_json::Value::Object(obj)
+}
+
+/// Assemble one scenario entry from its four sections.
 pub fn scenario_json(
     virtual_section: serde_json::Value,
     obs_section: serde_json::Value,
+    slo_section: serde_json::Value,
     host_section: serde_json::Value,
 ) -> serde_json::Value {
     let mut obj = serde_json::Map::new();
     obj.insert("virtual", virtual_section);
     obj.insert("obs", obs_section);
+    obj.insert("slo", slo_section);
     obj.insert("host", host_section);
     serde_json::Value::Object(obj)
 }
@@ -332,7 +367,12 @@ pub fn emit_scenario_json(
     meter: ScenarioMeter,
 ) {
     let Some(path) = json_out() else { return };
-    let scenario = scenario_json(virtual_section, obs_json(collectors), meter.finish());
+    let scenario = scenario_json(
+        virtual_section,
+        obs_json(collectors),
+        slo_json(collectors),
+        meter.finish(),
+    );
     let doc = bench_document(name, quick, vec![(name.to_string(), scenario)]);
     match std::fs::write(&path, doc.to_string()) {
         Ok(()) => println!("bench record written to {path}"),

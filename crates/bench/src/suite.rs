@@ -13,7 +13,7 @@ use swf_core::ExperimentConfig;
 use crate::ablations::run_ablations;
 use crate::record::{
     bench_document, coldstart_json, fig1_json, fig2_json, fig5_json, fig6_json, obs_json,
-    scenario_json, ScenarioMeter,
+    scenario_json, slo_json, ScenarioMeter,
 };
 
 /// One full suite run: the document plus every labelled span collector
@@ -38,6 +38,9 @@ fn suite_config(quick: bool) -> ExperimentConfig {
         ExperimentConfig::paper()
     };
     c.trace = true;
+    // Sample telemetry series on the virtual clock. Read-only on the
+    // registry, so `virtual` results stay bit-identical with or without it.
+    c.series_interval_s = if quick { 5.0 } else { 10.0 };
     c
 }
 
@@ -172,7 +175,7 @@ pub fn run_suite(label: &str, quick: bool, mut on_scenario: impl FnMut(&str)) ->
             collectors.iter().map(|(l, o)| (l.as_str(), o)).collect();
         entries.push((
             name.to_string(),
-            scenario_json(virtual_section, obs_json(&refs), host),
+            scenario_json(virtual_section, obs_json(&refs), slo_json(&refs), host),
         ));
         all_collectors.extend(collectors);
     }

@@ -176,6 +176,10 @@ impl Negotiator {
                 let activation = self.sample_activation();
                 swf_simcore::spawn(async move {
                     if !activation.is_zero() {
+                        // Feed the activation-latency distribution (the
+                        // dominant overhead in the ablation makespans) to
+                        // the SLO engine alongside the span.
+                        obs.observe("condor.activation_s", activation.as_secs_f64());
                         let act = obs.span(
                             spec.span,
                             "condor/negotiator",

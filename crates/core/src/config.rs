@@ -83,6 +83,12 @@ pub struct ExperimentConfig {
     /// change any timing; it is off by default to keep pre-existing outputs
     /// bit-identical.
     pub trace: bool,
+    /// Virtual interval (seconds) at which the telemetry sampler snapshots
+    /// the metrics registry into time series. `0.0` (the default) disables
+    /// sampling. The sampler only reads the registry, so any interval
+    /// leaves virtual-time results bit-identical; it requires `trace` to
+    /// be on (no registry to sample otherwise).
+    pub series_interval_s: f64,
 }
 
 impl ExperimentConfig {
@@ -146,6 +152,7 @@ impl ExperimentConfig {
             serialization_rate: 4.0e6,
             seed: 0x5EED_CAFE,
             trace: false,
+            series_interval_s: 0.0,
         }
     }
 

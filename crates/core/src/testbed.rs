@@ -37,6 +37,18 @@ impl TestBed {
         let condor = Condor::start(&cluster, config.condor);
         let k8s = K8s::start(&cluster, registry.clone(), config.k8s.clone(), config.seed);
         let knative = Knative::start(&cluster, k8s.clone(), config.knative);
+        if config.trace && config.series_interval_s > 0.0 {
+            let obs = swf_obs::current();
+            if obs.is_enabled() {
+                // Start the telemetry snapshot scheduler for this run. The
+                // sampler only reads the registry, so virtual-time results
+                // stay bit-identical whether or not it runs.
+                obs.configure_series(swf_obs::SeriesConfig::every(swf_simcore::secs(
+                    config.series_interval_s,
+                )));
+                swf_obs::spawn_sampler(&obs);
+            }
+        }
         TestBed {
             cluster,
             registry,

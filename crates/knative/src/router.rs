@@ -144,6 +144,7 @@ impl Router {
                 .insert(swf_obs::TRACE_HEADER.to_string(), span.ctx().to_header());
         }
         obs.counter_add("knative.invocations", 1);
+        let t0 = swf_simcore::now();
         let revision = self.active_revision(service)?;
         let eps_name = revision.k8s_service_name();
         let breaker = self.breaker(&revision.meta.name);
@@ -225,6 +226,13 @@ impl Router {
                         }
                         Some(Ok(resp)) => {
                             breaker.record(permit, true);
+                            // End-to-end request latency, retries and cold
+                            // waits included — the SLO engine's
+                            // serverless-path objective.
+                            obs.observe(
+                                "knative.request_s",
+                                (swf_simcore::now() - t0).as_secs_f64(),
+                            );
                             return Ok(resp);
                         }
                         Some(Err(e))

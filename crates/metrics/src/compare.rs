@@ -3,8 +3,8 @@
 //! [`compare`] takes two `BENCH_*.json` documents (see `swf-bench`'s
 //! `suite` binary) and classifies every difference:
 //!
-//! - **Drift** — a virtual-time field differs *bitwise* (the `virtual`
-//!   and `obs` sections, plus document structure). The simulation is
+//! - **Drift** — a virtual-time field differs *bitwise* (the `virtual`,
+//!   `obs`, and `slo` sections, plus document structure). The simulation is
 //!   deterministic, so any such change means model behaviour changed;
 //!   drift is always an error regardless of direction or magnitude.
 //! - **Regression** / **Improvement** — a host-side wall-clock metric
@@ -189,8 +189,10 @@ pub fn compare(old: &Value, new: &Value, noise: f64) -> CompareReport {
         match (old_scen.get(name), new_scen.get(name)) {
             (Some(o), Some(n)) => {
                 report.scenarios_compared += 1;
-                // Virtual-time sections: bitwise.
-                for section in ["virtual", "obs"] {
+                // Virtual-time sections: bitwise (`slo` is a pure
+                // function of virtual results, so it gets the same
+                // treatment).
+                for section in ["virtual", "obs", "slo"] {
                     let path = format!("{name}.{section}");
                     diff_bitwise(
                         &path,

@@ -14,6 +14,7 @@ use std::rc::Rc;
 use swf_simcore::{now, SimTime};
 
 use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::series::{SeriesConfig, SeriesStore};
 use crate::span::{Category, Span, SpanContext, SpanId};
 
 #[derive(Default)]
@@ -21,6 +22,7 @@ struct Inner {
     spans: Vec<Span>,
     anchors: BTreeMap<String, SpanId>,
     metrics: Metrics,
+    series: SeriesStore,
 }
 
 /// Handle to a run's span tree and metrics registry.
@@ -232,6 +234,53 @@ impl Obs {
     /// Metrics registry rendered as a JSON tree.
     pub fn metrics_json(&self) -> serde_json::Value {
         self.metrics().to_json()
+    }
+
+    /// Install a time-series configuration; the snapshot scheduler
+    /// ([`crate::spawn_sampler`]) reads it. A no-op on disabled handles.
+    pub fn configure_series(&self, config: SeriesConfig) {
+        let Some(inner) = &self.inner else { return };
+        inner.borrow_mut().series.config = Some(config);
+    }
+
+    /// The configured sampling interval, if any.
+    pub fn series_interval(&self) -> Option<swf_simcore::SimDuration> {
+        let inner = self.inner.as_ref()?;
+        let inner = inner.borrow();
+        inner.series.config.as_ref().map(|c| c.interval)
+    }
+
+    /// Take one time-series sample at the current virtual time. Returns
+    /// `false` when sampling is off, the tick cap is reached, or there is
+    /// no running simulation — the sampler task exits on `false`.
+    pub fn sample_now(&self) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        let Some(sim) = swf_simcore::try_current() else {
+            return false;
+        };
+        let t_ns = sim.now().as_nanos();
+        let mut inner = inner.borrow_mut();
+        let inner = &mut *inner;
+        inner.series.sample(&inner.metrics, t_ns)
+    }
+
+    /// True once at least one time-series sample was taken.
+    pub fn has_series(&self) -> bool {
+        match &self.inner {
+            Some(inner) => inner.borrow().series.has_samples(),
+            None => false,
+        }
+    }
+
+    /// Time-series store rendered as a JSON tree (empty shape when
+    /// sampling never ran).
+    pub fn series_json(&self) -> serde_json::Value {
+        match &self.inner {
+            Some(inner) => inner.borrow().series.to_json(),
+            None => SeriesStore::default().to_json(),
+        }
     }
 }
 

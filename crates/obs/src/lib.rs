@@ -13,7 +13,18 @@
 //!   longest causal chain through a finished span tree and a
 //!   per-category time breakdown of the makespan.
 //! - A **metrics registry** (counters, gauges, virtual-time histograms
-//!   with p50/p95/p99) dumped as JSON.
+//!   backed by bounded-memory log buckets, [`LogHistogram`]) dumped as
+//!   JSON with deterministic p50/p90/p95/p99/p999.
+//! - A **snapshot scheduler** ([`spawn_sampler`], [`SeriesConfig`])
+//!   sampling the registry at a virtual interval into ring-buffered
+//!   time series, so runs produce trajectories, not just totals.
+//! - A **deterministic SLO engine** ([`SloSpec`], [`SloReport`],
+//!   [`evaluate_slo`]): latency objectives, cold-start rate,
+//!   per-workflow makespans, error-budget burn.
+//! - A **trace query engine** ([`SpanFilter`], [`group_by`],
+//!   [`top_slowest`], [`folded_stacks`]) plus the lossless
+//!   `swf-spans/v1` interchange format ([`spans_to_json`]) — the
+//!   library behind the `obsq` binary.
 //! - **Chrome-trace / Perfetto export** ([`chrome_trace`]): one trace
 //!   "process" per simulated node, one "thread" per component.
 //!
@@ -29,11 +40,27 @@
 mod chrome;
 mod collector;
 mod critpath;
+mod export;
+mod hist;
 mod metrics;
+mod query;
+mod series;
+mod slo;
 mod span;
 
 pub use chrome::{chrome_trace, chrome_trace_to_string};
 pub use collector::{current, install, InstallGuard, Obs, ObsTraceSink, SpanGuard};
 pub use critpath::{critical_path, roots, CritStep, CriticalPath};
+pub use export::{spans_from_json, spans_to_json, SPANS_FORMAT};
+pub use hist::LogHistogram;
 pub use metrics::{HistogramSummary, MetricsSnapshot};
+pub use query::{
+    folded_stacks, group_by, group_rows_json, top_offender, top_slowest, GroupKey, GroupRow,
+    SpanFilter,
+};
+pub use series::{spawn_sampler, SeriesConfig};
+pub use slo::{
+    evaluate as evaluate_slo, LatencyObjective, ObjectiveOutcome, Pctl, SloReport, SloSpec,
+    WorkflowOutcome,
+};
 pub use span::{Category, Span, SpanContext, SpanId, TRACE_HEADER};

@@ -1,14 +1,17 @@
 //! The metrics registry: counters, gauges, and virtual-time histograms
-//! with nearest-rank quantiles, dumped as JSON.
+//! backed by bounded-memory log buckets ([`LogHistogram`]), dumped as
+//! JSON with deterministic p50/p90/p95/p99/p999.
 
 use std::collections::BTreeMap;
+
+use crate::hist::LogHistogram;
 
 /// Raw registry storage (inside the collector).
 #[derive(Default)]
 pub(crate) struct Metrics {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, Vec<f64>>,
+    histograms: BTreeMap<String, LogHistogram>,
 }
 
 impl Metrics {
@@ -24,7 +27,22 @@ impl Metrics {
         self.histograms
             .entry(name.to_string())
             .or_default()
-            .push(value);
+            .record(value);
+    }
+
+    /// Iterate counters in name order (the snapshot scheduler's source).
+    pub(crate) fn counters(&self) -> impl Iterator<Item = (&String, u64)> {
+        self.counters.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Iterate gauges in name order.
+    pub(crate) fn gauges(&self) -> impl Iterator<Item = (&String, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Iterate histograms in name order.
+    pub(crate) fn histograms(&self) -> impl Iterator<Item = (&String, &LogHistogram)> {
+        self.histograms.iter()
     }
 
     pub(crate) fn snapshot(&self) -> MetricsSnapshot {
@@ -34,7 +52,7 @@ impl Metrics {
             histograms: self
                 .histograms
                 .iter()
-                .map(|(k, v)| (k.clone(), HistogramSummary::of(v)))
+                .map(|(k, h)| (k.clone(), HistogramSummary::of(h)))
                 .collect(),
         }
     }
@@ -51,44 +69,55 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<String, HistogramSummary>,
 }
 
-/// Summary statistics of one histogram.
+/// Summary statistics of one histogram. `count`/`mean`/`min`/`max` are
+/// exact; the percentiles are log-bucket upper bounds (nearest-rank,
+/// ≤ ~4.5% relative quantization, clamped to `[min, max]`).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct HistogramSummary {
     /// Number of observations.
     pub count: u64,
-    /// Arithmetic mean.
+    /// Arithmetic mean (exact).
     pub mean: f64,
-    /// Smallest observation.
+    /// Smallest observation (exact).
     pub min: f64,
-    /// Largest observation.
+    /// Largest observation (exact).
     pub max: f64,
-    /// Median (nearest-rank).
+    /// Median.
     pub p50: f64,
-    /// 95th percentile (nearest-rank).
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
     pub p95: f64,
-    /// 99th percentile (nearest-rank).
+    /// 99th percentile.
     pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
 }
 
 impl HistogramSummary {
-    fn of(values: &[f64]) -> HistogramSummary {
-        if values.is_empty() {
-            return HistogramSummary::default();
-        }
-        let mut sorted = values.to_vec();
-        sorted.sort_by(f64::total_cmp);
-        let q = |p: f64| {
-            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-            sorted[rank - 1]
-        };
+    /// Summarize a bucketed histogram.
+    pub fn of(h: &LogHistogram) -> HistogramSummary {
         HistogramSummary {
-            count: values.len() as u64,
-            mean: values.iter().sum::<f64>() / values.len() as f64,
-            min: sorted[0],
-            max: sorted[sorted.len() - 1],
-            p50: q(0.50),
-            p95: q(0.95),
-            p99: q(0.99),
+            count: h.count,
+            mean: h.mean(),
+            min: h.min,
+            max: h.max,
+            p50: h.percentile(0.50),
+            p90: h.percentile(0.90),
+            p95: h.percentile(0.95),
+            p99: h.percentile(0.99),
+            p999: h.percentile(0.999),
+        }
+    }
+
+    /// The value at a named percentile (used by the SLO engine).
+    pub fn at(&self, pctl: crate::slo::Pctl) -> f64 {
+        match pctl {
+            crate::slo::Pctl::P50 => self.p50,
+            crate::slo::Pctl::P90 => self.p90,
+            crate::slo::Pctl::P95 => self.p95,
+            crate::slo::Pctl::P99 => self.p99,
+            crate::slo::Pctl::P999 => self.p999,
         }
     }
 }
@@ -115,7 +144,8 @@ impl MetricsSnapshot {
     }
 
     /// Render as a JSON tree:
-    /// `{"counters": {..}, "gauges": {..}, "histograms": {name: {count, mean, min, max, p50, p95, p99}}}`.
+    /// `{"counters": {..}, "gauges": {..}, "histograms": {name: {count,
+    /// mean, min, max, p50, p90, p95, p99, p999}}}`.
     pub fn to_json(&self) -> serde_json::Value {
         let mut counters = serde_json::Map::new();
         for (k, v) in &self.counters {
@@ -133,8 +163,10 @@ impl MetricsSnapshot {
             obj.insert("min".to_string(), serde_json::Value::from(h.min));
             obj.insert("max".to_string(), serde_json::Value::from(h.max));
             obj.insert("p50".to_string(), serde_json::Value::from(h.p50));
+            obj.insert("p90".to_string(), serde_json::Value::from(h.p90));
             obj.insert("p95".to_string(), serde_json::Value::from(h.p95));
             obj.insert("p99".to_string(), serde_json::Value::from(h.p99));
+            obj.insert("p999".to_string(), serde_json::Value::from(h.p999));
             histograms.insert(k.clone(), serde_json::Value::Object(obj));
         }
         let mut root = serde_json::Map::new();
@@ -153,7 +185,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quantiles_nearest_rank() {
+    fn quantiles_are_bucket_bounds_near_nearest_rank() {
         let mut m = Metrics::default();
         for v in 1..=100 {
             m.observe("lat", f64::from(v));
@@ -161,9 +193,14 @@ mod tests {
         let snap = m.snapshot();
         let h = snap.histogram("lat").unwrap();
         assert_eq!(h.count, 100);
-        assert_eq!(h.p50, 50.0);
-        assert_eq!(h.p95, 95.0);
-        assert_eq!(h.p99, 99.0);
+        // Percentiles are log-bucket upper bounds: within +1/16 of the
+        // nearest-rank value, never below it.
+        for (got, exact) in [(h.p50, 50.0), (h.p95, 95.0), (h.p99, 99.0)] {
+            assert!(
+                got >= exact && got <= exact * (1.0 + 1.0 / 16.0),
+                "got {got}, nearest-rank {exact}"
+            );
+        }
         assert_eq!(h.min, 1.0);
         assert_eq!(h.max, 100.0);
         assert!((h.mean - 50.5).abs() < 1e-12);
@@ -193,6 +230,7 @@ mod tests {
             json["histograms"]["cold_start_s"]["count"].as_u64(),
             Some(1)
         );
+        assert!(json["histograms"]["cold_start_s"]["p999"].is_number());
         let text = json.to_string();
         let back = serde_json::from_str(&text).unwrap();
         assert_eq!(back["counters"]["invocations"].as_u64(), Some(7));
@@ -204,6 +242,6 @@ mod tests {
         m.observe("x", 42.0);
         let snap = m.snapshot();
         let h = *snap.histogram("x").unwrap();
-        assert_eq!((h.p50, h.p95, h.p99), (42.0, 42.0, 42.0));
+        assert_eq!((h.p50, h.p95, h.p99, h.p999), (42.0, 42.0, 42.0, 42.0));
     }
 }

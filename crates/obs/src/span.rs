@@ -99,6 +99,11 @@ impl Category {
         Category::Other,
     ];
 
+    /// Parse a label produced by [`Category::label`] (trace import).
+    pub fn from_label(label: &str) -> Option<Category> {
+        Category::ALL.into_iter().find(|c| c.label() == label)
+    }
+
     /// Stable lowercase label (used in tables and trace exports).
     pub fn label(&self) -> &'static str {
         match self {

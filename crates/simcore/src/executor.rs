@@ -514,6 +514,42 @@ impl Drop for Sleep {
     }
 }
 
+/// A fixed-rate virtual ticker: each [`tick`](Interval::tick) completes
+/// at the next multiple of the period from the ticker's creation, so a
+/// periodic task (e.g. the swf-obs snapshot scheduler) fires on an
+/// exact, drift-free grid regardless of how long its body appears to
+/// take between awaits.
+pub struct Interval {
+    next: SimTime,
+    period: SimDuration,
+}
+
+/// Create a ticker firing every `period`, first at `now + period`.
+/// Must be called inside a running simulation. A zero period would spin
+/// the executor without advancing time, so it panics loudly instead.
+pub fn interval(period: SimDuration) -> Interval {
+    assert!(!period.is_zero(), "interval period must be non-zero");
+    Interval {
+        next: current().now() + period,
+        period,
+    }
+}
+
+impl Interval {
+    /// Wait for the next grid point and return the instant it fired at.
+    pub async fn tick(&mut self) -> SimTime {
+        let at = self.next;
+        sleep_until(at).await;
+        self.next = at + self.period;
+        at
+    }
+
+    /// The instant the next [`tick`](Interval::tick) will complete at.
+    pub fn next_at(&self) -> SimTime {
+        self.next
+    }
+}
+
 /// Yield once, letting every other ready task run before this one resumes.
 pub async fn yield_now() {
     struct YieldNow(bool);

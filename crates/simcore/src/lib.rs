@@ -54,7 +54,8 @@ pub mod sync {
 
 pub use combinators::{join_all, race, timeout, Either, Elapsed};
 pub use executor::{
-    current, now, sleep, sleep_until, spawn, try_current, yield_now, JoinHandle, Sim, TaskId,
+    current, interval, now, sleep, sleep_until, spawn, try_current, yield_now, Interval,
+    JoinHandle, Sim, TaskId,
 };
 pub use resource::{Claim, Resource};
 pub use retry::RetryPolicy;

@@ -14,6 +14,18 @@ use crate::rules::{METRIC_PREFIX, METRIC_UNKNOWN};
 /// Emission methods whose first argument is the metric name.
 const EMIT_METHODS: &[&str] = &["counter_add", "gauge_set", "observe"];
 
+/// Registration methods that *reference* a metric by name without
+/// emitting it: the time-series tracker (`SeriesConfig::track`) and the
+/// SLO builder (`SloSpec::objective`). Literal names passed here must be
+/// in the registry (a tracked-but-never-emitted name is a typo that
+/// silently produces an empty series), but non-literal arguments are
+/// not flagged — unlike emission sites, these method names are generic
+/// enough (`track`, `objective`) to collide with unrelated APIs. For the
+/// same reason only literals that already carry a dot-separated prefix
+/// are harvested: a dotless literal to `.track(..)` is far more likely
+/// someone else's API than a misnamed metric.
+const REF_METHODS: &[&str] = &["track", "objective"];
+
 /// One harvested literal metric name.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MetricUse {
@@ -39,8 +51,10 @@ pub fn scan_metrics(
     let mut uses = Vec::new();
     for i in 0..toks.len() {
         let t = &toks[i];
+        let is_emit = EMIT_METHODS.contains(&t.text.as_str());
+        let is_ref = REF_METHODS.contains(&t.text.as_str());
         if t.kind != TokenKind::Ident
-            || !EMIT_METHODS.contains(&t.text.as_str())
+            || !(is_emit || is_ref)
             || i == 0
             || !lexed.is_punct(i - 1, ".")
             || !lexed.is_punct(i + 1, "(")
@@ -51,6 +65,23 @@ pub fn scan_metrics(
             continue;
         }
         let Some(arg) = toks.get(i + 2) else { continue };
+        if is_ref {
+            // Registration/reference sites: harvest prefixed literals for
+            // the registry cross-check, silently skip everything else.
+            if arg.kind == TokenKind::Literal && arg.text.starts_with('"') {
+                let name = arg.text.trim_matches('"').to_string();
+                if name.contains('.') {
+                    uses.push(MetricUse {
+                        name,
+                        line: t.line,
+                        unknown_waived: ctx
+                            .is_waived(METRIC_UNKNOWN, t.line)
+                            .is_some_and(|w| w.has_reason),
+                    });
+                }
+            }
+            continue;
+        }
         if arg.kind == TokenKind::Literal && arg.text.starts_with('"') {
             let name = arg.text.trim_matches('"').to_string();
             if !name.contains('.') {
@@ -139,6 +170,28 @@ mod tests {
     fn test_code_names_are_ignored() {
         let (uses, v) =
             scan("#[cfg(test)]\nmod tests {\n fn t() { obs.counter_add(\"throwaway\", 1); }\n}");
+        assert!(uses.is_empty());
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn ref_methods_harvest_prefixed_literals() {
+        let (uses, v) = scan(
+            "fn f() { let s = SloSpec::new().objective(\"knative.request_s\", Pctl::P99, 1.0); \
+             let c = SeriesConfig::every(secs(5.0)).track(\"condor.idle_jobs\"); }",
+        );
+        assert_eq!(uses.len(), 2);
+        assert_eq!(uses[0].name, "knative.request_s");
+        assert_eq!(uses[1].name, "condor.idle_jobs");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn ref_methods_skip_dynamic_and_dotless_arguments() {
+        // `.track(handle)` and `.objective("mvp", ..)` belong to other
+        // APIs — neither harvested nor flagged.
+        let (uses, v) =
+            scan("fn f(handle: &str) { gps.track(handle); plan.objective(\"mvp\", 3); }");
         assert!(uses.is_empty());
         assert!(v.is_empty());
     }

@@ -1,14 +1,19 @@
 //! Span-level tour of the observability stack: run a small mixed-environment
 //! workflow batch with tracing on, print the critical path of the slowest
-//! workflow with per-category percentages, and write a Chrome-trace JSON file
-//! that loads directly in Perfetto (https://ui.perfetto.dev) or
-//! `chrome://tracing`.
+//! workflow with per-category percentages, query the span store with the
+//! `obsq` engine (group-by, top-N, top offender), and write both a
+//! Chrome-trace JSON file (loads directly in Perfetto,
+//! https://ui.perfetto.dev, or `chrome://tracing`) and an `swf-spans/v1`
+//! export that `obsq` can re-query offline.
 //!
 //! Run with: `cargo run --release --example trace_explorer`
 
 use swf_core::experiments::{run_once, ConcurrentParams};
 use swf_core::{render_mix_breakdown, slowest_workflow_breakdown, ExperimentConfig};
-use swf_obs::{chrome_trace_to_string, critical_path, roots};
+use swf_obs::{
+    chrome_trace_to_string, critical_path, group_by, roots, spans_to_json, top_offender,
+    top_slowest, GroupKey, SpanFilter,
+};
 use swf_workloads::EnvMix;
 
 fn main() {
@@ -47,12 +52,52 @@ fn main() {
     println!("\ncritical-path chain (component, span, category, seconds):");
     println!("{}", cp.render_chain());
 
+    // The query engine over the same span store obsq uses offline:
+    // where did the time go, by category?
+    println!("\ntime by category (count, total, p50, p99, max):");
+    for row in group_by(&spans, &SpanFilter::all(), GroupKey::Category) {
+        println!(
+            "  {:<16} {:>4}  {:>8.2}s  p50 {:>7.2}s  p99 {:>7.2}s  max {:>7.2}s",
+            row.key, row.count, row.total_s, row.p50, row.p99, row.max_s
+        );
+    }
+
+    // Top-N slowest spans at least one virtual second long.
+    println!("\nslowest spans (>= 1s):");
+    for span in top_slowest(&spans, &SpanFilter::all().min_duration(1.0), 5) {
+        println!(
+            "  {:>8.2}s  {:<16} {:<20} {}",
+            span.duration_secs(),
+            span.category.label(),
+            span.component,
+            span.name
+        );
+    }
+
+    // The one-line answer: ranked by *self* time, so the dominant
+    // overhead (claim-activation in the paper's ablation) surfaces
+    // instead of the enclosing workflow roots.
+    if let Some(line) = top_offender(&spans) {
+        println!("\n{line}");
+    }
+
     // Metrics registry snapshot.
-    println!("metrics: {}", obs.metrics_json());
+    println!("\nmetrics: {}", obs.metrics_json());
 
     // Perfetto-loadable export: one "process" per node, one "thread" per
     // component on that node.
     let path = "trace.json";
     std::fs::write(path, chrome_trace_to_string(&spans, "trace_explorer")).unwrap();
     println!("\nwrote {path} — load it at https://ui.perfetto.dev or chrome://tracing");
+
+    // Lossless swf-spans/v1 export: re-query it offline with e.g.
+    //   obsq summary spans.json
+    //   obsq group-by spans.json --group component
+    let spans_path = "spans.json";
+    std::fs::write(
+        spans_path,
+        spans_to_json(&[("trace_explorer", obs)]).to_string(),
+    )
+    .unwrap();
+    println!("wrote {spans_path} — query it with `cargo run --release -p swf-obs --bin obsq -- summary {spans_path}`");
 }

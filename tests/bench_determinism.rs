@@ -50,14 +50,14 @@ fn quick_suite_is_bitwise_deterministic() {
     );
     assert_eq!(report.exit_code(false), 0);
 
-    // Sanity: the document carries all six scenarios with all three
+    // Sanity: the document carries all six scenarios with all four
     // sections each.
     let scenarios = first.document["scenarios"]
         .as_object()
         .expect("scenarios object");
     assert_eq!(scenarios.len(), 6);
     for (name, scenario) in scenarios.iter() {
-        for section in ["virtual", "obs", "host"] {
+        for section in ["virtual", "obs", "slo", "host"] {
             assert!(
                 scenario.get(section).is_some(),
                 "scenario {name} missing section {section}"
@@ -67,7 +67,35 @@ fn quick_suite_is_bitwise_deterministic() {
             .as_u64()
             .unwrap_or_default();
         assert!(events > 0, "scenario {name} processed no events");
+        // Every scenario's SLO section carries the suite spec plus one
+        // evaluated report per collector, with deterministic percentiles.
+        assert!(
+            scenario["slo"]["spec"]["objectives"].as_array().is_some(),
+            "scenario {name} slo section missing the spec"
+        );
+        assert!(
+            scenario["slo"]["reports"]
+                .as_object()
+                .is_some_and(|r| !r.is_empty()),
+            "scenario {name} slo section has no reports"
+        );
     }
+}
+
+#[test]
+fn compare_flags_injected_slo_drift() {
+    let run = run_suite("slo-drift", true, |_| {});
+    let mut tampered = run.document.clone();
+    let slo = tampered
+        .get_mut("scenarios")
+        .and_then(|v| v.get_mut("fig1"))
+        .and_then(|v| v.get_mut("slo"))
+        .and_then(serde_json::Value::as_object_mut)
+        .expect("fig1 slo section");
+    slo.insert("spec", serde_json::Value::Null);
+    let report = swf_metrics::compare(&run.document, &tampered, 0.10);
+    assert!(report.has_drift(), "injected slo change not flagged");
+    assert_eq!(report.exit_code(false), 1);
 }
 
 #[test]

@@ -218,6 +218,44 @@ impl Value {
         }
     }
 
+    /// As `bool` if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True if this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// True if this is a boolean.
+    pub fn is_boolean(&self) -> bool {
+        matches!(self, Value::Bool(_))
+    }
+
+    /// True if this is a number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// True if this is a string.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// True if this is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// True if this is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
     /// As `u64` if this is an integral number.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
