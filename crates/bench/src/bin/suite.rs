@@ -175,7 +175,18 @@ fn read_doc(path: &str) -> serde_json::Value {
 }
 
 fn compare_main(args: &[String]) {
-    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+    // Positionals are everything that is neither a flag nor the value of a
+    // value-taking flag (`compare a.json b.json --noise 0.90` must not read
+    // `0.90` as a third path).
+    let mut paths: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == "--noise" {
+            iter.next();
+        } else if !a.starts_with('-') {
+            paths.push(a);
+        }
+    }
     let [old_path, new_path] = paths[..] else {
         eprintln!(
             "usage: suite compare <old.json> <new.json> [--noise <frac>] [--fail-on-regression]"

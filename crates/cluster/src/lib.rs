@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bulk;
 pub mod cluster;
 pub mod disk;
 pub mod error;
@@ -21,6 +22,7 @@ pub mod network;
 pub mod node;
 pub mod units;
 
+pub use bulk::zeroed_bytes;
 pub use cluster::{Cluster, ClusterConfig};
 pub use disk::Disk;
 pub use error::ClusterError;

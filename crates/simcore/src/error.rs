@@ -1,0 +1,40 @@
+//! Typed executor errors.
+//!
+//! [`Sim::block_on`](crate::Sim::block_on) keeps its panicking contract
+//! (a virtual-time deadlock is a bug in model code), but the underlying
+//! condition is reported through [`SimError`] so harnesses that *expect*
+//! stalls — chaos drills, negative tests — can use
+//! [`Sim::try_block_on`](crate::Sim::try_block_on) and match on the error
+//! instead of catching an unwind.
+
+use crate::time::SimTime;
+
+/// Why a simulation run could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The simulation went idle — no runnable task and no pending live
+    /// timer — before the root future completed: the program deadlocked
+    /// in virtual time.
+    Deadlock {
+        /// Virtual instant at which the simulation stalled.
+        at: SimTime,
+        /// Tasks spawned but not yet completed at the stall.
+        live_tasks: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { at, live_tasks } => {
+                write!(
+                    f,
+                    "block_on deadlocked at {at} with {live_tasks} live tasks"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -6,109 +6,234 @@
 //! order they were woken, and timers scheduled for the same instant fire in
 //! the order they were created — so a run is a pure function of the program
 //! and its RNG seeds.
+//!
+//! # Internals
+//!
+//! Three structures carry the hot path (see `DESIGN.md` §16 for the full
+//! rationale; the pre-rewrite implementation survives verbatim as the
+//! `swf-simref` oracle crate, and `tests/executor_equivalence.rs` proves the
+//! two produce bit-identical schedules):
+//!
+//! - **Task slab**: tasks live in a `Vec` of slots recycled through a free
+//!   list. A [`TaskId`] packs the slot index with a per-slot generation
+//!   counter, so a waker aimed at a completed task can never reach the
+//!   slot's next occupant.
+//! - **Intrusive ready list**: each slot carries a `next_ready` link; the
+//!   ready queue is just head/tail indices into the slab. Wakes are
+//!   coalesced by a per-task `queued` flag (cleared when a poll starts), so
+//!   a task is enqueued at most once per poll round and a wake costs two
+//!   index writes — no allocation, no locking.
+//! - **Timer wheel**: pending timers sit in the hierarchical wheel of
+//!   [`crate::wheel`], which advances to the next deadline by scanning
+//!   per-level occupancy bitmaps instead of popping a comparison heap.
 
 use std::cell::{Cell, RefCell};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::future::Future;
+use std::mem::ManuallyDrop;
 use std::pin::Pin;
-use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, Ordering};
-// `Waker` must be `Send + Sync`, so the ready queue lives behind a real
-// mutex even though the simulation is single-threaded (see `WakeQueue`).
-// tidy: allow(real-sync) — required by the Waker contract; never contended
-use std::sync::{Arc, Mutex};
-use std::task::{Context, Poll, Wake, Waker};
+use std::rc::{Rc, Weak};
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
 
+use crate::error::SimError;
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::TimerWheel;
 
-/// Identifier of a spawned task.
+/// Identifier of a spawned task: the slab slot index in the low 32 bits and
+/// the slot's generation at spawn time in the high 32 bits. Ids are unique
+/// across a simulation's lifetime even though slots are recycled.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct TaskId(pub u64);
 
+impl TaskId {
+    fn pack(index: u32, gen: u32) -> TaskId {
+        TaskId((u64::from(gen) << 32) | u64::from(index))
+    }
+}
+
 type LocalFuture = Pin<Box<dyn Future<Output = ()>>>;
 
-/// The wake-side of the executor. `Waker`s must be `Send + Sync`, so the
-/// ready queue lives behind a real mutex even though the simulation itself
-/// is single-threaded (the lock is never contended).
-struct WakeQueue {
-    ready: Mutex<VecDeque<TaskId>>,
+/// Sentinel for "no slot" in the free list and ready list links.
+const NONE_IDX: u32 = u32::MAX;
+
+// ---------------------------------------------------------------------------
+// Wakers
+// ---------------------------------------------------------------------------
+
+/// Wake-side state of one task, shared by every `Waker` clone handed out
+/// during that task's polls.
+struct WakerData {
+    exec: Weak<Inner>,
+    index: u32,
+    gen: u32,
+    /// Coalesces wakes between polls: set when the task is enqueued,
+    /// cleared at the start of its next poll, so however many timers and
+    /// channels wake a task in one round, it occupies exactly one ready
+    /// link. On a completed task the flag latches `true`, making every
+    /// later stale wake a no-op.
+    queued: Cell<bool>,
 }
 
-impl WakeQueue {
-    /// Enqueue a task, recording the queue's high-water mark for the
-    /// engine self-profile (`crate::perf`). The only push site.
-    fn push(&self, id: TaskId) {
-        let mut ready = self.ready.lock().unwrap();
-        ready.push_back(id);
-        crate::perf::note_ready_depth(ready.len());
-    }
-
-    /// Dequeue the next ready task. The only pop site.
-    fn pop(&self) -> Option<TaskId> {
-        self.ready.lock().unwrap().pop_front()
-    }
-}
-
-struct TaskWaker {
-    id: TaskId,
-    queue: Arc<WakeQueue>,
-    /// Deduplicates wakes between polls so a task is queued at most once.
-    queued: AtomicBool,
-}
-
-impl Wake for TaskWaker {
-    fn wake(self: Arc<Self>) {
-        self.wake_by_ref();
-    }
-
-    fn wake_by_ref(self: &Arc<Self>) {
-        if !self.queued.swap(true, Ordering::Relaxed) {
+impl WakerData {
+    fn wake(&self) {
+        if !self.queued.replace(true) {
             crate::perf::note_wake();
-            self.queue.push(self.id);
+            if let Some(inner) = self.exec.upgrade() {
+                inner.ready_push(self.index, self.gen);
+            }
         }
     }
-}
 
-struct TimerState {
-    waker: RefCell<Option<Waker>>,
-    fired: Cell<bool>,
-    cancelled: Cell<bool>,
-}
-
-struct TimerEntry {
-    at: SimTime,
-    seq: u64,
-    state: Rc<TimerState>,
-}
-
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+    fn waker(self: &Rc<Self>) -> Waker {
+        // SAFETY: the vtable below upholds the RawWaker contract over a
+        // plain `Rc` (see VTABLE).
+        unsafe { Waker::from_raw(raw_waker(self)) }
     }
 }
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+
+// SAFETY: `Waker` is nominally `Send + Sync`, but this executor is strictly
+// single-threaded — the workspace linter's D1 rule bans `std::thread` in
+// every simulation crate, so a waker can never leave the thread it was
+// created on. The vtable therefore manages a plain `Rc<WakerData>` by hand:
+// `clone` bumps the strong count, `wake` consumes one reference,
+// `wake_by_ref` borrows without consuming, `drop` releases. The previous
+// implementation satisfied the same contract with an `Arc` + `Mutex`d queue
+// whose lock was never contended; this removes both from the hot path.
+const VTABLE: RawWakerVTable = RawWakerVTable::new(vt_clone, vt_wake, vt_wake_by_ref, vt_drop);
+
+fn raw_waker(data: &Rc<WakerData>) -> RawWaker {
+    RawWaker::new(Rc::into_raw(Rc::clone(data)).cast(), &VTABLE)
 }
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
+
+unsafe fn vt_clone(ptr: *const ()) -> RawWaker {
+    Rc::increment_strong_count(ptr.cast::<WakerData>());
+    RawWaker::new(ptr, &VTABLE)
+}
+
+unsafe fn vt_wake(ptr: *const ()) {
+    Rc::from_raw(ptr.cast::<WakerData>()).wake();
+}
+
+unsafe fn vt_wake_by_ref(ptr: *const ()) {
+    ManuallyDrop::new(Rc::from_raw(ptr.cast::<WakerData>())).wake();
+}
+
+unsafe fn vt_drop(ptr: *const ()) {
+    drop(Rc::from_raw(ptr.cast::<WakerData>()));
+}
+
+// ---------------------------------------------------------------------------
+// Task slab
+// ---------------------------------------------------------------------------
+
+/// A task's future plus its shared waker state.
+struct TaskCell {
+    /// Taken out for the duration of a poll, so task code may reentrantly
+    /// use the slab (spawn, wake) while its own future runs.
+    fut: Option<LocalFuture>,
+    waker: Rc<WakerData>,
+}
+
+/// Occupancy of one slab slot.
+enum SlotState {
+    /// Free; `next_free` chains the free list.
+    Vacant { next_free: u32 },
+    /// A spawned, not-yet-completed task.
+    Live(TaskCell),
+    /// Completed while still linked in the ready list. The slot stays
+    /// reserved (not on the free list) until the stale link is popped, so
+    /// the link can never deliver a poll to a later occupant — see the
+    /// slab-reuse regression tests.
+    Dead,
+}
+
+struct Slot {
+    /// Bumped when the slot is freed; wakers carry the generation they
+    /// were created under and are ignored once it goes stale.
+    gen: u32,
+    /// Intrusive ready-list link (`NONE_IDX` = unlinked or tail).
+    next_ready: u32,
+    state: SlotState,
 }
 
 struct Inner {
     clock: Cell<SimTime>,
-    tasks: RefCell<BTreeMap<TaskId, (LocalFuture, Arc<TaskWaker>)>>,
-    wake_queue: Arc<WakeQueue>,
-    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
-    next_task_id: Cell<u64>,
+    tasks: RefCell<Vec<Slot>>,
+    /// Head of the vacant-slot free list.
+    free_head: Cell<u32>,
+    /// FIFO ready list threaded through `Slot::next_ready`.
+    ready_head: Cell<u32>,
+    ready_tail: Cell<u32>,
+    ready_len: Cell<usize>,
+    live_tasks: Cell<usize>,
+    timers: RefCell<TimerWheel>,
     next_timer_seq: Cell<u64>,
     steps: Cell<u64>,
     step_limit: Cell<u64>,
     spawned_total: Cell<u64>,
+}
+
+impl Inner {
+    /// Link a live task at the ready-list tail. Stale wakes — generation
+    /// mismatch or a completed/vacated slot — fall through silently: the
+    /// pre-rewrite executor pushed a stale id that the pop side skipped;
+    /// here the skip happens at link time.
+    fn ready_push(&self, index: u32, gen: u32) {
+        let mut tasks = self.tasks.borrow_mut();
+        match tasks.get_mut(index as usize) {
+            Some(slot) if slot.gen == gen && matches!(slot.state, SlotState::Live(_)) => {
+                slot.next_ready = NONE_IDX;
+            }
+            _ => return,
+        }
+        let tail = self.ready_tail.get();
+        if tail == NONE_IDX {
+            self.ready_head.set(index);
+        } else if let Some(prev) = tasks.get_mut(tail as usize) {
+            prev.next_ready = index;
+        }
+        self.ready_tail.set(index);
+        let depth = self.ready_len.get() + 1;
+        self.ready_len.set(depth);
+        crate::perf::note_ready_depth(depth);
+    }
+
+    /// Unlink the next live task from the ready list, lazily retiring
+    /// `Dead` slots (tasks that completed while linked) on the way.
+    fn ready_pop(&self) -> Option<u32> {
+        loop {
+            let head = self.ready_head.get();
+            if head == NONE_IDX {
+                return None;
+            }
+            let mut tasks = self.tasks.borrow_mut();
+            let Some(slot) = tasks.get_mut(head as usize) else {
+                // Unreachable: links always point at allocated slots.
+                self.ready_head.set(NONE_IDX);
+                self.ready_tail.set(NONE_IDX);
+                return None;
+            };
+            self.ready_head.set(slot.next_ready);
+            if slot.next_ready == NONE_IDX {
+                self.ready_tail.set(NONE_IDX);
+            }
+            slot.next_ready = NONE_IDX;
+            self.ready_len.set(self.ready_len.get().saturating_sub(1));
+            match slot.state {
+                SlotState::Live(_) => return Some(head),
+                SlotState::Dead => {
+                    // The stale link is gone; the slot may now be reused.
+                    slot.gen = slot.gen.wrapping_add(1);
+                    slot.state = SlotState::Vacant {
+                        next_free: self.free_head.get(),
+                    };
+                    self.free_head.set(head);
+                }
+                SlotState::Vacant { .. } => {
+                    debug_assert!(false, "vacant slot linked in ready list");
+                }
+            }
+        }
+    }
 }
 
 /// Handle to a simulation. Cloning is cheap; all clones refer to the same
@@ -183,12 +308,13 @@ impl Sim {
         Sim {
             inner: Rc::new(Inner {
                 clock: Cell::new(SimTime::ZERO),
-                tasks: RefCell::new(BTreeMap::new()),
-                wake_queue: Arc::new(WakeQueue {
-                    ready: Mutex::new(VecDeque::new()),
-                }),
-                timers: RefCell::new(BinaryHeap::new()),
-                next_task_id: Cell::new(0),
+                tasks: RefCell::new(Vec::new()),
+                free_head: Cell::new(NONE_IDX),
+                ready_head: Cell::new(NONE_IDX),
+                ready_tail: Cell::new(NONE_IDX),
+                ready_len: Cell::new(0),
+                live_tasks: Cell::new(0),
+                timers: RefCell::new(TimerWheel::new()),
                 next_timer_seq: Cell::new(0),
                 steps: Cell::new(0),
                 step_limit: Cell::new(u64::MAX),
@@ -214,7 +340,7 @@ impl Sim {
 
     /// Number of tasks that have not yet completed.
     pub fn live_tasks(&self) -> usize {
-        self.inner.tasks.borrow().len()
+        self.inner.live_tasks.get()
     }
 
     /// Cap the number of task polls; exceeding it panics. A guard against
@@ -229,8 +355,6 @@ impl Sim {
         F: Future + 'static,
         F::Output: 'static,
     {
-        let id = TaskId(self.inner.next_task_id.get());
-        self.inner.next_task_id.set(id.0 + 1);
         self.inner
             .spawned_total
             .set(self.inner.spawned_total.get() + 1);
@@ -250,17 +374,48 @@ impl Sim {
             }
         });
 
-        let waker = Arc::new(TaskWaker {
-            id,
-            queue: Arc::clone(&self.inner.wake_queue),
-            queued: AtomicBool::new(true), // queued right below
-        });
-        self.inner
-            .tasks
-            .borrow_mut()
-            .insert(id, (wrapped, Arc::clone(&waker)));
-        self.inner.wake_queue.push(id);
-        JoinHandle { state: result, id }
+        let (index, gen) = {
+            let mut tasks = self.inner.tasks.borrow_mut();
+            let index = match self.inner.free_head.get() {
+                NONE_IDX => {
+                    tasks.push(Slot {
+                        gen: 0,
+                        next_ready: NONE_IDX,
+                        state: SlotState::Vacant {
+                            next_free: NONE_IDX,
+                        },
+                    });
+                    (tasks.len() - 1) as u32
+                }
+                idx => {
+                    let next = match tasks[idx as usize].state {
+                        SlotState::Vacant { next_free } => next_free,
+                        // Unreachable: the free list only chains vacant slots.
+                        SlotState::Live(_) | SlotState::Dead => NONE_IDX,
+                    };
+                    self.inner.free_head.set(next);
+                    idx
+                }
+            };
+            let gen = tasks[index as usize].gen;
+            let waker = Rc::new(WakerData {
+                exec: Rc::downgrade(&self.inner),
+                index,
+                gen,
+                queued: Cell::new(true), // linked right below
+            });
+            tasks[index as usize].state = SlotState::Live(TaskCell {
+                fut: Some(wrapped),
+                waker,
+            });
+            (index, gen)
+        };
+        self.inner.live_tasks.set(self.inner.live_tasks.get() + 1);
+        self.inner.ready_push(index, gen);
+        JoinHandle {
+            state: result,
+            id: TaskId::pack(index, gen),
+        }
     }
 
     /// Register a timer at absolute time `at`; used by `sleep` and friends.
@@ -274,24 +429,36 @@ impl Sim {
             cancelled: Cell::new(false),
         });
         if state.fired.get() {
-            // Born fired: a deadline at or before now never enters the heap.
+            // Born fired: a deadline at or before now never enters the wheel.
             crate::perf::note_timer_fired();
         } else {
-            self.inner.timers.borrow_mut().push(Reverse(TimerEntry {
-                at,
+            self.inner.timers.borrow_mut().insert(
+                at.as_nanos(),
                 seq,
-                state: Rc::clone(&state),
-            }));
+                Rc::clone(&state),
+                self.now().as_nanos(),
+            );
         }
         TimerHandle { state }
     }
 
-    fn poll_one(&self, id: TaskId) {
-        let entry = self.inner.tasks.borrow_mut().remove(&id);
-        let Some((mut fut, waker)) = entry else {
-            return; // already completed; stale wake
+    fn poll_one(&self, index: u32) {
+        let (mut fut, waker) = {
+            let mut tasks = self.inner.tasks.borrow_mut();
+            let Some(slot) = tasks.get_mut(index as usize) else {
+                return;
+            };
+            let SlotState::Live(cell) = &mut slot.state else {
+                return;
+            };
+            let Some(fut) = cell.fut.take() else {
+                return;
+            };
+            // Clear the coalescing flag before polling so a wake arriving
+            // mid-poll re-links the task for another round.
+            cell.waker.queued.set(false);
+            (fut, Rc::clone(&cell.waker))
         };
-        waker.queued.store(false, Ordering::Relaxed);
         crate::perf::note_poll();
         let steps = self.inner.steps.get() + 1;
         self.inner.steps.set(steps);
@@ -299,48 +466,61 @@ impl Sim {
             panic!(
                 "swf-simcore: step limit {} exceeded (possible wake loop); {} live tasks",
                 self.inner.step_limit.get(),
-                self.inner.tasks.borrow().len() + 1
+                self.live_tasks()
             );
         }
-        let w = Waker::from(Arc::clone(&waker));
+        let w = waker.waker();
         let mut cx = Context::from_waker(&w);
         match fut.as_mut().poll(&mut cx) {
-            Poll::Ready(()) => {}
             Poll::Pending => {
-                self.inner.tasks.borrow_mut().insert(id, (fut, waker));
+                let mut tasks = self.inner.tasks.borrow_mut();
+                if let Some(slot) = tasks.get_mut(index as usize) {
+                    if let SlotState::Live(cell) = &mut slot.state {
+                        cell.fut = Some(fut);
+                    }
+                }
+            }
+            Poll::Ready(()) => {
+                self.retire(index, &waker);
+                // `fut` itself drops at the end of this call, after the
+                // slab borrow is released, so destructors may spawn/wake.
             }
         }
+    }
+
+    /// Free a completed task's slot — or park it as `Dead` if the task
+    /// re-woke itself during its final poll and is still linked.
+    fn retire(&self, index: u32, waker: &Rc<WakerData>) {
+        let mut tasks = self.inner.tasks.borrow_mut();
+        if let Some(slot) = tasks.get_mut(index as usize) {
+            slot.state = if waker.queued.get() {
+                SlotState::Dead
+            } else {
+                slot.gen = slot.gen.wrapping_add(1);
+                let vacant = SlotState::Vacant {
+                    next_free: self.inner.free_head.get(),
+                };
+                self.inner.free_head.set(index);
+                vacant
+            };
+        }
+        self.inner
+            .live_tasks
+            .set(self.inner.live_tasks.get().saturating_sub(1));
     }
 
     /// Fire every timer scheduled for the earliest pending instant, advancing
     /// the clock to it. Returns false if no timers remain.
     fn advance_to_next_timer(&self) -> bool {
-        // Skip cancelled timers without advancing time for them.
-        let next_at = loop {
-            let mut timers = self.inner.timers.borrow_mut();
-            match timers.peek() {
-                None => return false,
-                Some(Reverse(e)) if e.state.cancelled.get() => {
-                    timers.pop();
-                }
-                Some(Reverse(e)) => break e.at,
-            }
+        // The wheel skips cancelled timers without advancing time for them.
+        let Some((at, batch)) = self.inner.timers.borrow_mut().pop_next_due() else {
+            return false;
         };
-        debug_assert!(next_at >= self.now(), "timer in the past");
-        self.inner.clock.set(next_at);
+        let at = SimTime::from_nanos(at);
+        debug_assert!(at >= self.now(), "timer in the past");
+        self.inner.clock.set(at);
         crate::perf::note_clock_advance();
-        loop {
-            let entry = {
-                let mut timers = self.inner.timers.borrow_mut();
-                match timers.peek() {
-                    Some(Reverse(e)) if e.at == next_at => timers.pop().map(|r| r.0),
-                    _ => None,
-                }
-            };
-            let Some(entry) = entry else { break };
-            if entry.state.cancelled.get() {
-                continue;
-            }
+        for entry in batch {
             entry.state.fired.set(true);
             crate::perf::note_timer_fired();
             let waker = entry.state.waker.borrow_mut().take();
@@ -355,8 +535,8 @@ impl Sim {
     pub fn run_until_idle(&self) {
         let _guard = enter(self);
         loop {
-            while let Some(id) = self.inner.wake_queue.pop() {
-                self.poll_one(id);
+            while let Some(index) = self.inner.ready_pop() {
+                self.poll_one(index);
             }
             if !self.advance_to_next_timer() {
                 break;
@@ -372,8 +552,22 @@ impl Sim {
     /// # Panics
     /// Panics if the simulation goes idle (no runnable task, no pending
     /// timer) before the future completes — i.e. the program deadlocked in
-    /// virtual time.
+    /// virtual time. Harnesses that expect stalls can use
+    /// [`Sim::try_block_on`] instead.
     pub fn block_on<F>(&self, fut: F) -> F::Output
+    where
+        F: Future + 'static,
+        F::Output: 'static,
+    {
+        match self.try_block_on(fut) {
+            Ok(out) => out,
+            Err(e) => panic!("swf-simcore: {e}"),
+        }
+    }
+
+    /// Like [`Sim::block_on`], but a virtual-time deadlock is reported as
+    /// [`SimError::Deadlock`] instead of a panic.
+    pub fn try_block_on<F>(&self, fut: F) -> Result<F::Output, SimError>
     where
         F: Future + 'static,
         F::Output: 'static,
@@ -381,8 +575,8 @@ impl Sim {
         let handle = self.spawn(fut);
         let _guard = enter(self);
         loop {
-            while let Some(id) = self.inner.wake_queue.pop() {
-                self.poll_one(id);
+            while let Some(index) = self.inner.ready_pop() {
+                self.poll_one(index);
             }
             if handle.is_finished() {
                 break;
@@ -391,15 +585,26 @@ impl Sim {
                 break;
             }
         }
-        match handle.try_take() {
-            Some(out) => out,
-            None => panic!(
-                "swf-simcore: block_on deadlocked at {} with {} live tasks",
-                self.now(),
-                self.live_tasks()
-            ),
-        }
+        handle.try_take().ok_or_else(|| SimError::Deadlock {
+            at: self.now(),
+            live_tasks: self.live_tasks(),
+        })
     }
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+/// Per-timer flags shared between the wheel entry and the owning future.
+pub(crate) struct TimerState {
+    /// Waker of the task awaiting this timer, if it has been polled.
+    pub(crate) waker: RefCell<Option<Waker>>,
+    /// Set when the deadline is reached (or at registration, for a
+    /// deadline at or before now).
+    pub(crate) fired: Cell<bool>,
+    /// Set by [`TimerHandle::cancel`]; the wheel drops the entry lazily.
+    pub(crate) cancelled: Cell<bool>,
 }
 
 pub(crate) struct TimerHandle {
@@ -441,12 +646,12 @@ impl<T> JoinHandle<T> {
     /// Take the result if the task has completed.
     pub fn try_take(&self) -> Option<T> {
         let mut s = self.state.borrow_mut();
-        match &*s {
-            JoinState::Done(_) => match std::mem::replace(&mut *s, JoinState::Taken) {
-                JoinState::Done(v) => Some(v),
-                _ => unreachable!(),
-            },
-            _ => None,
+        if !matches!(&*s, JoinState::Done(_)) {
+            return None;
+        }
+        match std::mem::replace(&mut *s, JoinState::Taken) {
+            JoinState::Done(v) => Some(v),
+            JoinState::Pending(_) | JoinState::Taken => None,
         }
     }
 
@@ -460,16 +665,15 @@ impl<T> Future for JoinHandle<T> {
     type Output = T;
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
         let mut s = self.state.borrow_mut();
-        match &mut *s {
-            JoinState::Pending(w) => {
-                *w = Some(cx.waker().clone());
-                Poll::Pending
+        if let JoinState::Pending(w) = &mut *s {
+            *w = Some(cx.waker().clone());
+            return Poll::Pending;
+        }
+        match std::mem::replace(&mut *s, JoinState::Taken) {
+            JoinState::Done(v) => Poll::Ready(v),
+            JoinState::Pending(_) | JoinState::Taken => {
+                panic!("JoinHandle polled after completion")
             }
-            JoinState::Done(_) => match std::mem::replace(&mut *s, JoinState::Taken) {
-                JoinState::Done(v) => Poll::Ready(v),
-                _ => unreachable!(),
-            },
-            JoinState::Taken => panic!("JoinHandle polled after completion"),
         }
     }
 }
@@ -518,7 +722,9 @@ impl Drop for Sleep {
 /// at the next multiple of the period from the ticker's creation, so a
 /// periodic task (e.g. the swf-obs snapshot scheduler) fires on an
 /// exact, drift-free grid regardless of how long its body appears to
-/// take between awaits.
+/// take between awaits. Each tick is one wheel insert; the bitmap scan
+/// jumps straight to the grid point without visiting the empty slots in
+/// between.
 pub struct Interval {
     next: SimTime,
     period: SimDuration,
@@ -659,6 +865,24 @@ mod tests {
     }
 
     #[test]
+    fn try_block_on_reports_deadlock_as_error() {
+        let sim = Sim::new();
+        let err = sim
+            .try_block_on(async {
+                sleep(secs(3.0)).await;
+                std::future::pending::<()>().await;
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::Deadlock {
+                at: SimTime::ZERO + secs(3.0),
+                live_tasks: 1,
+            }
+        );
+    }
+
+    #[test]
     fn zero_duration_sleep_completes() {
         let sim = Sim::new();
         sim.block_on(async {
@@ -731,6 +955,136 @@ mod tests {
             sum
         });
         assert_eq!(total, 499_500);
+        assert_eq!(sim.live_tasks(), 0);
+    }
+
+    // -- slab-reuse and wake-coalescing regression tests ------------------
+
+    /// Future that stashes its task's waker on first poll, then completes.
+    struct CaptureWaker(Rc<RefCell<Option<Waker>>>);
+
+    impl Future for CaptureWaker {
+        type Output = ();
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            *self.0.borrow_mut() = Some(cx.waker().clone());
+            Poll::Ready(())
+        }
+    }
+
+    /// Future that counts its polls and waits on a shared flag.
+    struct FlagWait {
+        flag: Rc<Cell<bool>>,
+        polls: Rc<Cell<u32>>,
+        waker: Rc<RefCell<Option<Waker>>>,
+    }
+
+    impl Future for FlagWait {
+        type Output = ();
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            self.polls.set(self.polls.get() + 1);
+            if self.flag.get() {
+                Poll::Ready(())
+            } else {
+                *self.waker.borrow_mut() = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+
+    #[test]
+    fn stale_waker_does_not_wake_slab_reuser() {
+        // Task A completes and its slot is recycled by task B. A waker
+        // captured while A was live carries A's generation; invoking it
+        // after the recycle must not poll B.
+        let sim = Sim::new();
+        sim.block_on(async {
+            let stale: Rc<RefCell<Option<Waker>>> = Rc::new(RefCell::new(None));
+            let s2 = Rc::clone(&stale);
+            let a = spawn(CaptureWaker(s2));
+            a.await; // A's slot is now on the free list
+
+            let flag = Rc::new(Cell::new(false));
+            let polls = Rc::new(Cell::new(0));
+            let b_waker: Rc<RefCell<Option<Waker>>> = Rc::new(RefCell::new(None));
+            let b = spawn(FlagWait {
+                flag: Rc::clone(&flag),
+                polls: Rc::clone(&polls),
+                waker: Rc::clone(&b_waker),
+            });
+            yield_now().await; // B polls once and parks
+            assert_eq!(polls.get(), 1);
+
+            let w = stale.borrow_mut().take().unwrap();
+            w.wake(); // aimed at A's (index, generation)
+            yield_now().await;
+            yield_now().await;
+            assert_eq!(polls.get(), 1, "stale wake polled the slot's new occupant");
+
+            flag.set(true);
+            b_waker.borrow_mut().take().unwrap().wake();
+            b.await;
+            assert_eq!(polls.get(), 2);
+        });
+    }
+
+    /// Future that wakes itself twice mid-poll, then completes on the next.
+    struct DoubleWake {
+        polls: Rc<Cell<u32>>,
+    }
+
+    impl Future for DoubleWake {
+        type Output = ();
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            self.polls.set(self.polls.get() + 1);
+            if self.polls.get() == 1 {
+                // Two wakes race the in-progress poll: coalescing must
+                // collapse them into exactly one re-poll, not zero.
+                cx.waker().wake_by_ref();
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            } else {
+                Poll::Ready(())
+            }
+        }
+    }
+
+    #[test]
+    fn wake_racing_a_poll_is_coalesced_not_dropped() {
+        let sim = Sim::new();
+        let polls = Rc::new(Cell::new(0));
+        let p2 = Rc::clone(&polls);
+        sim.block_on(DoubleWake { polls: p2 });
+        assert_eq!(
+            polls.get(),
+            2,
+            "mid-poll wakes must coalesce to one re-poll"
+        );
+    }
+
+    /// Future that wakes itself and completes in the same poll.
+    struct WakeThenDone;
+
+    impl Future for WakeThenDone {
+        type Output = ();
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            cx.waker().wake_by_ref();
+            Poll::Ready(())
+        }
+    }
+
+    #[test]
+    fn task_completing_while_requeued_retires_safely() {
+        // A task that wakes itself and then completes leaves a stale link
+        // in the ready list. The slot must stay reserved until that link
+        // is popped, and later spawns must run normally.
+        let sim = Sim::new();
+        sim.block_on(async {
+            let h = spawn(WakeThenDone);
+            yield_now().await; // executor pops the dead link here
+            let h2 = spawn(async { 42 });
+            assert_eq!(h2.await, 42);
+            h.await;
+        });
         assert_eq!(sim.live_tasks(), 0);
     }
 }

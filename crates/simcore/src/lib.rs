@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod combinators;
+pub mod error;
 pub mod executor;
 pub mod perf;
 pub mod resource;
@@ -40,6 +41,7 @@ pub mod retry;
 pub mod rng;
 pub mod time;
 pub mod trace;
+mod wheel;
 
 /// Synchronization primitives in virtual time.
 pub mod sync {
@@ -53,6 +55,7 @@ pub mod sync {
 }
 
 pub use combinators::{join_all, race, timeout, Either, Elapsed};
+pub use error::SimError;
 pub use executor::{
     current, interval, now, sleep, sleep_until, spawn, try_current, yield_now, Interval,
     JoinHandle, Sim, TaskId,

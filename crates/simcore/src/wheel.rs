@@ -1,0 +1,392 @@
+//! Hierarchical timer wheel backing the executor's virtual clock.
+//!
+//! Pending timers live in 11 levels of 64 slots each: level `l` buckets a
+//! deadline by bits `[6l, 6l+6)` of its absolute nanosecond timestamp, so
+//! level 0 resolves exact instants and level 10 spans the top of the `u64`
+//! range (6 x 11 = 66 bits saturate the timestamp width). A per-level
+//! `u64` occupancy bitmap lets the next-deadline scan hop straight to the
+//! earliest non-empty slot with a couple of `trailing_zeros` instructions
+//! instead of walking a comparison heap.
+//!
+//! Invariants (each exercised by the property tests below against a
+//! sorted-`Vec` oracle):
+//!
+//! - every stored entry's deadline agrees with [`TimerWheel::position`] on
+//!   all bits above its level's window, so occupied slots never wrap
+//!   around and the lowest occupied level always holds the globally
+//!   earliest slot;
+//! - all entries for one absolute instant share one slot in registration
+//!   (`seq`) order, so a due batch fires same-deadline timers FIFO;
+//! - cascades redistribute entries strictly downward in level, and only
+//!   exact-instant batches ever fire;
+//! - cancellation is lazy: cancelled entries are dropped when their slot
+//!   drains, and a batch that turns out all-cancelled reports nothing, so
+//!   the caller's clock never advances to a cancelled-only deadline.
+
+use std::rc::Rc;
+
+use crate::executor::TimerState;
+
+/// Bits of the deadline consumed per level.
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Levels needed so 6-bit windows cover a 64-bit timestamp.
+const LEVELS: usize = 11;
+
+/// One pending timer: absolute deadline, registration order, shared flags.
+pub(crate) struct WheelEntry {
+    /// Absolute deadline in nanoseconds of virtual time.
+    pub(crate) at: u64,
+    /// Registration sequence number; ties on `at` fire in `seq` order.
+    pub(crate) seq: u64,
+    /// Flags shared with the owning `Sleep`/`TimerHandle`.
+    pub(crate) state: Rc<TimerState>,
+}
+
+/// The executor's pending-timer store. See the module docs for geometry.
+pub(crate) struct TimerWheel {
+    /// `LEVELS x SLOTS` buckets, flattened; index `level * SLOTS + slot`.
+    /// Entries within one bucket are in insertion order, which (because
+    /// `seq` is handed out monotonically and cascades preserve relative
+    /// order) is also `seq` order.
+    buckets: Vec<Vec<WheelEntry>>,
+    /// Bit `s` of `occupied[l]` is set iff `buckets[l * SLOTS + s]` is
+    /// non-empty (cancelled entries count until their slot drains).
+    occupied: [u64; LEVELS],
+    /// The wheel's internal time: every stored deadline is `>= position`.
+    /// It advances as slots drain and may run ahead of the caller's clock
+    /// while skipping cancelled entries — but only on the way to a `None`
+    /// that leaves the wheel empty, after which [`TimerWheel::insert`]
+    /// rebases it, so no live entry is ever stranded behind it.
+    position: u64,
+}
+
+impl TimerWheel {
+    /// An empty wheel positioned at `t = 0`.
+    pub(crate) fn new() -> Self {
+        TimerWheel {
+            buckets: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            position: 0,
+        }
+    }
+
+    /// True when no entries (live or cancelled) remain.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.occupied.iter().all(|&bits| bits == 0)
+    }
+
+    /// Insert a timer with absolute deadline `at > now`, where `now` is
+    /// the caller's clock. An empty wheel first rebases `position` to
+    /// `now`: draining cancelled entries can leave `position` ahead of
+    /// the clock, and without the rebase a later timer could be filed
+    /// into the wheel's past and never fire.
+    pub(crate) fn insert(&mut self, at: u64, seq: u64, state: Rc<TimerState>, now: u64) {
+        if self.is_empty() {
+            self.position = now;
+        }
+        debug_assert!(at > self.position, "timer inserted in the wheel's past");
+        self.place(WheelEntry { at, seq, state });
+    }
+
+    /// Bucket an entry by the highest bit where its deadline differs from
+    /// `position`. A deadline equal to `position` would have no such bit;
+    /// `pop_next_due` never re-files one (it fires instead) and `insert`
+    /// requires `at > position`, so the `map_or(0, ..)` arm only defends
+    /// release builds, where it parks the entry in a level-0 slot that is
+    /// immediately due.
+    fn place(&mut self, entry: WheelEntry) {
+        let level = (entry.at ^ self.position)
+            .checked_ilog2()
+            .map_or(0, |msb| msb / LEVEL_BITS) as usize;
+        let slot = ((entry.at >> (level as u32 * LEVEL_BITS)) & (SLOTS as u64 - 1)) as usize;
+        self.occupied[level] |= 1 << slot;
+        self.buckets[level * SLOTS + slot].push(entry);
+    }
+
+    /// Advance to the earliest live deadline: drop cancelled entries
+    /// along the way, cascade coarse slots downward, and return the batch
+    /// of live entries due at that instant in registration order. Returns
+    /// `None` — leaving the wheel empty — when no live timers remain.
+    pub(crate) fn pop_next_due(&mut self) -> Option<(u64, Vec<WheelEntry>)> {
+        loop {
+            // The lowest occupied level holds the earliest slot: every
+            // entry agrees with `position` above its level's window, so a
+            // level-l slot starts inside position's level-(l+1) window
+            // while any higher level's earliest slot starts beyond it.
+            let level = (0..LEVELS).find(|&l| self.occupied[l] != 0)?;
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            self.occupied[level] &= !(1 << slot);
+            let entries = std::mem::take(&mut self.buckets[level * SLOTS + slot]);
+            let shift = level as u32 * LEVEL_BITS;
+            let slot_start =
+                clear_low_bits(self.position, shift + LEVEL_BITS) | ((slot as u64) << shift);
+            self.position = slot_start;
+            let mut due = Vec::new();
+            for entry in entries {
+                if entry.state.cancelled.get() {
+                    continue; // lazy cancellation: dropped on drain
+                }
+                if entry.at == slot_start {
+                    due.push(entry);
+                } else {
+                    // Cascade: `at` now agrees with `position` on all bits
+                    // at or above this level's window, so the entry lands
+                    // strictly lower.
+                    self.place(entry);
+                }
+            }
+            if !due.is_empty() {
+                debug_assert!(
+                    due.windows(2).all(|w| w[0].seq < w[1].seq),
+                    "due batch out of registration order"
+                );
+                return Some((slot_start, due));
+            }
+        }
+    }
+}
+
+/// `x` with bits `[0, n)` cleared; tolerates `n >= 64` (the top level).
+fn clear_low_bits(x: u64, n: u32) -> u64 {
+    if n >= u64::BITS {
+        0
+    } else {
+        x & !((1u64 << n) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+    use std::cell::{Cell, RefCell};
+
+    fn state() -> Rc<TimerState> {
+        Rc::new(TimerState {
+            waker: RefCell::new(None),
+            fired: Cell::new(false),
+            cancelled: Cell::new(false),
+        })
+    }
+
+    /// The oracle: a flat vector popped by scanning for the minimum
+    /// `(at, seq)`. Obviously correct, O(n) per pop.
+    #[derive(Default)]
+    struct OracleWheel {
+        entries: Vec<(u64, u64, Rc<TimerState>)>,
+    }
+
+    impl OracleWheel {
+        fn insert(&mut self, at: u64, seq: u64, state: Rc<TimerState>) {
+            self.entries.push((at, seq, state));
+        }
+
+        fn pop_next_due(&mut self) -> Option<(u64, Vec<u64>)> {
+            self.entries.retain(|(_, _, s)| !s.cancelled.get());
+            let min_at = self.entries.iter().map(|&(at, _, _)| at).min()?;
+            let mut seqs: Vec<u64> = self
+                .entries
+                .iter()
+                .filter(|&&(at, _, _)| at == min_at)
+                .map(|&(_, seq, _)| seq)
+                .collect();
+            seqs.sort_unstable();
+            self.entries.retain(|&(at, _, _)| at != min_at);
+            Some((min_at, seqs))
+        }
+    }
+
+    /// Drive wheel and oracle in lockstep over one advance and compare
+    /// the full batch: instant and seq order.
+    fn advance_both(wheel: &mut TimerWheel, oracle: &mut OracleWheel) -> Option<u64> {
+        let got = wheel.pop_next_due();
+        let want = oracle.pop_next_due();
+        match (got, want) {
+            (None, None) => None,
+            (Some((at, batch)), Some((want_at, want_seqs))) => {
+                assert_eq!(at, want_at, "wheel advanced to the wrong instant");
+                let seqs: Vec<u64> = batch.iter().map(|e| e.seq).collect();
+                assert_eq!(seqs, want_seqs, "batch order diverged at t={at}");
+                Some(at)
+            }
+            (got, want) => {
+                let got = got.map(|(at, _)| at);
+                let want = want.map(|(at, _)| at);
+                assert_eq!(got, want, "wheel and oracle disagree on emptiness");
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn same_deadline_fires_in_registration_order() {
+        let mut wheel = TimerWheel::new();
+        // Registered out of level order on purpose: a far timer first so
+        // the shared deadline cascades from a coarse slot.
+        let at = 3_000_000_007;
+        for seq in 0..10u64 {
+            wheel.insert(at, seq, state(), 0);
+        }
+        let (fired_at, batch) = wheel.pop_next_due().unwrap();
+        assert_eq!(fired_at, at);
+        assert_eq!(
+            batch.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn exact_window_start_deadline_fires_during_cascade() {
+        // A deadline whose low bits are all zero sits exactly on its
+        // coarse slot's start: the cascade must fire it rather than
+        // re-file it (there is no lower level for it to land in).
+        let mut wheel = TimerWheel::new();
+        for level in 1..LEVELS {
+            let at = 1u64 << (level as u32 * LEVEL_BITS);
+            wheel.insert(at, level as u64, state(), 0);
+        }
+        let mut fired = Vec::new();
+        while let Some((at, batch)) = wheel.pop_next_due() {
+            assert_eq!(batch.len(), 1);
+            fired.push(at);
+        }
+        let want: Vec<u64> = (1..LEVELS)
+            .map(|l| 1u64 << (l as u32 * LEVEL_BITS))
+            .collect();
+        assert_eq!(fired, want);
+    }
+
+    #[test]
+    fn level_rollover_boundaries_order_correctly() {
+        // Deadlines straddling each level boundary (2^(6k) - 1, 2^(6k),
+        // 2^(6k) + 1) must fire in time order despite landing in
+        // different levels at insert time.
+        let mut wheel = TimerWheel::new();
+        let mut oracle = OracleWheel::default();
+        let mut seq = 0u64;
+        for k in 1..LEVELS as u32 {
+            let base = 1u64 << (k * LEVEL_BITS);
+            for at in [base - 1, base, base + 1] {
+                wheel.insert(at, seq, state(), 0);
+                oracle.insert(at, seq, state());
+                seq += 1;
+            }
+        }
+        while advance_both(&mut wheel, &mut oracle).is_some() {}
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn far_future_deadlines_use_the_top_level() {
+        // Bits [60, 64) index the top level, whose window exceeds the
+        // timestamp width; the shift/mask arithmetic must saturate
+        // rather than overflow.
+        let mut wheel = TimerWheel::new();
+        wheel.insert(u64::MAX, 0, state(), 0);
+        wheel.insert(u64::MAX - 1, 1, state(), 0);
+        wheel.insert(1u64 << 63, 2, state(), 0);
+        let instants: Vec<u64> =
+            std::iter::from_fn(|| wheel.pop_next_due().map(|(at, _)| at)).collect();
+        assert_eq!(instants, vec![1u64 << 63, u64::MAX - 1, u64::MAX]);
+    }
+
+    #[test]
+    fn cancelled_only_deadlines_never_surface() {
+        let mut wheel = TimerWheel::new();
+        let doomed = state();
+        wheel.insert(500, 0, Rc::clone(&doomed), 0);
+        wheel.insert(900, 1, state(), 0);
+        doomed.cancelled.set(true);
+        // The cancelled 500ns deadline is skipped without being reported.
+        let (at, batch) = wheel.pop_next_due().unwrap();
+        assert_eq!(at, 900);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].seq, 1);
+        assert!(wheel.pop_next_due().is_none());
+    }
+
+    #[test]
+    fn cancel_then_reinsert_at_same_deadline() {
+        let mut wheel = TimerWheel::new();
+        let doomed = state();
+        wheel.insert(1_000_000, 0, Rc::clone(&doomed), 0);
+        doomed.cancelled.set(true);
+        wheel.insert(1_000_000, 1, state(), 0);
+        let (at, batch) = wheel.pop_next_due().unwrap();
+        assert_eq!(at, 1_000_000);
+        assert_eq!(batch.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![1]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn insert_after_cancelled_drain_rebases_position() {
+        // Draining a cancelled far-future timer walks `position` ahead of
+        // the caller's clock. A timer inserted afterwards (with the clock
+        // still early) must not be stranded in the wheel's past.
+        let mut wheel = TimerWheel::new();
+        let doomed = state();
+        wheel.insert(1_000_000_000_000, 0, Rc::clone(&doomed), 0);
+        doomed.cancelled.set(true);
+        assert!(wheel.pop_next_due().is_none());
+        assert!(wheel.is_empty());
+        wheel.insert(1_000, 1, state(), 0);
+        let (at, batch) = wheel.pop_next_due().unwrap();
+        assert_eq!(at, 1_000);
+        assert_eq!(batch[0].seq, 1);
+    }
+
+    #[test]
+    fn randomized_programs_match_sorted_vec_oracle() {
+        // Seeded insert/cancel/advance programs, wheel vs oracle in
+        // lockstep. Durations mix a coarse grid (forcing same-deadline
+        // ties), fine offsets, and far-future outliers so every level and
+        // the cascade path are hit.
+        for seed in 0..64u64 {
+            let mut rng = DetRng::new(seed, "timer-wheel-property");
+            let mut wheel = TimerWheel::new();
+            let mut oracle = OracleWheel::default();
+            let mut live: Vec<Rc<TimerState>> = Vec::new();
+            let mut now = 0u64;
+            let mut seq = 0u64;
+            for _ in 0..400 {
+                match rng.uniform_u64(0, 10) {
+                    // insert (weighted heaviest)
+                    0..=5 => {
+                        let d = match rng.uniform_u64(0, 4) {
+                            0 => 250_000_000 * rng.uniform_u64(1, 16), // coarse grid: ties
+                            1 => rng.uniform_u64(1, 5_000_000_000),    // fine
+                            2 => 1_000_000_000 * rng.uniform_u64(1, 300),
+                            _ => 1_000_000_000 * rng.uniform_u64(1, 20_000), // far future
+                        };
+                        let at = now.saturating_add(d.max(1));
+                        let s = state();
+                        wheel.insert(at, seq, Rc::clone(&s), now);
+                        oracle.insert(at, seq, Rc::clone(&s));
+                        live.push(s);
+                        seq += 1;
+                    }
+                    // cancel a random live timer
+                    6..=7 => {
+                        if !live.is_empty() {
+                            let idx = rng.index(live.len());
+                            live.swap_remove(idx).cancelled.set(true);
+                        }
+                    }
+                    // advance one batch
+                    _ => {
+                        if let Some(at) = advance_both(&mut wheel, &mut oracle) {
+                            now = at;
+                        }
+                        live.retain(|s| !s.cancelled.get());
+                    }
+                }
+            }
+            // Drain to empty: both sides must agree on every remaining batch.
+            while advance_both(&mut wheel, &mut oracle).is_some() {}
+            assert!(wheel.is_empty(), "seed {seed}: wheel not drained");
+        }
+    }
+}

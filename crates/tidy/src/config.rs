@@ -66,8 +66,10 @@ impl Config {
                 // Bottom: the event loop, the metric math, and the linter
                 // itself — nothing here may look upward.
                 &["simcore", "metrics", "tidy"][..],
-                // Infrastructure primitives over virtual time.
-                &["obs", "cluster", "workloads"],
+                // Infrastructure primitives over virtual time, plus the
+                // test-only reference executor (oracle for the differential
+                // scheduler harness — depends only on simcore's time types).
+                &["obs", "cluster", "workloads", "simref"],
                 // Single-venue execution managers.
                 &["condor", "container"],
                 &["k8s"],
