@@ -2,8 +2,14 @@
 //! fault profile, per-seed, with the calm baseline alongside.
 //!
 //! Usage: `cargo run --release -p swf-bench --bin chaos
-//! [--quick] [--seeds <n>] [--seed <n>] [--seed-range <a>..<b>] [--heavy]
-//! [--rescue] [--trace] [--trace-out <path>] [--json <path>]`
+//! [--quick] [--seeds <n>] [--seed <n>] [--seed-range <a>..<b>]
+//! [--profile <name>] [--heavy] [--rescue] [--trace] [--trace-out <path>]
+//! [--json <path>]`
+//!
+//! `--profile` selects a named fault profile (see
+//! `swf_chaos::ChaosProfile::NAMES`); an unknown name is a hard error
+//! listing the valid profiles. `--heavy` stays as an alias for
+//! `--profile heavy`.
 //!
 //! Prints one row per seed (faults injected, task failures, workflows
 //! completed, calm vs chaos makespan) and, for any seed whose workflows
@@ -74,17 +80,50 @@ fn seed_list() -> Vec<u64> {
     }
 }
 
+/// The fault profile selected by `--profile <name>` (or the legacy
+/// `--heavy` alias; `light` by default). An unknown name is a typed
+/// [`swf_chaos::UnknownProfile`] error: the sweep refuses to run rather
+/// than silently falling back to the default profile.
+fn profile_from_args() -> (String, ChaosProfile) {
+    let args: Vec<String> = std::env::args().collect();
+    let mut name: Option<String> = None;
+    for (i, a) in args.iter().enumerate() {
+        if a == "--profile" {
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with('-') => name = Some(v.clone()),
+                _ => {
+                    eprintln!("error: --profile requires a name argument");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if let Some(v) = a.strip_prefix("--profile=") {
+            name = Some(v.to_string());
+        }
+    }
+    let name = name.unwrap_or_else(|| {
+        if args.iter().any(|a| a == "--heavy") {
+            "heavy".to_string()
+        } else {
+            "light".to_string()
+        }
+    });
+    match ChaosProfile::by_name(&name) {
+        Ok(p) => (name, p),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     // cli_config() is called for flag validation/uniformity; the chaos
     // harness derives its own jitter-free config from the seed.
     let config = cli_config();
     let (obs, _guard) = install_cli_obs();
     println!("{}", setup_header(&config));
-    let profile = if std::env::args().any(|a| a == "--heavy") {
-        ("heavy", ChaosProfile::heavy())
-    } else {
-        ("light", ChaosProfile::light())
-    };
+    let profile = profile_from_args();
     let rescue = std::env::args().any(|a| a == "--rescue");
     let seeds = seed_list();
     println!(

@@ -67,6 +67,10 @@ fn list_main() {
         ("quick", "figure scenarios at CI scale (--quick default)"),
         ("paper", "figure scenarios at paper scale (default)"),
         ("apps", "swf-apps: every application × every venue"),
+        (
+            "elastic",
+            "swf-elastic: autoscaled spot pool vs static cluster, with cost ledger",
+        ),
     ] {
         println!("  {label:<6} {}", scenario_names(label).join(", "));
         println!("  {:<6}   {note}", "");

@@ -1,0 +1,257 @@
+//! The elastic benchmark scenario: calm, spot, and revocation-storm
+//! profiles head-to-head over the autoscaled spot cluster, with the
+//! static all-on-demand cluster as the price baseline. Run by the
+//! suite's `elastic` label, which adds a `cost` section to the bench
+//! document (bitwise under `suite compare`, like `virtual`).
+
+use swf_chaos::{ChaosProfile, FaultPlan};
+use swf_elastic::{elastic_plan, run_elastic, ElasticOutcome, ElasticRunConfig};
+use swf_simcore::secs;
+
+/// Fault horizon of every armed profile, matching the chaos sweep's
+/// window relative to the burst workload's calm makespan.
+const HORIZON_S: f64 = 150.0;
+
+/// One (arm, seed) execution.
+pub struct ElasticArmRow {
+    /// Arm label (`static`, `calm`, `spot`, `heavy-spot`).
+    pub arm: &'static str,
+    /// Sweep seed.
+    pub seed: u64,
+    /// The run's outcome: chaos results plus the bill.
+    pub outcome: ElasticOutcome,
+    /// Span collector of this run.
+    pub obs: swf_obs::Obs,
+}
+
+/// The full elastic scenario result.
+pub struct ElasticResult {
+    /// One row per arm × seed, arm-major in canonical order.
+    pub rows: Vec<ElasticArmRow>,
+}
+
+/// The arms, in canonical order: the static on-demand baseline, then the
+/// autoscaled pool under increasingly hostile profiles.
+pub const ARMS: [&str; 4] = ["static", "calm", "spot", "heavy-spot"];
+
+fn arm_run(arm: &'static str, seed: u64) -> (ElasticRunConfig, FaultPlan) {
+    match arm {
+        "static" => (ElasticRunConfig::static_cluster(seed), FaultPlan::calm()),
+        "calm" => (ElasticRunConfig::burst(seed), FaultPlan::calm()),
+        "spot" => {
+            let cfg = ElasticRunConfig::burst(seed);
+            let plan = elastic_plan(&ChaosProfile::spot(), seed, secs(HORIZON_S), &cfg.pools);
+            (cfg, plan)
+        }
+        "heavy-spot" => {
+            let cfg = ElasticRunConfig::burst(seed);
+            let plan = elastic_plan(
+                &ChaosProfile::heavy_spot(),
+                seed,
+                secs(HORIZON_S),
+                &cfg.pools,
+            );
+            (cfg, plan)
+        }
+        other => unreachable!("unknown elastic arm {other}"),
+    }
+}
+
+impl ElasticResult {
+    /// Rows of one arm, in seed order.
+    pub fn arm_rows(&self, arm: &str) -> Vec<&ElasticArmRow> {
+        self.rows.iter().filter(|r| r.arm == arm).collect()
+    }
+
+    /// The deterministic `virtual` section: per-arm per-seed completion,
+    /// makespan, and goodput.
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut arms = serde_json::Map::new();
+        for arm in ARMS {
+            let rows: Vec<serde_json::Value> = self
+                .arm_rows(arm)
+                .iter()
+                .map(|r| {
+                    let chaos = &r.outcome.chaos;
+                    let mut obj = serde_json::Map::new();
+                    obj.insert("seed", serde_json::Value::from(r.seed));
+                    obj.insert("injected", serde_json::Value::from(chaos.injected));
+                    obj.insert(
+                        "task_failures",
+                        serde_json::Value::from(chaos.task_failures),
+                    );
+                    obj.insert(
+                        "completed",
+                        serde_json::Value::from(chaos.completed() as u64),
+                    );
+                    obj.insert(
+                        "workflows",
+                        serde_json::Value::from(chaos.outcomes.len() as u64),
+                    );
+                    obj.insert(
+                        "makespan_s",
+                        serde_json::Value::from(chaos.makespan.as_secs_f64()),
+                    );
+                    obj.insert(
+                        "rescue_rounds",
+                        serde_json::Value::from(chaos.goodput.rescue_rounds),
+                    );
+                    obj.insert(
+                        "salvaged_task_s",
+                        serde_json::Value::from(chaos.goodput.salvaged_task_s),
+                    );
+                    obj.insert(
+                        "wasted_task_s",
+                        serde_json::Value::from(chaos.goodput.wasted_task_s),
+                    );
+                    obj.insert(
+                        "salvage_ratio",
+                        serde_json::Value::from(r.outcome.salvage_ratio()),
+                    );
+                    obj.insert(
+                        "useful_task_s",
+                        serde_json::Value::from(r.outcome.useful_task_s),
+                    );
+                    serde_json::Value::Object(obj)
+                })
+                .collect();
+            arms.insert(arm.to_string(), serde_json::Value::Array(rows));
+        }
+        let mut root = serde_json::Map::new();
+        root.insert("arms", serde_json::Value::Object(arms));
+        serde_json::Value::Object(root)
+    }
+
+    /// The `cost` section: per-arm per-seed node-second ledger, dollars,
+    /// and perf-per-dollar. Pure virtual-time arithmetic, diffed bitwise
+    /// by `suite compare`.
+    pub fn cost_json(&self) -> serde_json::Value {
+        let mut arms = serde_json::Map::new();
+        for arm in ARMS {
+            let rows: Vec<serde_json::Value> = self
+                .arm_rows(arm)
+                .iter()
+                .map(|r| {
+                    let c = &r.outcome.cost;
+                    let mut obj = serde_json::Map::new();
+                    obj.insert("seed", serde_json::Value::from(r.seed));
+                    obj.insert(
+                        "on_demand_node_s",
+                        serde_json::Value::from(c.on_demand_node_s),
+                    );
+                    obj.insert("spot_node_s", serde_json::Value::from(c.spot_node_s));
+                    obj.insert(
+                        "on_demand_dollars",
+                        serde_json::Value::from(c.on_demand_dollars),
+                    );
+                    obj.insert("spot_dollars", serde_json::Value::from(c.spot_dollars));
+                    obj.insert("dollars", serde_json::Value::from(c.dollars()));
+                    obj.insert(
+                        "perf_per_dollar",
+                        serde_json::Value::from(r.outcome.perf_per_dollar),
+                    );
+                    serde_json::Value::Object(obj)
+                })
+                .collect();
+            arms.insert(arm.to_string(), serde_json::Value::Array(rows));
+        }
+        let mut root = serde_json::Map::new();
+        root.insert("arms", serde_json::Value::Object(arms));
+        serde_json::Value::Object(root)
+    }
+
+    /// Labelled collectors (`elastic/<arm>/s<seed>`) for trace export.
+    pub fn collectors(&self) -> Vec<(String, swf_obs::Obs)> {
+        self.rows
+            .iter()
+            .map(|r| (format!("elastic/{}/s{}", r.arm, r.seed), r.obs.clone()))
+            .collect()
+    }
+
+    /// Render the head-to-head table: goodput, salvage, and
+    /// perf-per-dollar per arm (seed-averaged where a sweep ran).
+    pub fn report(&self) -> String {
+        let mut t = swf_metrics::Table::new(
+            "elastic — cost-aware goodput under revocation (per arm, seed-averaged)",
+            &[
+                "arm",
+                "done",
+                "makespan_s",
+                "salvage",
+                "useful_task_s",
+                "dollars",
+                "perf_per_$",
+            ],
+        );
+        for arm in ARMS {
+            let rows = self.arm_rows(arm);
+            if rows.is_empty() {
+                continue;
+            }
+            let n = rows.len() as f64;
+            let avg =
+                |f: &dyn Fn(&ElasticArmRow) -> f64| rows.iter().map(|r| f(r)).sum::<f64>() / n;
+            let done: usize = rows.iter().map(|r| r.outcome.chaos.completed()).sum();
+            let total: usize = rows.iter().map(|r| r.outcome.chaos.outcomes.len()).sum();
+            t.row(&[
+                arm.to_string(),
+                format!("{done}/{total}"),
+                format!("{:.2}", avg(&|r| r.outcome.chaos.makespan.as_secs_f64())),
+                format!("{:.3}", avg(&|r| r.outcome.salvage_ratio())),
+                format!("{:.1}", avg(&|r| r.outcome.useful_task_s)),
+                format!("{:.4}", avg(&|r| r.outcome.cost.dollars())),
+                format!("{:.1}", avg(&|r| r.outcome.perf_per_dollar)),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Run every arm over the scenario's seed sweep (1 seed quick, 4 at
+/// paper scale), tracing on.
+pub fn run_elastic_scenario(quick: bool) -> ElasticResult {
+    let seeds: Vec<u64> = if quick { vec![0] } else { vec![0, 1, 2, 3] };
+    let mut rows = Vec::new();
+    for arm in ARMS {
+        for &seed in &seeds {
+            let obs = swf_obs::Obs::enabled();
+            let guard = swf_obs::install(obs.clone());
+            let (cfg, plan) = arm_run(arm, seed);
+            let outcome = run_elastic(&cfg, &plan)
+                .unwrap_or_else(|e| panic!("elastic arm {arm} seed {seed} failed: {e}"));
+            drop(guard);
+            rows.push(ElasticArmRow {
+                arm,
+                seed,
+                outcome,
+                obs,
+            });
+        }
+    }
+    ElasticResult { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scenario_covers_every_arm_and_bills_every_run() {
+        let r = run_elastic_scenario(true);
+        assert_eq!(r.rows.len(), ARMS.len());
+        for row in &r.rows {
+            assert!(
+                row.outcome.cost.dollars() > 0.0,
+                "arm {} billed nothing",
+                row.arm
+            );
+        }
+        let v = r.to_json();
+        let c = r.cost_json();
+        for arm in ARMS {
+            assert!(v["arms"][arm].is_array(), "virtual arm {arm} missing");
+            assert!(c["arms"][arm].is_array(), "cost arm {arm} missing");
+        }
+        assert!(r.report().contains("heavy-spot"));
+    }
+}

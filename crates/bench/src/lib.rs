@@ -12,6 +12,7 @@
 
 pub mod ablations;
 pub mod apps;
+pub mod elastic;
 pub mod record;
 pub mod suite;
 

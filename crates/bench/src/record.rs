@@ -269,10 +269,34 @@ pub fn scenario_json(
     slo_section: serde_json::Value,
     host_section: serde_json::Value,
 ) -> serde_json::Value {
+    scenario_json_with_cost(
+        virtual_section,
+        obs_section,
+        slo_section,
+        None,
+        host_section,
+    )
+}
+
+/// Assemble one scenario entry, optionally carrying a `cost` section.
+/// Like `virtual`/`obs`/`slo`, `cost` is a pure function of the simulated
+/// program — `suite compare` diffs it bitwise — so only cost-aware
+/// scenarios (the `elastic` label) emit it; everything else omits the key
+/// and compares Null against Null.
+pub fn scenario_json_with_cost(
+    virtual_section: serde_json::Value,
+    obs_section: serde_json::Value,
+    slo_section: serde_json::Value,
+    cost_section: Option<serde_json::Value>,
+    host_section: serde_json::Value,
+) -> serde_json::Value {
     let mut obj = serde_json::Map::new();
     obj.insert("virtual", virtual_section);
     obj.insert("obs", obs_section);
     obj.insert("slo", slo_section);
+    if let Some(cost) = cost_section {
+        obj.insert("cost", cost);
+    }
     obj.insert("host", host_section);
     serde_json::Value::Object(obj)
 }

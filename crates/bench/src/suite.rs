@@ -4,8 +4,9 @@
 //! Each scenario mirrors its standalone binary's configuration exactly
 //! (same counts, same config overrides), runs with span collection
 //! enabled, and is metered by [`crate::record::ScenarioMeter`] so the
-//! document carries all three sections per scenario: `virtual` results,
-//! `obs` snapshots, and the `host` engine profile.
+//! document carries every section per scenario: `virtual` results,
+//! `obs` snapshots, the `host` engine profile, and (for the `elastic`
+//! label) the `cost` ledger.
 
 use swf_core::experiments::{coldstart, fig1, fig2, run_fig5, run_fig6};
 use swf_core::ExperimentConfig;
@@ -13,8 +14,33 @@ use swf_core::ExperimentConfig;
 use crate::ablations::run_ablations;
 use crate::record::{
     bench_document, coldstart_json, fig1_json, fig2_json, fig5_json, fig6_json, obs_json,
-    scenario_json, slo_json, ScenarioMeter,
+    scenario_json_with_cost, slo_json, ScenarioMeter,
 };
+
+/// What one scenario yields: the deterministic `virtual` section, its
+/// labelled span collectors, and (for cost-aware scenarios) the `cost`
+/// section.
+pub struct ScenarioOutput {
+    /// The `virtual` JSON section.
+    pub virtual_section: serde_json::Value,
+    /// Labelled collectors for the `obs`/`slo` sections and trace export.
+    pub collectors: Vec<(String, swf_obs::Obs)>,
+    /// The `cost` JSON section; `None` for scenarios without a ledger.
+    pub cost: Option<serde_json::Value>,
+}
+
+impl ScenarioOutput {
+    fn plain(
+        virtual_section: serde_json::Value,
+        collectors: Vec<(String, swf_obs::Obs)>,
+    ) -> ScenarioOutput {
+        ScenarioOutput {
+            virtual_section,
+            collectors,
+            cost: None,
+        }
+    }
+}
 
 /// One full suite run: the document plus every labelled span collector
 /// (for an optional combined Chrome-trace export).
@@ -44,7 +70,7 @@ fn suite_config(quick: bool) -> ExperimentConfig {
     c
 }
 
-fn scenario_fig1(quick: bool) -> (serde_json::Value, Vec<(String, swf_obs::Obs)>) {
+fn scenario_fig1(quick: bool) -> ScenarioOutput {
     let config = suite_config(quick);
     let obs = swf_obs::Obs::enabled();
     let _guard = swf_obs::install(obs.clone());
@@ -54,10 +80,10 @@ fn scenario_fig1(quick: bool) -> (serde_json::Value, Vec<(String, swf_obs::Obs)>
         vec![10, 20, 40, 80, 120, 160]
     };
     let r = fig1::run(&config, &counts).expect("fig1 scenario failed");
-    (fig1_json(&r), vec![("fig1".to_string(), obs)])
+    ScenarioOutput::plain(fig1_json(&r), vec![("fig1".to_string(), obs)])
 }
 
-fn scenario_fig2(quick: bool) -> (serde_json::Value, Vec<(String, swf_obs::Obs)>) {
+fn scenario_fig2(quick: bool) -> ScenarioOutput {
     let mut config = suite_config(quick);
     // Mirror the fig2 binary: one burst of independent jobs, negotiation-
     // bound — calibrated so the native slope lands near the paper's 0.28.
@@ -71,10 +97,10 @@ fn scenario_fig2(quick: bool) -> (serde_json::Value, Vec<(String, swf_obs::Obs)>
         vec![4, 8, 16, 24, 32, 48, 64]
     };
     let r = fig2::run(&config, &counts);
-    (fig2_json(&r), vec![("fig2".to_string(), obs)])
+    ScenarioOutput::plain(fig2_json(&r), vec![("fig2".to_string(), obs)])
 }
 
-fn scenario_fig5(quick: bool) -> (serde_json::Value, Vec<(String, swf_obs::Obs)>) {
+fn scenario_fig5(quick: bool) -> ScenarioOutput {
     let config = suite_config(quick);
     let (steps, workflows, tasks, repeats) = if quick { (2, 4, 4, 1) } else { (4, 10, 10, 3) };
     let r = run_fig5(&config, steps, workflows, tasks, repeats);
@@ -92,10 +118,10 @@ fn scenario_fig5(quick: bool) -> (serde_json::Value, Vec<(String, swf_obs::Obs)>
             )
         })
         .collect();
-    (fig5_json(&r), collectors)
+    ScenarioOutput::plain(fig5_json(&r), collectors)
 }
 
-fn scenario_fig6(quick: bool) -> (serde_json::Value, Vec<(String, swf_obs::Obs)>) {
+fn scenario_fig6(quick: bool) -> ScenarioOutput {
     let config = suite_config(quick);
     let (workflows, tasks, repeats) = if quick { (4, 4, 1) } else { (10, 10, 3) };
     let r = run_fig6(&config, workflows, tasks, repeats);
@@ -104,34 +130,43 @@ fn scenario_fig6(quick: bool) -> (serde_json::Value, Vec<(String, swf_obs::Obs)>
         .iter()
         .map(|row| (format!("fig6/{}", row.label), row.obs.clone()))
         .collect();
-    (fig6_json(&r), collectors)
+    ScenarioOutput::plain(fig6_json(&r), collectors)
 }
 
-fn scenario_coldstart(quick: bool) -> (serde_json::Value, Vec<(String, swf_obs::Obs)>) {
+fn scenario_coldstart(quick: bool) -> ScenarioOutput {
     let config = suite_config(quick);
     let obs = swf_obs::Obs::enabled();
     let _guard = swf_obs::install(obs.clone());
     let r = coldstart::run(&config).expect("coldstart scenario failed");
-    (coldstart_json(&r), vec![("coldstart".to_string(), obs)])
+    ScenarioOutput::plain(coldstart_json(&r), vec![("coldstart".to_string(), obs)])
 }
 
-fn scenario_ablations(quick: bool) -> (serde_json::Value, Vec<(String, swf_obs::Obs)>) {
+fn scenario_ablations(quick: bool) -> ScenarioOutput {
     let r = run_ablations(quick, true);
     let collectors = r
         .collectors
         .iter()
         .map(|(label, obs)| (format!("ablations/{label}"), obs.clone()))
         .collect();
-    (r.to_json(), collectors)
+    ScenarioOutput::plain(r.to_json(), collectors)
 }
 
-fn scenario_apps(quick: bool) -> (serde_json::Value, Vec<(String, swf_obs::Obs)>) {
+fn scenario_apps(quick: bool) -> ScenarioOutput {
     let r = crate::apps::run_apps(quick);
     let collectors = r.collectors();
-    (r.to_json(), collectors)
+    ScenarioOutput::plain(r.to_json(), collectors)
 }
 
-type ScenarioFn = fn(bool) -> (serde_json::Value, Vec<(String, swf_obs::Obs)>);
+fn scenario_elastic(quick: bool) -> ScenarioOutput {
+    let r = crate::elastic::run_elastic_scenario(quick);
+    ScenarioOutput {
+        virtual_section: r.to_json(),
+        collectors: r.collectors(),
+        cost: Some(r.cost_json()),
+    }
+}
+
+type ScenarioFn = fn(bool) -> ScenarioOutput;
 
 /// The default (figure) scenario set, run under the `quick`/`paper`
 /// labels. The `apps` label runs the swf-apps scenario on its own so its
@@ -147,11 +182,13 @@ const FIGURE_SCENARIOS: [(&str, ScenarioFn); 6] = [
 
 const APPS_SCENARIOS: [(&str, ScenarioFn); 1] = [("apps", scenario_apps)];
 
+const ELASTIC_SCENARIOS: [(&str, ScenarioFn); 1] = [("elastic", scenario_elastic)];
+
 fn scenarios_for(label: &str) -> &'static [(&'static str, ScenarioFn)] {
-    if label == "apps" {
-        &APPS_SCENARIOS
-    } else {
-        &FIGURE_SCENARIOS
+    match label {
+        "apps" => &APPS_SCENARIOS,
+        "elastic" => &ELASTIC_SCENARIOS,
+        _ => &FIGURE_SCENARIOS,
     }
 }
 
@@ -169,15 +206,24 @@ pub fn run_suite(label: &str, quick: bool, mut on_scenario: impl FnMut(&str)) ->
     for &(name, run) in scenarios_for(label) {
         on_scenario(name);
         let meter = ScenarioMeter::start();
-        let (virtual_section, collectors) = run(quick);
+        let out = run(quick);
         let host = meter.finish();
-        let refs: Vec<(&str, &swf_obs::Obs)> =
-            collectors.iter().map(|(l, o)| (l.as_str(), o)).collect();
+        let refs: Vec<(&str, &swf_obs::Obs)> = out
+            .collectors
+            .iter()
+            .map(|(l, o)| (l.as_str(), o))
+            .collect();
         entries.push((
             name.to_string(),
-            scenario_json(virtual_section, obs_json(&refs), slo_json(&refs), host),
+            scenario_json_with_cost(
+                out.virtual_section,
+                obs_json(&refs),
+                slo_json(&refs),
+                out.cost,
+                host,
+            ),
         ));
-        all_collectors.extend(collectors);
+        all_collectors.extend(out.collectors);
     }
     SuiteRun {
         document: bench_document(label, quick, entries),

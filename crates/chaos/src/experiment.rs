@@ -154,6 +154,11 @@ pub struct ChaosOutcome {
     pub registry_bytes_served: u64,
     /// Pulls refused during registry outages.
     pub registry_failed_pulls: u64,
+    /// Virtual instant the workflow batch started (after harness setup).
+    pub started_at: SimTime,
+    /// Virtual instant the last workflow outcome settled. Billing spans
+    /// `[started_at, settled_at]`; `makespan` is their difference.
+    pub settled_at: SimTime,
     /// Full metrics registry snapshot (fault counters live here).
     pub metrics: swf_obs::MetricsSnapshot,
     /// Goodput accounting (all zeros unless the run used rescue mode).
@@ -237,6 +242,19 @@ pub fn experiment_config(seed: u64) -> ExperimentConfig {
 /// `Err` only on harness setup failure (e.g. the function never became
 /// ready); workflow failures are data, not errors.
 pub fn run_chaos(cfg: &ChaosRunConfig, plan: &FaultPlan) -> Result<ChaosOutcome, String> {
+    run_chaos_with(cfg, plan, |_| {})
+}
+
+/// [`run_chaos`] with a setup hook that runs inside the simulation right
+/// after the testbed boots, before the service registers and workflows
+/// start. Elastic infrastructure (autoscalers, cost ledgers) attaches
+/// here; `run_chaos` itself passes a no-op, so runs without a hook are
+/// bit-identical to runs before the hook existed.
+pub fn run_chaos_with(
+    cfg: &ChaosRunConfig,
+    plan: &FaultPlan,
+    setup: impl FnOnce(&TestBed) + 'static,
+) -> Result<ChaosOutcome, String> {
     let sim = Sim::new();
     let cfg = cfg.clone();
     let plan = plan.clone();
@@ -267,6 +285,7 @@ pub fn run_chaos(cfg: &ChaosRunConfig, plan: &FaultPlan) -> Result<ChaosOutcome,
             config.knative.data_plane.queue_depth = 8;
         }
         let bed = TestBed::boot(&config);
+        setup(&bed);
         let disruptor = Disruptor::new(cfg.seed);
 
         if cfg.serverless_every > 0 {
@@ -377,6 +396,8 @@ pub fn run_chaos(cfg: &ChaosRunConfig, plan: &FaultPlan) -> Result<ChaosOutcome,
             plan,
             outcomes,
             makespan: settle_at - t0,
+            started_at: t0,
+            settled_at: settle_at,
             injected,
             task_failures: disruptor.injected_failures(),
             registry_ledger: bed

@@ -172,34 +172,63 @@ impl Injector {
     }
 
     /// Match paired start/end events and observe the elapsed outage. An
-    /// end without a recorded start (plan truncation) is ignored.
+    /// end without a recorded start (plan truncation) is ignored. A
+    /// [`FaultKind::NodeRecover`] closes either a spot revocation or a
+    /// plain crash of its node, whichever opened first — the observed
+    /// class is the one recorded at the start event.
     fn track_outage(kind: &FaultKind, open: &mut BTreeMap<String, SimTime>, obs: &swf_obs::Obs) {
-        let (key, class, is_start) = match kind {
-            FaultKind::NodeCrash { node } => (format!("node-crash/{node}"), "node-crash", true),
-            FaultKind::NodeRecover { node } => (format!("node-crash/{node}"), "node-crash", false),
-            FaultKind::CondorDrain { node } => (format!("drain/{node}"), "drain", true),
-            FaultKind::CondorResume { node } => (format!("drain/{node}"), "drain", false),
-            FaultKind::Partition { a, b } => (format!("partition/{a}-{b}"), "partition", true),
-            FaultKind::Heal { a, b } => (format!("partition/{a}-{b}"), "partition", false),
-            FaultKind::DegradeLink { a, b, .. } => (format!("degrade/{a}-{b}"), "degrade", true),
-            FaultKind::RestoreLink { a, b } => (format!("degrade/{a}-{b}"), "degrade", false),
+        let close = |open: &mut BTreeMap<String, SimTime>, key: String, class: &str| {
+            if let Some(opened) = open.remove(&key) {
+                // tidy: allow(metric-unknown) — per-class histogram; `class` is
+                // the closed outage-class set below, not free-form runtime input
+                obs.observe(
+                    &format!("chaos.outage_s.{class}"),
+                    (now() - opened).as_secs_f64(),
+                );
+                true
+            } else {
+                false
+            }
+        };
+        match kind {
+            FaultKind::NodeCrash { node } => {
+                open.insert(format!("node-crash/{node}"), now());
+            }
+            FaultKind::SpotRevoke { node, .. } => {
+                open.insert(format!("spot/{node}"), now());
+            }
+            FaultKind::NodeRecover { node } => {
+                // A recovery ends whichever outage took this node down.
+                let was_spot = close(open, format!("spot/{node}"), "spot");
+                if !was_spot {
+                    close(open, format!("node-crash/{node}"), "node-crash");
+                }
+            }
+            FaultKind::CondorDrain { node } => {
+                open.insert(format!("drain/{node}"), now());
+            }
+            FaultKind::CondorResume { node } => {
+                close(open, format!("drain/{node}"), "drain");
+            }
+            FaultKind::Partition { a, b } => {
+                open.insert(format!("partition/{a}-{b}"), now());
+            }
+            FaultKind::Heal { a, b } => {
+                close(open, format!("partition/{a}-{b}"), "partition");
+            }
+            FaultKind::DegradeLink { a, b, .. } => {
+                open.insert(format!("degrade/{a}-{b}"), now());
+            }
+            FaultKind::RestoreLink { a, b } => {
+                close(open, format!("degrade/{a}-{b}"), "degrade");
+            }
             FaultKind::RegistryOutageStart => {
-                ("registry-outage".to_string(), "registry-outage", true)
+                open.insert("registry-outage".to_string(), now());
             }
             FaultKind::RegistryOutageEnd => {
-                ("registry-outage".to_string(), "registry-outage", false)
+                close(open, "registry-outage".to_string(), "registry-outage");
             }
-            _ => return,
-        };
-        if is_start {
-            open.insert(key, now());
-        } else if let Some(opened) = open.remove(&key) {
-            // tidy: allow(metric-unknown) — per-class histogram; `class` is the
-            // closed outage-class set matched directly above, not runtime input
-            obs.observe(
-                &format!("chaos.outage_s.{class}"),
-                (now() - opened).as_secs_f64(),
-            );
+            _ => {}
         }
     }
 
@@ -278,6 +307,48 @@ impl Injector {
                     d.open_slow(*window, *factor);
                 }
             }
+            FaultKind::SpotRevoke { node, grace } => {
+                // Revocation notice. Graceful drain starts immediately: the
+                // startd stops matching (running jobs may finish inside the
+                // grace window) and the k8s node goes unready so the node
+                // controller evicts its pods and the endpoints controller
+                // drops them from the revision router. A grace-expiry task
+                // then hard-fails the node unless the provider returned it
+                // early — that fallback is the ordinary crash path, so
+                // claim-epoch requeue and rescue-resume remain the safety
+                // net for whatever the drain could not finish in time.
+                let id = NodeId(*node);
+                stack.condor.drain_node(id);
+                stack.k8s.fail_node(id);
+                let grace = *grace;
+                let stack = stack.clone();
+                swf_simcore::spawn(async move {
+                    sleep(grace).await;
+                    if stack.k8s.node_is_ready(id) {
+                        // Revocation was rescinded before the grace ran
+                        // out; the node was never lost.
+                        stack.condor.undrain_node(id);
+                        return;
+                    }
+                    let idle = stack
+                        .condor
+                        .startds()
+                        .iter()
+                        .find(|s| s.node().id() == id)
+                        .map(|s| s.free_slots() == s.total_slots())
+                        .unwrap_or(true);
+                    let obs = swf_obs::current();
+                    if idle {
+                        obs.counter_add("chaos.spot_graceful_exits", 1);
+                    } else {
+                        obs.counter_add("chaos.spot_forced_kills", 1);
+                    }
+                    stack.condor.fail_node(id);
+                    // Clear the drain flag so the eventual NodeRecover
+                    // restores the node to full service.
+                    stack.condor.undrain_node(id);
+                });
+            }
             FaultKind::ContainerCrash { service } => {
                 // Crash the backing container of the first (name-ordered)
                 // running pod of the service's active revision. The pod
@@ -338,6 +409,77 @@ mod tests {
             assert!(stack.k8s.node_is_ready(NodeId(2)));
             assert!(!stack.cluster.network().is_partitioned(NodeId(0), NodeId(1)));
             assert!(!stack.registry.is_under_outage());
+        });
+    }
+
+    #[test]
+    fn spot_revocation_drains_gracefully_then_falls_back_to_the_crash_path() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let bed = TestBed::boot(&ExperimentConfig::quick());
+            let mut plan = FaultPlan::calm();
+            plan.push(
+                secs(1.0),
+                FaultKind::SpotRevoke {
+                    node: 2,
+                    grace: secs(5.0),
+                },
+            );
+            plan.push(secs(20.0), FaultKind::NodeRecover { node: 2 });
+            let stack = Stack::of(&bed);
+            let handle = swf_simcore::spawn(Injector::new(plan).run(stack.clone(), None));
+            swf_simcore::sleep(secs(2.0)).await;
+            // Inside the grace window: draining and evicted, but not crashed.
+            let draining = |s: &Stack| {
+                s.condor
+                    .startds()
+                    .iter()
+                    .find(|d| d.node().id() == NodeId(2))
+                    .map(|d| d.is_draining())
+                    .unwrap()
+            };
+            assert!(draining(&stack), "notice must drain the startd");
+            assert!(!stack.condor.node_is_failed(NodeId(2)));
+            assert!(!stack.k8s.node_is_ready(NodeId(2)), "pods must be evicted");
+            swf_simcore::sleep(secs(6.0)).await;
+            // Grace expired: the crash path took over.
+            assert!(stack.condor.node_is_failed(NodeId(2)));
+            assert!(!draining(&stack), "drain flag cleared for recovery");
+            let injected = handle.await;
+            assert_eq!(injected, 2);
+            assert!(!stack.condor.node_is_failed(NodeId(2)));
+            assert!(stack.k8s.node_is_ready(NodeId(2)));
+        });
+    }
+
+    #[test]
+    fn rescinded_revocation_never_crashes_the_node() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let bed = TestBed::boot(&ExperimentConfig::quick());
+            let mut plan = FaultPlan::calm();
+            plan.push(
+                secs(1.0),
+                FaultKind::SpotRevoke {
+                    node: 3,
+                    grace: secs(10.0),
+                },
+            );
+            // The provider hands the capacity back before grace expires.
+            plan.push(secs(4.0), FaultKind::NodeRecover { node: 3 });
+            let stack = Stack::of(&bed);
+            let handle = swf_simcore::spawn(Injector::new(plan).run(stack.clone(), None));
+            handle.await;
+            swf_simcore::sleep(secs(15.0)).await;
+            assert!(!stack.condor.node_is_failed(NodeId(3)));
+            assert!(stack.k8s.node_is_ready(NodeId(3)));
+            let startd = stack
+                .condor
+                .startds()
+                .iter()
+                .find(|d| d.node().id() == NodeId(3))
+                .unwrap();
+            assert!(!startd.is_draining(), "rescind must undrain");
         });
     }
 

@@ -10,10 +10,11 @@
 //! - [`FaultPlan`] ([`plan`]): a virtual-time-ordered schedule of typed
 //!   fault events — node crashes and recoveries, HTCondor drains, pod
 //!   kills, network partitions and link degradations, registry outages,
-//!   and flaky/slow task-execution windows. Plans are authored explicitly
-//!   or sampled from a [`ChaosProfile`] by seed, and round-trip through
-//!   JSON bit-exactly (f64 parameters are carried as IEEE-754 bit
-//!   patterns alongside their readable values).
+//!   spot revocations with grace windows, and flaky/slow task-execution
+//!   windows. Plans are authored explicitly or sampled from a
+//!   [`ChaosProfile`] by seed, and round-trip through JSON bit-exactly
+//!   (f64 parameters are carried as IEEE-754 bit patterns alongside
+//!   their readable values).
 //! - [`Injector`] ([`inject`]): replays a plan against a booted
 //!   [`swf_core::TestBed`] strictly through public fault hooks
 //!   (`Condor::fail_node`, `K8s::fail_node`, `Network::partition`,
@@ -37,8 +38,9 @@ pub mod plan;
 pub mod profile;
 
 pub use experiment::{
-    run_chaos, ChaosOutcome, ChaosRunConfig, GoodputReport, WorkflowOutcome, SERVICE,
+    experiment_config, run_chaos, run_chaos_with, ChaosOutcome, ChaosRunConfig, GoodputReport,
+    WorkflowOutcome, SERVICE,
 };
 pub use inject::{Disruptor, Injector, Stack};
 pub use plan::{FaultEvent, FaultKind, FaultPlan};
-pub use profile::ChaosProfile;
+pub use profile::{ChaosProfile, UnknownProfile};

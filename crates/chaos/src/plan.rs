@@ -99,6 +99,20 @@ pub enum FaultKind {
         /// The KService whose container crashes.
         service: String,
     },
+    /// A spot (preemptible) node is reclaimed: the typed revocation
+    /// notice grants `grace` before the hard kill. At notice the node is
+    /// drained gracefully (condor stops matching, running jobs may
+    /// finish; its pods are evicted and leave the revision router); when
+    /// the grace window expires without recovery the node is crashed
+    /// through the same path as [`FaultKind::NodeCrash`], so claim
+    /// epochs requeue whatever was still in flight. Paired with
+    /// [`FaultKind::NodeRecover`] when capacity returns.
+    SpotRevoke {
+        /// The spot node being reclaimed.
+        node: usize,
+        /// Notice-to-kill grace window.
+        grace: SimDuration,
+    },
 }
 
 impl FaultKind {
@@ -119,6 +133,7 @@ impl FaultKind {
             FaultKind::FlakyTasks { .. } => "flaky-tasks",
             FaultKind::SlowTasks { .. } => "slow-tasks",
             FaultKind::ContainerCrash { .. } => "container-crash",
+            FaultKind::SpotRevoke { .. } => "spot-revoke",
         }
     }
 }
@@ -263,6 +278,8 @@ impl FaultPlan {
                     FaultKind::RestoreLink { a: submit, b },
                 );
             }
+
+            sample_spot_class(&mut plan, profile, seed, h, workers);
         }
 
         if !services.is_empty() {
@@ -327,6 +344,36 @@ impl FaultPlan {
         plan
     }
 
+    /// Sample only the spot-revocation class over an explicit pool of
+    /// preemptible nodes. Draws from the same `"chaos-spot"` stream as
+    /// [`FaultPlan::sample`], so an elastic harness that samples its
+    /// non-spot classes over all workers and its revocations over the
+    /// spot pool gets the same per-class independence guarantee. Merge
+    /// the result into a base plan with [`FaultPlan::merge`].
+    pub fn sample_spots(
+        profile: &ChaosProfile,
+        seed: u64,
+        horizon: SimDuration,
+        spot_nodes: &[usize],
+    ) -> FaultPlan {
+        let mut plan = FaultPlan {
+            seed,
+            events: Vec::new(),
+        };
+        if !spot_nodes.is_empty() {
+            sample_spot_class(&mut plan, profile, seed, horizon.as_secs_f64(), spot_nodes);
+        }
+        plan.normalize();
+        plan
+    }
+
+    /// Fold another plan's events into this one, keeping time order.
+    /// The receiver's seed is retained for provenance.
+    pub fn merge(&mut self, other: FaultPlan) {
+        self.events.extend(other.events);
+        self.normalize();
+    }
+
     /// Serialize to a JSON tree. Durations are carried as exact nanosecond
     /// integers and every f64 parameter also carries its bit pattern, so
     /// `from_json(to_json(p)) == p` bit-for-bit.
@@ -381,6 +428,10 @@ impl FaultPlan {
                     }
                     FaultKind::ContainerCrash { service } => {
                         m.insert("service", Value::from(service.clone()));
+                    }
+                    FaultKind::SpotRevoke { node, grace } => {
+                        m.insert("node", Value::from(*node));
+                        m.insert("grace_ns", Value::from(grace.as_nanos()));
                     }
                 }
                 Value::Object(m)
@@ -462,6 +513,10 @@ impl FaultPlan {
                         .ok_or_else(|| "container-crash: missing service".to_string())?
                         .to_string(),
                 },
+                "spot-revoke" => FaultKind::SpotRevoke {
+                    node: get_usize(ev, "node")?,
+                    grace: SimDuration::from_nanos(get_u64(ev, "grace_ns")?),
+                },
                 other => return Err(format!("fault event: unknown kind {other:?}")),
             };
             plan.events.push(FaultEvent { at, kind });
@@ -498,6 +553,40 @@ fn windows(rng: &mut DetRng, interval: f64, window_mean: f64, horizon: f64) -> V
         t += w + rng.exponential(interval);
     }
     out
+}
+
+/// Sample the spot-revocation class into `plan`: each revocation delivers
+/// a [`FaultKind::SpotRevoke`] notice at `t` and returns capacity via
+/// [`FaultKind::NodeRecover`] after the grace window plus the sampled
+/// outage. Its own named stream keeps it independent of every other class.
+fn sample_spot_class(
+    plan: &mut FaultPlan,
+    profile: &ChaosProfile,
+    seed: u64,
+    h: f64,
+    nodes: &[usize],
+) {
+    let mut rng = DetRng::new(seed, "chaos-spot");
+    let grace = profile.spot_grace.max(0.0);
+    for (t, w) in windows(
+        &mut rng,
+        profile.spot_revoke_interval,
+        profile.spot_outage,
+        h,
+    ) {
+        let node = nodes[rng.index(nodes.len())];
+        plan.events.push(FaultEvent {
+            at: SimDuration::from_secs_f64(t),
+            kind: FaultKind::SpotRevoke {
+                node,
+                grace: SimDuration::from_secs_f64(grace),
+            },
+        });
+        plan.events.push(FaultEvent {
+            at: SimDuration::from_secs_f64(t + grace + w),
+            kind: FaultKind::NodeRecover { node },
+        });
+    }
 }
 
 fn push_pair(plan: &mut FaultPlan, t: f64, window: f64, start: FaultKind, end: FaultKind) {
@@ -603,6 +692,76 @@ mod tests {
             &["chaos-fn".to_string()],
         );
         assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn spot_class_pairs_revocations_with_recoveries() {
+        let plan = FaultPlan::sample(
+            &ChaosProfile::spot(),
+            11,
+            secs(300.0),
+            0,
+            &[1, 2, 3],
+            &["chaos-fn".to_string()],
+        );
+        assert!(!plan.is_empty(), "spot profile must sample revocations");
+        let revokes: Vec<_> = plan
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::SpotRevoke { node, grace } => Some((e.at, node, grace)),
+                _ => None,
+            })
+            .collect();
+        let recovers = plan
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::NodeRecover { .. }))
+            .count();
+        assert_eq!(revokes.len(), recovers, "every revocation pairs a recovery");
+        for (at, node, grace) in &revokes {
+            assert_eq!(*grace, secs(10.0), "spot() grants a 10 s grace window");
+            // The paired recovery lands after the grace window expires.
+            assert!(plan.events.iter().any(|e| {
+                matches!(e.kind, FaultKind::NodeRecover { node: n } if n == *node)
+                    && e.at >= *at + *grace
+            }));
+        }
+        // Round-trips bit-exactly like every other kind.
+        let back = FaultPlan::parse(&plan.to_string()).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn sample_spots_draws_only_from_the_spot_pool() {
+        let spots = FaultPlan::sample_spots(&ChaosProfile::heavy_spot(), 4, secs(300.0), &[2, 3]);
+        assert!(!spots.is_empty());
+        for e in &spots.events {
+            match e.kind {
+                FaultKind::SpotRevoke { node, .. } | FaultKind::NodeRecover { node } => {
+                    assert!(
+                        node == 2 || node == 3,
+                        "node {node} is not in the spot pool"
+                    );
+                }
+                ref other => panic!("unexpected kind in spot-only plan: {other:?}"),
+            }
+        }
+        // Merging keeps time order and the base plan's seed.
+        let mut base = FaultPlan::sample(
+            &ChaosProfile::heavy(),
+            4,
+            secs(300.0),
+            0,
+            &[1, 2, 3],
+            &["chaos-fn".to_string()],
+        );
+        let base_len = base.len();
+        let spot_len = spots.len();
+        base.merge(spots);
+        assert_eq!(base.len(), base_len + spot_len);
+        assert!(base.is_ordered());
+        assert_eq!(base.seed, 4);
     }
 
     #[test]

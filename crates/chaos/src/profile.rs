@@ -46,6 +46,12 @@ pub struct ChaosProfile {
     pub slow_window: f64,
     /// Compute multiplier inside a slow window.
     pub slow_factor: f64,
+    /// Mean gap between spot revocations (preemptible-node reclaims).
+    pub spot_revoke_interval: f64,
+    /// Grace window a revocation notice grants before the hard kill.
+    pub spot_grace: f64,
+    /// Mean time a revoked spot node stays gone after its grace expires.
+    pub spot_outage: f64,
 }
 
 impl ChaosProfile {
@@ -72,6 +78,9 @@ impl ChaosProfile {
             slow_interval: 0.0,
             slow_window: 0.0,
             slow_factor: 1.0,
+            spot_revoke_interval: 0.0,
+            spot_grace: 0.0,
+            spot_outage: 0.0,
         }
     }
 
@@ -100,6 +109,9 @@ impl ChaosProfile {
             slow_interval: 60.0,
             slow_window: 15.0,
             slow_factor: 2.0,
+            spot_revoke_interval: 0.0,
+            spot_grace: 0.0,
+            spot_outage: 0.0,
         }
     }
 
@@ -127,9 +139,76 @@ impl ChaosProfile {
             slow_interval: 25.0,
             slow_window: 18.0,
             slow_factor: 3.0,
+            spot_revoke_interval: 0.0,
+            spot_grace: 0.0,
+            spot_outage: 0.0,
+        }
+    }
+
+    /// Spot revocations only: preemptible nodes are reclaimed with a
+    /// grace window, every other class is quiet. Isolates the cost of
+    /// elasticity — any makespan or goodput delta against `calm` is
+    /// attributable to revocation alone.
+    pub fn spot() -> ChaosProfile {
+        ChaosProfile {
+            spot_revoke_interval: 45.0,
+            spot_grace: 10.0,
+            spot_outage: 20.0,
+            ..ChaosProfile::calm()
+        }
+    }
+
+    /// The storm profile with spot revocations armed on top: the
+    /// elasticity acceptance sweep — graceful drain plus rescue-resume
+    /// must still complete every workflow.
+    pub fn heavy_spot() -> ChaosProfile {
+        ChaosProfile {
+            spot_revoke_interval: 40.0,
+            spot_grace: 8.0,
+            spot_outage: 15.0,
+            ..ChaosProfile::heavy()
+        }
+    }
+
+    /// Every named preset the CLIs accept, in intensity order.
+    pub const NAMES: [&'static str; 5] = ["calm", "light", "spot", "heavy", "heavy-spot"];
+
+    /// Look a preset up by its CLI name. Unknown names are a typed
+    /// [`UnknownProfile`] error carrying the valid list, so callers
+    /// reject typos instead of silently falling back to a default.
+    pub fn by_name(name: &str) -> Result<ChaosProfile, UnknownProfile> {
+        match name {
+            "calm" => Ok(ChaosProfile::calm()),
+            "light" => Ok(ChaosProfile::light()),
+            "spot" => Ok(ChaosProfile::spot()),
+            "heavy" => Ok(ChaosProfile::heavy()),
+            "heavy-spot" => Ok(ChaosProfile::heavy_spot()),
+            other => Err(UnknownProfile {
+                name: other.to_string(),
+            }),
         }
     }
 }
+
+/// A profile name that matches no preset (see [`ChaosProfile::by_name`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownProfile {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown chaos profile {:?}; valid profiles: {}",
+            self.name,
+            ChaosProfile::NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownProfile {}
 
 impl Default for ChaosProfile {
     fn default() -> Self {
@@ -150,5 +229,42 @@ mod tests {
         assert!(light.node_crash_interval > heavy.node_crash_interval);
         assert!(heavy.flaky_fail_chance >= light.flaky_fail_chance);
         assert_eq!(ChaosProfile::default(), light);
+    }
+
+    #[test]
+    fn spot_revocations_are_inert_in_the_pre_elastic_presets() {
+        for p in [
+            ChaosProfile::calm(),
+            ChaosProfile::light(),
+            ChaosProfile::heavy(),
+        ] {
+            assert_eq!(p.spot_revoke_interval, 0.0);
+        }
+        assert!(ChaosProfile::spot().spot_revoke_interval > 0.0);
+        assert!(ChaosProfile::spot().spot_grace > 0.0);
+        // heavy-spot is heavy plus revocations, nothing removed.
+        let hs = ChaosProfile::heavy_spot();
+        assert_eq!(
+            hs.node_crash_interval,
+            ChaosProfile::heavy().node_crash_interval
+        );
+        assert!(hs.spot_revoke_interval > 0.0);
+    }
+
+    #[test]
+    fn by_name_resolves_presets_and_rejects_typos() {
+        for name in ChaosProfile::NAMES {
+            assert!(ChaosProfile::by_name(name).is_ok(), "preset {name}");
+        }
+        assert_eq!(
+            ChaosProfile::by_name("heavy").unwrap(),
+            ChaosProfile::heavy()
+        );
+        let err = ChaosProfile::by_name("hevy").unwrap_err();
+        assert_eq!(err.name, "hevy");
+        let msg = err.to_string();
+        for name in ChaosProfile::NAMES {
+            assert!(msg.contains(name), "error must list {name}: {msg}");
+        }
     }
 }

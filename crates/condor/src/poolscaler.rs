@@ -1,0 +1,434 @@
+//! Worker-pool autoscaling for the startd fleet, KPA-style.
+//!
+//! The scaler manages a designated subset of the pool's startds. A
+//! scaled-in worker is *drained* — running jobs finish, the negotiator
+//! stops matching there — and scale-out simply undrains it, so growing
+//! and shrinking the pool reuses the `condor_drain` machinery that chaos
+//! and operators already exercise. Demand is measured like the Knative
+//! KPA measures concurrency: busy slots plus queued idle jobs against a
+//! utilization target of one job per slot, with min/max clamps and a
+//! per-tick scale-up rate limit.
+//!
+//! Nothing spawns this loop by default; pools without a scaler behave
+//! exactly as before it existed.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+use swf_cluster::NodeId;
+use swf_simcore::{now, secs, sleep, SimDuration, SimTime};
+
+use crate::pool::Condor;
+
+/// Called with `(node, active)` on every scale event, so an external
+/// ledger (e.g. cost accounting) can bill node-seconds.
+pub type PoolScaleListener = Rc<dyn Fn(NodeId, bool)>;
+
+/// Worker-pool scaler parameters.
+#[derive(Clone)]
+pub struct PoolScalerConfig {
+    /// The workers this scaler manages (drains and undrains). The rest
+    /// of the pool is fixed capacity it never touches.
+    pub nodes: Vec<NodeId>,
+    /// Lower clamp on active (undrained, unfailed) managed workers.
+    pub min_active: usize,
+    /// Upper clamp on active managed workers.
+    pub max_active: usize,
+    /// Most workers undrained in a single tick (KPA's max-scale-up-rate).
+    pub max_scale_up_per_tick: usize,
+    /// Drain every managed worker above `min_active` at start, so the
+    /// pool grows from its floor on demand.
+    pub start_drained: bool,
+    /// Reconcile interval.
+    pub tick: SimDuration,
+    /// How long a managed worker must be fully idle before it is drained
+    /// back in.
+    pub idle_cooldown: SimDuration,
+}
+
+impl Default for PoolScalerConfig {
+    fn default() -> Self {
+        PoolScalerConfig {
+            nodes: Vec::new(),
+            min_active: 0,
+            max_active: usize::MAX,
+            max_scale_up_per_tick: 1,
+            start_drained: true,
+            tick: secs(1.0),
+            idle_cooldown: secs(30.0),
+        }
+    }
+}
+
+/// One scaling decision (exposed for tests/ablations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolScaleDecision {
+    /// Queued jobs with no claim.
+    pub idle_jobs: usize,
+    /// Claimed slots across the whole pool.
+    pub busy_slots: usize,
+    /// Active managed workers before the decision.
+    pub active: usize,
+    /// Active managed workers the decision wants.
+    pub desired: usize,
+}
+
+/// The scaler control loop. Cheap to clone; all state is shared.
+#[derive(Clone)]
+pub struct PoolScaler {
+    condor: Condor,
+    config: PoolScalerConfig,
+    state: Rc<RefCell<ScalerState>>,
+    listener: Option<PoolScaleListener>,
+}
+
+struct ScalerState {
+    /// Workers this loop drained (and may therefore undrain).
+    drained: BTreeSet<NodeId>,
+    /// Last instant each managed worker had a claimed slot.
+    last_busy: BTreeMap<NodeId, SimTime>,
+    scale_ups: u64,
+    scale_downs: u64,
+}
+
+impl PoolScaler {
+    /// New scaler over `condor`. Does nothing until [`run`](Self::run)
+    /// (or [`tick`](Self::tick)) is driven.
+    pub fn new(condor: Condor, config: PoolScalerConfig) -> Self {
+        PoolScaler {
+            condor,
+            config,
+            state: Rc::new(RefCell::new(ScalerState {
+                drained: BTreeSet::new(),
+                last_busy: BTreeMap::new(),
+                scale_ups: 0,
+                scale_downs: 0,
+            })),
+            listener: None,
+        }
+    }
+
+    /// Attach a scale-event listener (e.g. a cost ledger).
+    pub fn with_listener(mut self, listener: PoolScaleListener) -> Self {
+        self.listener = Some(listener);
+        self
+    }
+
+    /// Scale-out events performed so far.
+    pub fn scale_ups(&self) -> u64 {
+        self.state.borrow().scale_ups
+    }
+
+    /// Scale-in events performed so far.
+    pub fn scale_downs(&self) -> u64 {
+        self.state.borrow().scale_downs
+    }
+
+    /// Run forever, reconciling at the configured tick.
+    pub async fn run(self) {
+        if self.config.start_drained {
+            let surplus: Vec<NodeId> = self
+                .config
+                .nodes
+                .iter()
+                .copied()
+                .skip(self.config.min_active)
+                .collect();
+            for id in surplus {
+                self.scale_in(id);
+            }
+        }
+        loop {
+            self.tick();
+            sleep(self.config.tick).await;
+        }
+    }
+
+    /// Compute the current decision without acting on it.
+    pub fn decide(&self) -> PoolScaleDecision {
+        let idle_jobs = self.condor.schedd().idle_jobs().len();
+        let mut busy_slots = 0usize;
+        let mut fixed_capacity = 0usize;
+        let mut slots_per_node = 1usize;
+        let mut active = 0usize;
+        for s in self.condor.startds() {
+            let id = s.node().id();
+            let managed = self.config.nodes.contains(&id);
+            if !s.is_failed() {
+                busy_slots += s.total_slots() - s.free_slots();
+                if managed {
+                    slots_per_node = slots_per_node.max(s.total_slots());
+                    if !s.is_draining() {
+                        active += 1;
+                    }
+                } else {
+                    fixed_capacity += s.total_slots();
+                }
+            }
+        }
+        let demand_slots = busy_slots + idle_jobs;
+        let needed = demand_slots
+            .saturating_sub(fixed_capacity)
+            .div_ceil(slots_per_node);
+        let desired = needed
+            .max(self.config.min_active)
+            .min(self.config.max_active)
+            .min(self.config.nodes.len());
+        PoolScaleDecision {
+            idle_jobs,
+            busy_slots,
+            active,
+            desired,
+        }
+    }
+
+    /// One reconcile pass (public for tests/ablations).
+    pub fn tick(&self) {
+        // Release bookkeeping for workers someone else undrained.
+        {
+            let mut s = self.state.borrow_mut();
+            let woken: Vec<NodeId> = s
+                .drained
+                .iter()
+                .copied()
+                .filter(|id| {
+                    self.condor
+                        .startds()
+                        .iter()
+                        .find(|d| d.node().id() == *id)
+                        .map(|d| !d.is_draining())
+                        .unwrap_or(true)
+                })
+                .collect();
+            for id in woken {
+                s.drained.remove(&id);
+            }
+        }
+
+        let decision = self.decide();
+        let t = now();
+
+        if decision.desired > decision.active {
+            let deficit = decision.desired - decision.active;
+            let batch = deficit.min(self.config.max_scale_up_per_tick.max(1));
+            let candidates: Vec<NodeId> = {
+                let s = self.state.borrow();
+                s.drained
+                    .iter()
+                    .copied()
+                    .filter(|id| !self.condor.node_is_failed(*id))
+                    .take(batch)
+                    .collect()
+            };
+            for id in candidates {
+                self.scale_out(id);
+            }
+            return;
+        }
+
+        // Scale-in: drain managed workers that have been fully idle past
+        // the cooldown, never below the decision's desired count.
+        let mut active = decision.active;
+        let mut to_drain: Vec<NodeId> = Vec::new();
+        {
+            let mut s = self.state.borrow_mut();
+            for d in self.condor.startds() {
+                let id = d.node().id();
+                if !self.config.nodes.contains(&id) || d.is_failed() {
+                    continue;
+                }
+                if d.free_slots() < d.total_slots() {
+                    s.last_busy.insert(id, t);
+                    continue;
+                }
+                if d.is_draining() || active <= decision.desired.max(self.config.min_active) {
+                    continue;
+                }
+                let last = s.last_busy.get(&id).copied().unwrap_or(SimTime::ZERO);
+                if t.since(last) >= self.config.idle_cooldown {
+                    to_drain.push(id);
+                    active -= 1;
+                }
+            }
+        }
+        for id in to_drain {
+            self.scale_in(id);
+        }
+    }
+
+    fn scale_in(&self, id: NodeId) {
+        self.condor.drain_node(id);
+        {
+            let mut s = self.state.borrow_mut();
+            s.drained.insert(id);
+            s.scale_downs += 1;
+        }
+        let obs = swf_obs::current();
+        obs.counter_add("condor.pool.scale_downs", 1);
+        obs.observe("condor.pool.active_nodes", self.active_managed() as f64);
+        if let Some(l) = &self.listener {
+            l(id, false);
+        }
+    }
+
+    fn scale_out(&self, id: NodeId) {
+        self.condor.undrain_node(id);
+        {
+            let mut s = self.state.borrow_mut();
+            s.drained.remove(&id);
+            s.scale_ups += 1;
+        }
+        let obs = swf_obs::current();
+        obs.counter_add("condor.pool.scale_ups", 1);
+        obs.observe("condor.pool.active_nodes", self.active_managed() as f64);
+        if let Some(l) = &self.listener {
+            l(id, true);
+        }
+    }
+
+    /// Managed workers currently active (undrained and unfailed).
+    fn active_managed(&self) -> usize {
+        self.condor
+            .startds()
+            .iter()
+            .filter(|s| {
+                self.config.nodes.contains(&s.node().id()) && !s.is_draining() && !s.is_failed()
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobContext, JobSpec};
+    use crate::negotiator::NegotiatorConfig;
+    use crate::pool::CondorConfig;
+    use bytes::Bytes;
+    use swf_cluster::{Cluster, ClusterConfig};
+    use swf_simcore::{spawn, Sim};
+
+    fn rig(config: PoolScalerConfig) -> (Condor, PoolScaler) {
+        let cluster = Cluster::new(&ClusterConfig::default());
+        let condor = Condor::start(
+            &cluster,
+            CondorConfig {
+                negotiator: NegotiatorConfig {
+                    cycle_interval: secs(1.0),
+                    match_latency: swf_simcore::SimDuration::ZERO,
+                    ..NegotiatorConfig::default()
+                },
+                ..CondorConfig::default()
+            },
+        );
+        let scaler = PoolScaler::new(condor.clone(), config);
+        spawn(scaler.clone().run());
+        (condor, scaler)
+    }
+
+    fn sleep_job(d: f64) -> JobSpec {
+        JobSpec::new(move |ctx: JobContext| {
+            Box::pin(async move {
+                ctx.compute(secs(d)).await;
+                Ok(Bytes::from_static(b"ok"))
+            })
+        })
+    }
+
+    #[test]
+    fn queue_pressure_scales_out_and_idle_cooldown_scales_in() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (condor, scaler) = rig(PoolScalerConfig {
+                nodes: vec![NodeId(2), NodeId(3)],
+                min_active: 0,
+                max_active: 2,
+                max_scale_up_per_tick: 1,
+                start_drained: true,
+                tick: secs(1.0),
+                idle_cooldown: secs(5.0),
+            });
+            swf_simcore::sleep(secs(0.5)).await;
+            let draining = |n: usize| {
+                condor
+                    .startds()
+                    .iter()
+                    .find(|s| s.node().id() == NodeId(n))
+                    .unwrap()
+                    .is_draining()
+            };
+            assert!(draining(2) && draining(3), "surplus starts drained");
+
+            // More work than node 1 can hold: 10 × 8-core… the default
+            // startd is 8 slots, so 20 long jobs oversubscribe one node.
+            let ids: Vec<_> = (0..20).map(|_| condor.submit(sleep_job(6.0))).collect();
+            swf_simcore::sleep(secs(4.0)).await;
+            assert!(scaler.scale_ups() >= 1, "queue pressure must scale out");
+            assert!(!draining(2), "lowest managed worker undrained first");
+            for id in ids {
+                condor.wait(id).await.unwrap();
+            }
+            // Demand gone: the cooldown drains the surplus back in.
+            swf_simcore::sleep(secs(15.0)).await;
+            assert!(draining(2) && draining(3));
+            assert!(scaler.scale_downs() >= 3);
+            assert_eq!(condor.schedd().completed_total(), 20);
+            assert_eq!(condor.schedd().idle_jobs().len(), 0);
+        });
+    }
+
+    #[test]
+    fn clamps_and_rate_limit_bound_the_pool() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (condor, scaler) = rig(PoolScalerConfig {
+                nodes: vec![NodeId(2), NodeId(3)],
+                min_active: 1,
+                max_active: 1,
+                max_scale_up_per_tick: 1,
+                start_drained: true,
+                tick: secs(1.0),
+                idle_cooldown: secs(3.0),
+            });
+            swf_simcore::sleep(secs(0.5)).await;
+            // min_active keeps one managed worker live even with no load.
+            let d = scaler.decide();
+            assert_eq!(d.desired, 1);
+            assert_eq!(d.active, 1);
+            // A burst cannot push past max_active = 1.
+            let ids: Vec<_> = (0..30).map(|_| condor.submit(sleep_job(2.0))).collect();
+            swf_simcore::sleep(secs(5.0)).await;
+            assert!(scaler.decide().desired <= 1);
+            assert_eq!(scaler.scale_ups(), 0, "max_active clamps scale-out");
+            for id in ids {
+                condor.wait(id).await.unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn never_undrains_a_failed_worker() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (condor, scaler) = rig(PoolScalerConfig {
+                nodes: vec![NodeId(3)],
+                min_active: 0,
+                max_active: 1,
+                max_scale_up_per_tick: 1,
+                start_drained: true,
+                tick: secs(1.0),
+                idle_cooldown: secs(3.0),
+            });
+            swf_simcore::sleep(secs(0.5)).await;
+            condor.fail_node(NodeId(3));
+            let ids: Vec<_> = (0..30).map(|_| condor.submit(sleep_job(1.0))).collect();
+            swf_simcore::sleep(secs(6.0)).await;
+            assert_eq!(scaler.scale_ups(), 0, "failed workers stay out");
+            assert!(condor.node_is_failed(NodeId(3)));
+            for id in ids {
+                condor.wait(id).await.unwrap();
+            }
+        });
+    }
+}

@@ -1,0 +1,39 @@
+//! # swf-elastic
+//!
+//! Elastic infrastructure for the *Serverless Computing for Dynamic HPC
+//! Workflows* reproduction: the cloud the platform runs on stops being a
+//! static pool and starts appearing and disappearing under running
+//! workflows.
+//!
+//! The pieces:
+//!
+//! - [`PoolSet`] / [`PriceClass`] ([`pool`]): typed node pools — workers
+//!   are `on_demand` (reserved, never revoked) or `spot` (discounted,
+//!   revocable with a grace notice).
+//! - [`CostLedger`] / [`CostReport`] ([`cost`]): per-price-class
+//!   node-second billing on the virtual clock, fed by autoscaler scale
+//!   events and by the fault plan's revocation schedule, surfaced as
+//!   `cost.node_s.*` metrics and a perf-per-dollar report.
+//! - [`run_elastic`] ([`experiment`]): the chaos harness with a
+//!   [`swf_condor::PoolScaler`] and [`swf_k8s::NodePoolAutoscaler`]
+//!   attached over the spot pool and the ledger billing every pooled
+//!   node. Spot revocations arrive through the ordinary
+//!   [`swf_chaos::FaultPlan`] machinery as `SpotRevoke` events: the
+//!   injector drains the startd and evicts the node's pods at the
+//!   notice, and hard-fails the node only when the grace window expires
+//!   — with rescue-resume as the safety net for whatever the drain
+//!   could not finish.
+//!
+//! Everything is opt-in: no default stack spawns a scaler or a ledger,
+//! and a static all-on-demand run fingerprints identically to the plain
+//! chaos run it wraps.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod experiment;
+pub mod pool;
+
+pub use cost::{CostLedger, CostModel, CostReport};
+pub use experiment::{elastic_plan, run_elastic, ElasticOutcome, ElasticRunConfig};
+pub use pool::{NodePool, PoolSet, PriceClass};

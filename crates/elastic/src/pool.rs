@@ -1,0 +1,134 @@
+//! Typed node pools: which workers exist at which price class.
+
+/// What a node-second costs: reserved capacity or preemptible capacity
+/// the provider may revoke with a grace notice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PriceClass {
+    /// Reserved capacity: never revoked, full price.
+    OnDemand,
+    /// Preemptible capacity: discounted, revocable with a grace window.
+    Spot,
+}
+
+impl PriceClass {
+    /// Stable lowercase label (`on_demand` / `spot`), used in metric
+    /// names and BENCH JSON keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PriceClass::OnDemand => "on_demand",
+            PriceClass::Spot => "spot",
+        }
+    }
+}
+
+/// A named group of worker nodes sharing a price class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodePool {
+    /// Pool name (e.g. `"base"`, `"burst"`).
+    pub name: String,
+    /// Price class of every node in the pool.
+    pub class: PriceClass,
+    /// Worker node ids.
+    pub nodes: Vec<usize>,
+}
+
+/// The cluster's pools. A node belongs to at most one pool; nodes in no
+/// pool are free (the submit node, for instance, is never billed).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolSet {
+    pools: Vec<NodePool>,
+}
+
+impl PoolSet {
+    /// A pool set from explicit pools. Panics if a node appears twice —
+    /// a node cannot be billed at two price classes.
+    pub fn new(pools: Vec<NodePool>) -> PoolSet {
+        let mut seen = std::collections::BTreeSet::new();
+        for p in &pools {
+            for n in &p.nodes {
+                assert!(seen.insert(*n), "node {n} appears in two pools");
+            }
+        }
+        PoolSet { pools }
+    }
+
+    /// The classic static cluster: every worker on-demand.
+    pub fn all_on_demand(workers: &[usize]) -> PoolSet {
+        PoolSet::new(vec![NodePool {
+            name: "base".to_string(),
+            class: PriceClass::OnDemand,
+            nodes: workers.to_vec(),
+        }])
+    }
+
+    /// A base on-demand pool plus a preemptible burst pool.
+    pub fn split(on_demand: Vec<usize>, spot: Vec<usize>) -> PoolSet {
+        PoolSet::new(vec![
+            NodePool {
+                name: "base".to_string(),
+                class: PriceClass::OnDemand,
+                nodes: on_demand,
+            },
+            NodePool {
+                name: "burst".to_string(),
+                class: PriceClass::Spot,
+                nodes: spot,
+            },
+        ])
+    }
+
+    /// The pools.
+    pub fn pools(&self) -> &[NodePool] {
+        &self.pools
+    }
+
+    /// The price class of a node, if it belongs to a pool.
+    pub fn class_of(&self, node: usize) -> Option<PriceClass> {
+        self.pools
+            .iter()
+            .find(|p| p.nodes.contains(&node))
+            .map(|p| p.class)
+    }
+
+    /// Every pooled node, ascending.
+    pub fn nodes(&self) -> Vec<usize> {
+        let mut all: Vec<usize> = self.pools.iter().flat_map(|p| p.nodes.clone()).collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// The preemptible nodes, ascending.
+    pub fn spot_nodes(&self) -> Vec<usize> {
+        let mut spot: Vec<usize> = self
+            .pools
+            .iter()
+            .filter(|p| p.class == PriceClass::Spot)
+            .flat_map(|p| p.nodes.clone())
+            .collect();
+        spot.sort_unstable();
+        spot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_classifies_nodes_and_lists_are_sorted() {
+        let set = PoolSet::split(vec![1], vec![3, 2]);
+        assert_eq!(set.class_of(1), Some(PriceClass::OnDemand));
+        assert_eq!(set.class_of(2), Some(PriceClass::Spot));
+        assert_eq!(set.class_of(0), None, "submit node is unpooled");
+        assert_eq!(set.nodes(), vec![1, 2, 3]);
+        assert_eq!(set.spot_nodes(), vec![2, 3]);
+        assert_eq!(PriceClass::Spot.label(), "spot");
+        assert_eq!(PriceClass::OnDemand.label(), "on_demand");
+    }
+
+    #[test]
+    #[should_panic(expected = "appears in two pools")]
+    fn overlapping_pools_are_rejected() {
+        PoolSet::split(vec![1, 2], vec![2, 3]);
+    }
+}

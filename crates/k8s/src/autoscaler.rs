@@ -1,0 +1,338 @@
+//! The cluster autoscaler: a control loop that scales a typed node pool
+//! up on pending-pod pressure and down after an idle cooldown.
+//!
+//! Real cluster autoscalers ask the cloud for new VMs; here the pool's
+//! capacity is pre-provisioned but *parked* — a parked node is registered
+//! not-ready, so the scheduler skips it and it bills nothing. Scale-up
+//! unparks the lowest-id parked node; scale-down re-parks a node once it
+//! has run no pods for the cooldown. The loop only ever touches nodes it
+//! parked itself, so chaos-injected failures are never "healed" by the
+//! autoscaler and an externally recovered node is simply released from
+//! the pool's bookkeeping.
+//!
+//! Nothing in the default stack spawns this loop: runs without an
+//! autoscaler are bit-identical to runs before it existed.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+use swf_cluster::NodeId;
+use swf_simcore::{now, secs, sleep, SimDuration, SimTime};
+
+use crate::api::ApiServer;
+use crate::pod::PodPhase;
+
+/// Called with `(node, ready)` on every scale event the loop performs, so
+/// an external ledger (e.g. cost accounting) can bill node-seconds.
+pub type ScaleListener = Rc<dyn Fn(NodeId, bool)>;
+
+/// Node-pool autoscaler parameters.
+#[derive(Clone)]
+pub struct NodePoolConfig {
+    /// The flexible nodes this loop manages (the fixed remainder of the
+    /// cluster is never touched).
+    pub nodes: Vec<NodeId>,
+    /// Lower clamp on unparked managed nodes.
+    pub min_ready: usize,
+    /// Park every managed node above `min_ready` at start, so the pool
+    /// grows from its floor on demand.
+    pub start_parked: bool,
+    /// Reconcile interval.
+    pub tick: SimDuration,
+    /// How long a managed node must be pod-free before it is re-parked.
+    pub idle_cooldown: SimDuration,
+}
+
+impl Default for NodePoolConfig {
+    fn default() -> Self {
+        NodePoolConfig {
+            nodes: Vec::new(),
+            min_ready: 0,
+            start_parked: true,
+            tick: secs(1.0),
+            idle_cooldown: secs(30.0),
+        }
+    }
+}
+
+/// The control loop. Cheap to clone; all state is shared.
+#[derive(Clone)]
+pub struct NodePoolAutoscaler {
+    api: ApiServer,
+    config: NodePoolConfig,
+    state: Rc<RefCell<PoolState>>,
+    listener: Option<ScaleListener>,
+}
+
+struct PoolState {
+    /// Nodes this loop parked (and may therefore unpark).
+    parked: BTreeSet<NodeId>,
+    /// Last instant each managed node hosted a pod.
+    last_busy: BTreeMap<NodeId, SimTime>,
+    scale_ups: u64,
+    scale_downs: u64,
+}
+
+impl NodePoolAutoscaler {
+    /// New autoscaler over `api`. Does nothing until [`run`](Self::run)
+    /// (or [`tick`](Self::tick)) is driven.
+    pub fn new(api: ApiServer, config: NodePoolConfig) -> Self {
+        NodePoolAutoscaler {
+            api,
+            config,
+            state: Rc::new(RefCell::new(PoolState {
+                parked: BTreeSet::new(),
+                last_busy: BTreeMap::new(),
+                scale_ups: 0,
+                scale_downs: 0,
+            })),
+            listener: None,
+        }
+    }
+
+    /// Attach a scale-event listener (e.g. a cost ledger).
+    pub fn with_listener(mut self, listener: ScaleListener) -> Self {
+        self.listener = Some(listener);
+        self
+    }
+
+    /// Scale-up events performed so far.
+    pub fn scale_ups(&self) -> u64 {
+        self.state.borrow().scale_ups
+    }
+
+    /// Scale-down events performed so far.
+    pub fn scale_downs(&self) -> u64 {
+        self.state.borrow().scale_downs
+    }
+
+    /// Managed nodes currently parked by this loop.
+    pub fn parked(&self) -> Vec<NodeId> {
+        self.state.borrow().parked.iter().copied().collect()
+    }
+
+    /// Run forever, reconciling at the configured tick.
+    pub async fn run(self) {
+        if self.config.start_parked {
+            let surplus: Vec<NodeId> = self
+                .config
+                .nodes
+                .iter()
+                .copied()
+                .skip(self.config.min_ready)
+                .collect();
+            for id in surplus {
+                self.park(id);
+            }
+        }
+        loop {
+            self.tick();
+            sleep(self.config.tick).await;
+        }
+    }
+
+    /// One reconcile pass (public for tests/ablations).
+    pub fn tick(&self) {
+        let obs = swf_obs::current();
+        // Release bookkeeping for nodes someone else woke (chaos recovery,
+        // manual intervention): they are no longer ours to re-park first.
+        {
+            let mut s = self.state.borrow_mut();
+            let woken: Vec<NodeId> = s
+                .parked
+                .iter()
+                .copied()
+                .filter(|id| self.api.node_ready(*id))
+                .collect();
+            for id in woken {
+                s.parked.remove(&id);
+            }
+        }
+
+        let pending = self
+            .api
+            .pods()
+            .filter(|p| {
+                p.status.phase == PodPhase::Pending
+                    && p.status.node.is_none()
+                    && !p.meta.deletion_requested
+            })
+            .len();
+        if pending > 0 {
+            obs.observe("k8s.autoscaler.pending_pods", pending as f64);
+            // One node per tick: deliberate, like real CA's rate limiting —
+            // pressure that persists keeps unparking on subsequent ticks.
+            let candidate = self.state.borrow().parked.iter().next().copied();
+            if let Some(id) = candidate {
+                self.unpark(id);
+            }
+        }
+
+        // Track busyness and park idle surplus.
+        let busy_nodes: BTreeSet<NodeId> = self
+            .api
+            .pods()
+            .filter(|p| {
+                p.status.node.is_some()
+                    && p.status.phase != PodPhase::Failed
+                    && p.status.phase != PodPhase::Succeeded
+            })
+            .into_iter()
+            .filter_map(|p| p.status.node)
+            .collect();
+        let t = now();
+        let mut to_park: Vec<NodeId> = Vec::new();
+        {
+            let mut s = self.state.borrow_mut();
+            let mut ready_count = self
+                .config
+                .nodes
+                .iter()
+                .filter(|id| self.api.node_ready(**id))
+                .count();
+            for &id in &self.config.nodes {
+                if busy_nodes.contains(&id) {
+                    s.last_busy.insert(id, t);
+                    continue;
+                }
+                if !self.api.node_ready(id) || ready_count <= self.config.min_ready {
+                    continue;
+                }
+                let last = s.last_busy.get(&id).copied().unwrap_or(SimTime::ZERO);
+                if t.since(last) >= self.config.idle_cooldown {
+                    to_park.push(id);
+                    ready_count -= 1;
+                }
+            }
+        }
+        for id in to_park {
+            self.park(id);
+        }
+    }
+
+    fn park(&self, id: NodeId) {
+        self.api
+            .nodes()
+            .update(&id.to_string(), |n| n.ready = false);
+        let mut s = self.state.borrow_mut();
+        s.parked.insert(id);
+        s.scale_downs += 1;
+        swf_obs::current().counter_add("k8s.autoscaler.scale_downs", 1);
+        if let Some(l) = &self.listener {
+            l(id, false);
+        }
+    }
+
+    fn unpark(&self, id: NodeId) {
+        self.api.nodes().update(&id.to_string(), |n| n.ready = true);
+        let mut s = self.state.borrow_mut();
+        s.parked.remove(&id);
+        s.scale_ups += 1;
+        swf_obs::current().counter_add("k8s.autoscaler.scale_ups", 1);
+        if let Some(l) = &self.listener {
+            l(id, true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control_plane::{K8s, K8sConfig};
+    use crate::meta::ObjectMeta;
+    use crate::pod::{Pod, PodSpec};
+    use swf_cluster::{Cluster, ClusterConfig};
+    use swf_container::{Image, ImageRef, Registry, RegistryConfig};
+    use swf_simcore::{spawn, Sim};
+
+    fn boot() -> (K8s, ImageRef) {
+        let cluster = Cluster::new(&ClusterConfig::default());
+        let registry = Registry::new(RegistryConfig::default());
+        let image = ImageRef::parse("fn:v1");
+        registry.push(Image::python_scientific(image.clone(), 1));
+        let k8s = K8s::start(&cluster, registry, K8sConfig::default(), 7);
+        (k8s, image)
+    }
+
+    #[test]
+    fn pending_pressure_unparks_and_idle_cooldown_reparks() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (k8s, image) = boot();
+            let scaler = NodePoolAutoscaler::new(
+                k8s.api().clone(),
+                NodePoolConfig {
+                    nodes: vec![NodeId(2), NodeId(3)],
+                    min_ready: 0,
+                    start_parked: true,
+                    tick: secs(1.0),
+                    idle_cooldown: secs(5.0),
+                },
+            );
+            spawn(scaler.clone().run());
+            k8s.settle().await;
+            assert_eq!(scaler.parked(), vec![NodeId(2), NodeId(3)]);
+            assert!(!k8s.node_is_ready(NodeId(2)));
+
+            // Saturate node 1 (the only unmanaged worker) so a new pod
+            // pends, then watch the pool grow.
+            let mut hog = Pod::new(
+                ObjectMeta::named("hog"),
+                PodSpec::new(image.clone()).with_resources(swf_container::ResourceLimits {
+                    cpu_millis: 8_000,
+                    memory: swf_cluster::mib(256),
+                }),
+            );
+            hog.spec.node_name = Some(NodeId(1));
+            k8s.api().create_pod(hog).await.unwrap();
+            let p = Pod::new(ObjectMeta::named("p"), PodSpec::new(image.clone()));
+            k8s.api().create_pod(p).await.unwrap();
+            k8s.wait_pod_ready("p", secs(60.0)).await.unwrap();
+            assert!(scaler.scale_ups() >= 1);
+            assert!(k8s.node_is_ready(NodeId(2)), "pressure unparks node 2");
+
+            // Drain the demand; after the cooldown the pool parks again.
+            k8s.api().delete_pod("p").await.unwrap();
+            k8s.api().delete_pod("hog").await.unwrap();
+            sleep(secs(15.0)).await;
+            assert!(!k8s.node_is_ready(NodeId(2)), "idle node re-parked");
+            assert!(scaler.scale_downs() >= 2);
+        });
+    }
+
+    #[test]
+    fn never_unparks_a_node_it_did_not_park() {
+        let sim = Sim::new();
+        sim.block_on(async {
+            let (k8s, image) = boot();
+            let scaler = NodePoolAutoscaler::new(
+                k8s.api().clone(),
+                NodePoolConfig {
+                    nodes: vec![NodeId(3)],
+                    min_ready: 1,
+                    start_parked: true,
+                    tick: secs(1.0),
+                    idle_cooldown: secs(5.0),
+                },
+            );
+            spawn(scaler.clone().run());
+            k8s.settle().await;
+            // min_ready keeps node 3 unparked; a chaos fault takes it down.
+            assert!(k8s.node_is_ready(NodeId(3)));
+            k8s.fail_node(NodeId(3));
+            // Pending pressure must NOT heal the faulted node.
+            let p = Pod::new(
+                ObjectMeta::named("p"),
+                PodSpec::new(image).with_resources(swf_container::ResourceLimits {
+                    cpu_millis: 64_000,
+                    memory: swf_cluster::mib(1),
+                }),
+            );
+            k8s.api().create_pod(p).await.unwrap();
+            sleep(secs(10.0)).await;
+            assert!(!k8s.node_is_ready(NodeId(3)));
+            assert_eq!(scaler.scale_ups(), 0);
+        });
+    }
+}

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod autoscaler;
 pub mod control_plane;
 pub mod controllers;
 pub mod error;
@@ -29,6 +30,7 @@ pub mod store;
 pub mod workload_api;
 
 pub use api::{ApiConfig, ApiServer};
+pub use autoscaler::{NodePoolAutoscaler, NodePoolConfig, ScaleListener};
 pub use control_plane::{K8s, K8sConfig};
 pub use controllers::{DeploymentController, EndpointsController, ReplicaSetController};
 pub use error::K8sError;

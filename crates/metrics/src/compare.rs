@@ -4,9 +4,9 @@
 //! `suite` binary) and classifies every difference:
 //!
 //! - **Drift** — a virtual-time field differs *bitwise* (the `virtual`,
-//!   `obs`, and `slo` sections, plus document structure). The simulation is
-//!   deterministic, so any such change means model behaviour changed;
-//!   drift is always an error regardless of direction or magnitude.
+//!   `obs`, `slo`, and `cost` sections, plus document structure). The
+//!   simulation is deterministic, so any such change means model behaviour
+//!   changed; drift is always an error regardless of direction or magnitude.
 //! - **Regression** / **Improvement** — a host-side wall-clock metric
 //!   (`wall_ms` lower-is-better, `events_per_sec` higher-is-better)
 //!   moved beyond the noise threshold. These never gate by default:
@@ -189,10 +189,11 @@ pub fn compare(old: &Value, new: &Value, noise: f64) -> CompareReport {
         match (old_scen.get(name), new_scen.get(name)) {
             (Some(o), Some(n)) => {
                 report.scenarios_compared += 1;
-                // Virtual-time sections: bitwise (`slo` is a pure
-                // function of virtual results, so it gets the same
-                // treatment).
-                for section in ["virtual", "obs", "slo"] {
+                // Virtual-time sections: bitwise (`slo` and `cost` are
+                // pure functions of virtual results, so they get the
+                // same treatment; scenarios without a `cost` section
+                // compare Null against Null).
+                for section in ["virtual", "obs", "slo", "cost"] {
                     let path = format!("{name}.{section}");
                     diff_bitwise(
                         &path,
@@ -496,6 +497,29 @@ mod tests {
         let report = compare(&a, &b, 0.10);
         assert!(report.has_drift());
         assert!(report.deltas.iter().any(|d| d.note.contains("removed")));
+    }
+
+    #[test]
+    fn cost_section_change_is_drift_and_absence_is_clean() {
+        // Scenarios without a `cost` section (all pre-elastic documents)
+        // compare Null against Null: no delta.
+        let a = doc(12.5, None, 400);
+        let report = compare(&a, &a.clone(), 0.10);
+        assert!(report.deltas.is_empty(), "{:?}", report.deltas);
+        // A cost leaf moving is drift, same as virtual.
+        let with_cost = |dollars: f64| {
+            let mut d = doc(12.5, None, 400);
+            if let Some(Value::Object(s)) = d.get_mut("scenarios").and_then(|s| s.get_mut("fig1")) {
+                s.insert("cost", json!({"dollars": dollars}));
+            }
+            d
+        };
+        let report = compare(&with_cost(1.0), &with_cost(1.25), 0.10);
+        assert!(report.has_drift());
+        assert!(report
+            .deltas
+            .iter()
+            .any(|d| d.path.contains("fig1.cost.dollars")));
     }
 
     #[test]

@@ -50,6 +50,7 @@ impl Config {
                 "core",
                 "chaos",
                 "apps",
+                "elastic",
             ]
             .iter()
             .map(|s| s.to_string())
@@ -80,6 +81,8 @@ impl Config {
                 &["core"],
                 // Consumers of the full stack.
                 &["chaos", "apps"],
+                // Elastic infrastructure rides the chaos harness.
+                &["elastic"],
                 &["bench"],
             ]
             .iter()
